@@ -1,0 +1,90 @@
+"""X6 — extension: XOR-parity remote redundancy vs full replication.
+
+The related work (Plank et al., erasure coding) offers the classic
+answer to replication's space cost.  This bench quantifies the trade
+on our substrate for parity groups of K = 2..6 ranks:
+
+* remote space and per-round interconnect volume fall as 1/K;
+* recovery must read K x the lost member's data (survivors + parity);
+* exactness is verified on real payloads every round.
+"""
+
+import numpy as np
+from conftest import once
+
+from repro.alloc import NVAllocator
+from repro.config import PrecopyPolicy
+from repro.core import LocalCheckpointer, XorParityGroup, make_standalone_context
+from repro.metrics import Table
+from repro.sim import Engine
+from repro.units import MB, to_MB
+
+CHUNK = MB(8)
+GROUP_SIZES = [2, 3, 4, 6]
+
+
+def build_group(k, engine, seed0=0):
+    allocs, datas = [], []
+    for i in range(k):
+        ctx = make_standalone_context(name=f"g{k}m{i}", engine=engine)
+        a = NVAllocator(f"g{k}m{i}", ctx.nvmm, ctx.dram)
+        ch = a.nvalloc("grid", CHUNK)
+        d = np.random.default_rng(seed0 + i).integers(0, 256, CHUNK).astype(np.uint8)
+        ch.write(0, d)
+        ck = LocalCheckpointer(ctx, a, PrecopyPolicy(mode="none"))
+        p = engine.process(ck.checkpoint())
+        engine.run()
+        assert p.ok
+        allocs.append(a)
+        datas.append(d)
+    parity_ctx = make_standalone_context(name=f"g{k}parity", engine=engine)
+    return allocs, datas, XorParityGroup(allocs, parity_ctx, group_id=f"g{k}")
+
+
+def test_erasure_vs_replication(benchmark, report):
+    def experiment():
+        out = {}
+        for k in GROUP_SIZES:
+            engine = Engine()
+            allocs, datas, group = build_group(k, engine, seed0=k * 10)
+            group.update_parity()
+            group.commit()
+            # verify exactness for a middle member
+            victim = k // 2
+            rebuilt = group.reconstruct(allocs[victim], "grid")
+            exact = bool(np.array_equal(rebuilt, datas[victim]))
+            out[k] = {
+                "round_bytes": group.parity_bytes_per_round,
+                "replication_round_bytes": k * CHUNK,
+                "recovery_bytes": group.recovery_read_bytes,
+                "replication_recovery_bytes": CHUNK,
+                "exact": exact,
+            }
+        return out
+
+    results = once(benchmark, experiment)
+    table = Table(
+        "X6 — XOR parity groups vs full replication (8 MB chunk per member)",
+        ["group K", "remote volume/round (MB)", "replication (MB)",
+         "space ratio", "recovery reads (MB)", "exact rebuild"],
+    )
+    for k, r in results.items():
+        table.add_row(
+            k,
+            f"{to_MB(r['round_bytes']):.0f}",
+            f"{to_MB(r['replication_round_bytes']):.0f}",
+            f"1/{k}",
+            f"{to_MB(r['recovery_bytes']):.0f}",
+            str(r["exact"]),
+        )
+    table.add_note("parity cuts remote space and interconnect volume K-fold; "
+                   "recovery reads K x the lost data (survivors + parity), and a "
+                   "second in-group failure before re-protection is unrecoverable "
+                   "— replication (the paper's buddy scheme) trades space for "
+                   "simpler, single-read recovery")
+    report(table.render())
+
+    for k, r in results.items():
+        assert r["exact"]
+        assert r["round_bytes"] * k == r["replication_round_bytes"]
+        assert r["recovery_bytes"] == k * r["replication_recovery_bytes"]

@@ -1,0 +1,77 @@
+"""Figures 1 & 5 — multilevel checkpoint timing diagrams.
+
+Renders the measured phase timeline of a short run as the paper's
+C/L/R diagrams and quantifies the overlap that pre-copy creates:
+
+* Fig. 5a (no pre-copy): compute and local checkpoint strictly
+  sequential; the remote round bursts after it;
+* Fig. 5b/c (pre-copy): local pre-copy and the remote stream overlap
+  the compute phase, shrinking the blocking L step.
+"""
+
+from conftest import once, run_cluster
+
+from repro.apps import SyntheticModel
+from repro.baselines import async_noprecopy_config, precopy_config
+from repro.metrics import Table
+from repro.metrics import timeline as tl
+from repro.units import GB_per_sec
+
+ITERS = 4
+NODES = 2
+RANKS = 2
+
+
+def app():
+    return SyntheticModel(
+        checkpoint_mb_per_rank=200,
+        chunk_mb=25,
+        iteration_compute_time=30.0,
+        comm_mb_per_iteration=50,
+    )
+
+
+def test_fig5_timing_diagrams(benchmark, report):
+    def experiment():
+        pre = run_cluster(app(), precopy_config(30, 60), iterations=ITERS,
+                          nodes=NODES, ranks_per_node=RANKS,
+                          nvm_write_bandwidth=GB_per_sec(0.5))
+        nop = run_cluster(app(), async_noprecopy_config(30, 60), iterations=ITERS,
+                          nodes=NODES, ranks_per_node=RANKS,
+                          nvm_write_bandwidth=GB_per_sec(0.5))
+        return pre, nop
+
+    pre, nop = once(benchmark, experiment)
+    actors = ["r0", "n0:helper"]
+    art_nop = nop.timeline.ascii_art(width=100, actors=actors)
+    art_pre = pre.timeline.ascii_art(width=100, actors=actors)
+
+    table = Table(
+        "Figure 5 — phase accounting (rank r0 + node-0 helper)",
+        ["metric", "no-pre-copy (5a)", "pre-copy (5b/c)"],
+    )
+    for label, kind in (("blocking local ckpt time (s)", tl.LOCAL_CKPT),):
+        table.add_row(label,
+                      f"{nop.timeline.total(kind, actor='r0'):.2f}",
+                      f"{pre.timeline.total(kind, actor='r0'):.2f}")
+    table.add_row(
+        "remote stream phases",
+        nop.timeline.count(tl.REMOTE_PRECOPY),
+        pre.timeline.count(tl.REMOTE_PRECOPY),
+    )
+    table.add_row("total time (s)", f"{nop.total_time:.1f}", f"{pre.total_time:.1f}")
+    report(
+        "Figure 5a — asynchronous no-pre-copy (C=compute, L=local ckpt, "
+        "R=remote ckpt):\n" + art_nop,
+        "Figure 5b/c — NVM-checkpoint pre-copy (r=remote pre-copy stream):\n" + art_pre,
+        table.render(),
+    )
+
+    # shape: pre-copy shrinks the blocking L step and streams remotely
+    assert (
+        pre.timeline.total(tl.LOCAL_CKPT, actor="r0")
+        < nop.timeline.total(tl.LOCAL_CKPT, actor="r0")
+    )
+    assert pre.timeline.count(tl.REMOTE_PRECOPY) > 0
+    assert nop.timeline.count(tl.REMOTE_PRECOPY) == 0
+    assert pre.total_time <= nop.total_time

@@ -1,0 +1,87 @@
+"""Shared helpers for the benchmark harness.
+
+Every ``bench_*.py`` regenerates one table or figure of the paper.
+Benchmarks run the experiment once (``benchmark.pedantic`` with one
+round — the simulations are deterministic, re-running them only burns
+time) and print the reproduced rows/series uncaptured so
+``pytest benchmarks/ --benchmark-only`` output contains the artifacts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.base import ApplicationModel
+from repro.baselines import async_noprecopy_config, precopy_config
+from repro.cluster import Cluster, ClusterRunner, RunResult
+from repro.config import CheckpointConfig, ClusterConfig
+from repro.units import GB_per_sec
+
+
+@pytest.fixture
+def report(capsys):
+    """Print a reproduction artifact past pytest's capture."""
+
+    def _report(*blocks):
+        with capsys.disabled():
+            print()
+            for block in blocks:
+                print(block)
+                print()
+
+    return _report
+
+
+def run_cluster(
+    app: ApplicationModel,
+    ckpt_config: CheckpointConfig,
+    *,
+    iterations: int = 6,
+    nodes: int = 4,
+    ranks_per_node: int = 12,
+    nvm_write_bandwidth: float = GB_per_sec(2.0),
+    nvm_capacity: int | None = None,
+    with_remote: bool = True,
+    local_checkpoints: bool = True,
+    seed: int = 1,
+) -> RunResult:
+    """One deterministic cluster experiment."""
+    cluster_config = ClusterConfig(nodes=nodes)
+    if nvm_capacity is not None:
+        import dataclasses
+
+        node = cluster_config.node
+        cluster_config = dataclasses.replace(
+            cluster_config,
+            node=dataclasses.replace(
+                node, nvm=dataclasses.replace(node.nvm, capacity=nvm_capacity)
+            ),
+        )
+    cluster = Cluster(
+        cluster_config, nvm_write_bandwidth=nvm_write_bandwidth, seed=seed
+    )
+    cluster.build(app, ckpt_config, ranks_per_node=ranks_per_node, with_remote=with_remote)
+    runner = ClusterRunner(cluster, local_checkpoints=local_checkpoints)
+    result = runner.run(iterations)
+    result.cluster = cluster  # type: ignore[attr-defined]
+    return result
+
+
+def run_ideal(app: ApplicationModel, *, iterations: int = 6, nodes: int = 4,
+              ranks_per_node: int = 12, seed: int = 1) -> RunResult:
+    """The paper's 'ideal runtime': no checkpoints at all."""
+    return run_cluster(
+        app,
+        precopy_config(app.iteration_compute_time, 10 * app.iteration_compute_time),
+        iterations=iterations,
+        nodes=nodes,
+        ranks_per_node=ranks_per_node,
+        with_remote=False,
+        local_checkpoints=False,
+        seed=seed,
+    )
+
+
+def once(benchmark, fn):
+    """Run *fn* exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Beyond the paper: checksum scrubbing and XOR-parity redundancy.
+
+Two extensions built on the same substrate:
+
+1. **Scrubbing** — the paper verifies chunk checksums only at restart;
+   with PCM's 1e8-cycle endurance, silent corruption should be found
+   (and repaired from the buddy) *before* a failure forces a restart.
+2. **Erasure coding** — instead of mirroring every rank's checkpoint
+   on a buddy, a parity group of K ranks stores one XOR block: 1/K the
+   remote space and interconnect volume, at a K x recovery-read tax.
+
+Run:  python examples/resilience_extensions.py
+"""
+
+import numpy as np
+
+from repro.alloc import NVAllocator
+from repro.config import CheckpointConfig, PrecopyPolicy
+from repro.core import (
+    LocalCheckpointer,
+    RemoteHelper,
+    Scrubber,
+    XorParityGroup,
+    make_standalone_context,
+)
+from repro.net import Fabric
+from repro.sim import Engine
+from repro.units import MB, to_MB
+
+
+def scrubbing_demo() -> None:
+    print("=== scrubbing: silent corruption repaired from the buddy ===")
+    engine = Engine()
+    node0 = make_standalone_context(name="n0", engine=engine)
+    node1 = make_standalone_context(name="n1", engine=engine)
+    fabric = Fabric(engine, 2)
+    alloc = NVAllocator("r0", node0.nvmm, node0.dram)
+    ck = LocalCheckpointer(node0, alloc, PrecopyPolicy(mode="none"))
+    helper = RemoteHelper(0, node0, fabric, 1, node1, [alloc],
+                          CheckpointConfig(remote_precopy=False))
+
+    field = alloc.nvalloc("field", MB(4))
+    data = np.sin(np.linspace(0, 20, MB(4) // 8))
+    field.write(0, data)
+
+    def checkpoint_and_replicate():
+        yield from ck.checkpoint()
+        yield from helper.remote_checkpoint()
+
+    proc = engine.process(checkpoint_and_replicate())
+    engine.run()
+    assert proc.ok
+    print(f"checkpointed + replicated {to_MB(field.nbytes):.0f} MB "
+          f"(local v{field.committed_version}, buddy committed)")
+
+    # a cosmic ray / worn cell flips bits in the committed local copy
+    node0.nvmm.store.write(
+        f"r0/field#v{field.committed_version}", 1024,
+        np.full(64, 0xFF, dtype=np.uint8),
+    )
+    node0.nvmm.store.flush()
+    print("injected silent corruption into the committed local version")
+
+    scrubber = Scrubber(node0, alloc, fabric=fabric, node_id=0,
+                        remote_target=helper.targets["r0"], remote_node=1)
+    report = scrubber.scan_sync()
+    print(f"scrub sweep: scanned {report.chunks_scanned} chunk(s) "
+          f"({to_MB(report.bytes_scanned):.0f} MB) in "
+          f"{report.duration*1000:.1f} ms virtual; corrupted={report.corrupted} "
+          f"repaired={report.repaired}")
+    assert field.verify_checksum()
+    restored = field.committed_region().read(0, field.nbytes).view(np.float64)
+    assert np.array_equal(restored, data)
+    print("committed data verified bit-exact after repair\n")
+
+
+def erasure_demo() -> None:
+    print("=== erasure coding: K ranks, one parity block ===")
+    engine = Engine()
+    K = 4
+    allocs, payloads = [], []
+    for i in range(K):
+        ctx = make_standalone_context(name=f"m{i}", engine=engine)
+        a = NVAllocator(f"rank{i}", ctx.nvmm, ctx.dram)
+        chunk = a.nvalloc("state", MB(2))
+        payload = np.random.default_rng(i).integers(0, 256, MB(2)).astype(np.uint8)
+        chunk.write(0, payload)
+        ck = LocalCheckpointer(ctx, a, PrecopyPolicy(mode="none"))
+        proc = engine.process(ck.checkpoint())
+        engine.run()
+        assert proc.ok
+        allocs.append(a)
+        payloads.append(payload)
+
+    parity_node = make_standalone_context(name="parity", engine=engine)
+    group = XorParityGroup(allocs, parity_node, group_id="demo")
+    written = group.update_parity()
+    group.commit()
+    print(f"group of {K} ranks x {to_MB(MB(2)):.0f} MB: parity block "
+          f"{to_MB(written):.0f} MB "
+          f"(replication would ship {to_MB(K * MB(2)):.0f} MB)")
+    print(f"remote space per member: 1/{K} of replication")
+
+    victim = 2
+    rebuilt = group.reconstruct(allocs[victim], "state")
+    assert np.array_equal(rebuilt, payloads[victim])
+    print(f"rank{victim} lost -> reconstructed bit-exact from "
+          f"{K - 1} survivors + parity "
+          f"(recovery read {to_MB(group.recovery_read_bytes):.0f} MB — the tax)")
+
+
+if __name__ == "__main__":
+    scrubbing_demo()
+    erasure_demo()

@@ -1,0 +1,17 @@
+"""User-level NVM allocation: chunks, the jemalloc-style arena, and the
+Table-III allocation API (nvalloc / nvattach / nvrealloc / nvdelete).
+"""
+
+from .chunk import Chunk, ChunkState
+from .arena import Arena, Allocation, SIZE_CLASSES
+from .nvmalloc import NVAllocator, genid
+
+__all__ = [
+    "Chunk",
+    "ChunkState",
+    "Arena",
+    "Allocation",
+    "SIZE_CLASSES",
+    "NVAllocator",
+    "genid",
+]

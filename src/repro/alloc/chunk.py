@@ -1,0 +1,366 @@
+"""Chunks: the unit of allocation, dirt tracking, pre-copy and
+checkpointing.
+
+A chunk (§V) is one application data structure allocated through the
+NVM interface.  It owns:
+
+* a **DRAM working copy** the application computes on (real numpy
+  buffer, or *phantom* — size-only — for cluster-scale simulations);
+* **two NVM shadow versions** (committed / in-progress) so a crash
+  mid-checkpoint always leaves a consistent version;
+* **dirty bits** — one for the local checkpoint stream and one for the
+  remote stream (§V: 'each chunk structure has two dirty bit flags');
+* chunk-level **write protection** state: after a pre-copy all pages
+  are protected; the first write takes one fault, unprotects the whole
+  chunk and marks it dirty (this is what makes chunk-granular tracking
+  cheap relative to page-granular);
+* a modification counter + last-touch time feeding the DCPCP
+  prediction table;
+* an optional **checksum** over each committed version (§V restart
+  component).
+"""
+
+from __future__ import annotations
+
+import zlib
+from enum import Enum
+from typing import Any, Callable, List, Optional
+
+import numpy as np
+
+from ..errors import CheckpointError
+from ..memory.nvmm import NvmRegion
+from ..units import pages_of
+
+__all__ = ["Chunk", "ChunkState"]
+
+
+class ChunkState(Enum):
+    """Lifecycle of the in-progress version during a checkpoint."""
+
+    IDLE = "idle"
+    PRECOPYING = "precopying"
+    CHECKPOINTING = "checkpointing"
+
+
+class Chunk:
+    """One checkpointable data structure.
+
+    Callers never construct chunks directly — use
+    :class:`repro.alloc.nvmalloc.NVAllocator`.
+    """
+
+    def __init__(
+        self,
+        chunk_id: int,
+        name: str,
+        nbytes: int,
+        *,
+        persistent: bool = True,
+        phantom: bool = False,
+        dram_buffer: Optional[np.ndarray] = None,
+        nvm_versions: Optional[List[NvmRegion]] = None,
+        clock: Callable[[], float] = lambda: 0.0,
+    ) -> None:
+        self.chunk_id = chunk_id
+        self.name = name
+        self.nbytes = nbytes
+        self.persistent = persistent
+        self.phantom = phantom
+        #: DRAM working copy (flat uint8); None iff phantom.
+        self.dram = dram_buffer
+        #: NVM shadow regions; 1 (single-version mode) or 2 entries.
+        self.versions: List[NvmRegion] = nvm_versions or []
+        #: index of the last fully committed version, or -1 if none.
+        self.committed_version = -1
+        #: checksum of each version's committed payload (None until set).
+        self.checksums: List[Optional[int]] = [None] * max(1, len(self.versions))
+        self._clock = clock
+
+        # -- dirt / protection state -------------------------------------
+        self.dirty_local = True  # fresh chunks must enter the first ckpt
+        self.dirty_remote = True
+        self.protected = False
+        #: per-stream copy state: the local stream (shadow buffering /
+        #: local pre-copy) and the remote stream (helper) may operate
+        #: on the same chunk concurrently — they read the same DRAM
+        #: copy but write different destinations.
+        self.state_local = ChunkState.IDLE
+        self.state_remote = ChunkState.IDLE
+        #: total protection faults taken against this chunk.
+        self.fault_count = 0
+        #: modifications in the current checkpoint interval.
+        self.mods_this_interval = 0
+        #: total modifications over the chunk's lifetime.
+        self.total_mods = 1  # the initializing write
+        self.last_modified = clock()
+        #: staged into the in-progress NVM version but not yet
+        #: committed (set by stage_to_nvm, cleared by commit) — the
+        #: coordinated step commits every such chunk, including ones
+        #: the pre-copy engine staged during the interval.
+        self.staged_pending = False
+        #: bytes copied to NVM on behalf of this chunk (incl. repeats).
+        self.bytes_copied_local = 0
+        self.bytes_copied_remote = 0
+        #: observers called as fn(chunk, time) on every dirtying write.
+        self.on_dirty: List[Callable[["Chunk", float], None]] = []
+        #: protection granularity: chunk-level (the paper's design —
+        #: one fault unprotects the whole chunk) vs page-level (the
+        #: strawman §IV argues against: every protected page written
+        #: faults separately, '6-12 usec ... and 3 sec for 1 GB').
+        self.page_granular_protection = False
+        #: lazy-restart state (§IV shadow buffering read path: 'the
+        #: application can directly access write protected NVM, and an
+        #: attempt to modify the data would move the data back to
+        #: DRAM').  While resident, reads serve from the committed NVM
+        #: version; the first write migrates the payload to DRAM.
+        self.nvm_resident = False
+        #: bytes migrated NVM->DRAM since the last take (cost hook).
+        self._migration_bytes_pending = 0
+        #: observers called as fn(chunk, nbytes) on each migration.
+        self.on_migrate: List[Callable[["Chunk", int], None]] = []
+
+    # ------------------------------------------------------------------
+    # Application write barrier.
+    # ------------------------------------------------------------------
+
+    def write(self, offset: int, data: Any) -> int:
+        """Application store into the DRAM working copy.
+
+        This is the explicit stand-in for a hardware store: it applies
+        the bytes, and performs the protection-fault bookkeeping the
+        kernel would do (one fault per protected chunk, then the whole
+        chunk is unprotected and marked dirty).
+        Returns the number of *faults* taken (0 or 1) so callers can
+        charge the fault cost.
+        """
+        payload = np.ascontiguousarray(np.asarray(data)).view(np.uint8).reshape(-1)
+        if self.phantom:
+            raise CheckpointError(f"chunk {self.name!r} is phantom; use touch()")
+        if offset < 0 or offset + len(payload) > self.nbytes:
+            raise CheckpointError(
+                f"chunk {self.name!r}: write [{offset}, {offset + len(payload)}) "
+                f"outside {self.nbytes} bytes"
+            )
+        if self.nvm_resident:
+            self._migrate_to_dram()  # copy-on-write allocates DRAM
+        if self.dram is None:
+            raise CheckpointError(f"chunk {self.name!r} has no DRAM buffer")
+        faults = self._dirtying_access(len(payload))
+        self.dram[offset : offset + len(payload)] = payload
+        return faults
+
+    def touch(self, nbytes: Optional[int] = None) -> int:
+        """Phantom-mode modification: account a write of *nbytes*
+        (default: the whole chunk) without a payload."""
+        if self.nvm_resident:
+            self._migrate_to_dram()
+        return self._dirtying_access(nbytes if nbytes is not None else self.nbytes)
+
+    def _dirtying_access(self, nbytes: Optional[int] = None) -> int:
+        faults = 0
+        if self.protected:
+            if self.page_granular_protection:
+                # page-level protection: every written page faults
+                faults = max(1, pages_of(nbytes if nbytes is not None else self.nbytes))
+            else:
+                # chunk-level protection: one fault unprotects everything
+                faults = 1
+            self.protected = False
+            self.fault_count += faults
+        now = self._clock()
+        self.dirty_local = True
+        self.dirty_remote = True
+        self.mods_this_interval += 1
+        self.total_mods += 1
+        self.last_modified = now
+        for fn in self.on_dirty:
+            fn(self, now)
+        return faults
+
+    # ------------------------------------------------------------------
+    # Reads.
+    # ------------------------------------------------------------------
+
+    def read(self, offset: int = 0, nbytes: Optional[int] = None) -> np.ndarray:
+        """Read the working copy (application load).  NVM-resident
+        chunks (lazy restart) serve reads straight from the committed
+        NVM version — near-DRAM speed per Table I."""
+        if self.phantom:
+            raise CheckpointError(f"chunk {self.name!r} is phantom; no data to read")
+        if nbytes is None:
+            nbytes = self.nbytes - offset
+        if self.nvm_resident:
+            return self.committed_region().read(offset, nbytes)
+        if self.dram is None:
+            raise CheckpointError(f"chunk {self.name!r} has no DRAM buffer")
+        return self.dram[offset : offset + nbytes].copy()
+
+    def view(self, dtype: Any = np.uint8, shape: Optional[tuple] = None) -> np.ndarray:
+        """A *read-only* typed view of the working copy.  (All writes
+        must flow through :meth:`write` so dirt tracking stays sound.)
+        NVM-resident chunks return a read-only copy of the committed
+        NVM contents."""
+        if self.phantom:
+            raise CheckpointError(f"chunk {self.name!r} is phantom; no data to view")
+        if self.nvm_resident:
+            v = self.committed_region().read(0, self.nbytes).view(dtype)
+        else:
+            if self.dram is None:
+                raise CheckpointError(f"chunk {self.name!r} has no DRAM buffer")
+            v = self.dram.view(dtype)
+        if shape is not None:
+            v = v.reshape(shape)
+        v.flags.writeable = False
+        return v
+
+    # ------------------------------------------------------------------
+    # Version management (used by the checkpoint runtime).
+    # ------------------------------------------------------------------
+
+    @property
+    def n_versions(self) -> int:
+        return len(self.versions)
+
+    def inprogress_index(self) -> int:
+        """The version slot the next checkpoint writes into."""
+        if self.n_versions <= 1:
+            return 0
+        return 1 - self.committed_version if self.committed_version >= 0 else 0
+
+    def inprogress_region(self) -> NvmRegion:
+        if not self.versions:
+            raise CheckpointError(f"chunk {self.name!r} has no NVM shadow regions")
+        return self.versions[self.inprogress_index()]
+
+    def committed_region(self) -> NvmRegion:
+        if self.committed_version < 0:
+            raise CheckpointError(f"chunk {self.name!r} has no committed version")
+        return self.versions[self.committed_version]
+
+    def stage_to_nvm(self) -> int:
+        """Copy the working copy into the in-progress NVM version (the
+        actual data movement of shadow buffering).  Returns bytes moved.
+        Timing is charged by the caller through the device bus."""
+        if self.nvm_resident:
+            # an NVM-resident (lazily restored) chunk is clean by
+            # definition; staging it means someone wants a fresh
+            # version anyway — materialize the working copy first
+            self._migrate_to_dram()
+        region = self.inprogress_region()
+        if self.phantom:
+            moved = region.write_phantom(0, self.nbytes)
+        else:
+            assert self.dram is not None
+            moved = region.write(0, self.dram)
+        self.staged_pending = True
+        self.bytes_copied_local += moved
+        return moved
+
+    def commit(self, with_checksum: bool = True) -> None:
+        """Mark the in-progress version committed (call only after the
+        store was flushed)."""
+        idx = self.inprogress_index()
+        if with_checksum and not self.phantom and self.dram is not None:
+            self.checksums[idx] = zlib.crc32(self.dram.tobytes())
+        elif with_checksum:
+            self.checksums[idx] = 0  # phantom payloads are all-zero
+        self.committed_version = idx
+        self.staged_pending = False
+
+    def verify_checksum(self) -> bool:
+        """Restart-time integrity check of the committed version."""
+        if self.committed_version < 0:
+            return False
+        stored = self.checksums[self.committed_version]
+        if stored is None:
+            return True  # checksums disabled at commit time
+        if self.phantom:
+            return stored == 0
+        data = self.committed_region().read(0, self.nbytes)
+        return zlib.crc32(data.tobytes()) == stored
+
+    def restore_from_committed(self) -> int:
+        """Load the committed NVM version back into the DRAM working
+        copy (restart).  Returns bytes read."""
+        region = self.committed_region()
+        if not self.phantom:
+            data = region.read(0, self.nbytes)
+            if self.dram is None or len(self.dram) != self.nbytes:
+                self.dram = np.zeros(self.nbytes, dtype=np.uint8)
+            self.dram[:] = data
+        self.nvm_resident = False
+        return self.nbytes
+
+    def restore_lazy(self) -> None:
+        """Lazy restart: leave the data in NVM.  Reads serve from the
+        committed version (write-protected NVM, near-DRAM read speed);
+        the first write migrates the chunk back to DRAM (§IV)."""
+        if self.committed_version < 0:
+            raise CheckpointError(
+                f"chunk {self.name!r} has no committed version to restore lazily"
+            )
+        self.nvm_resident = True
+        self.protected = True
+        self.dirty_local = False
+
+    def _migrate_to_dram(self) -> None:
+        """Copy-on-write: move the committed payload back to DRAM."""
+        if not self.phantom:
+            data = self.committed_region().read(0, self.nbytes)
+            if self.dram is None or len(self.dram) != self.nbytes:
+                self.dram = np.zeros(self.nbytes, dtype=np.uint8)
+            self.dram[:] = data
+        self.nvm_resident = False
+        self._migration_bytes_pending += self.nbytes
+        for fn in self.on_migrate:
+            fn(self, self.nbytes)
+
+    def take_migration_bytes(self) -> int:
+        """Return and reset the NVM->DRAM migration byte count (the
+        caller charges the copy time)."""
+        out, self._migration_bytes_pending = self._migration_bytes_pending, 0
+        return out
+
+    # ------------------------------------------------------------------
+    # Interval bookkeeping (driven by the checkpoint coordinator).
+    # ------------------------------------------------------------------
+
+    def get_state(self, stream: str) -> ChunkState:
+        return self.state_local if stream == "local" else self.state_remote
+
+    def set_state(self, stream: str, state: ChunkState) -> None:
+        if stream == "local":
+            self.state_local = state
+        else:
+            self.state_remote = state
+
+    def begin_interval(self) -> None:
+        """Reset per-interval counters at the start of a compute phase."""
+        self.mods_this_interval = 0
+
+    def mark_precopied(self, stream: str = "local") -> None:
+        """Record a completed pre-copy: the chunk is clean for *stream*
+        and write-protected so the next write faults."""
+        if stream == "local":
+            self.dirty_local = False
+        elif stream == "remote":
+            self.dirty_remote = False
+        else:
+            raise ValueError(f"unknown stream {stream!r}")
+        self.protected = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        flags = []
+        if self.dirty_local:
+            flags.append("Dl")
+        if self.dirty_remote:
+            flags.append("Dr")
+        if self.protected:
+            flags.append("P")
+        if self.phantom:
+            flags.append("ph")
+        return (
+            f"<Chunk #{self.chunk_id} {self.name!r} {self.nbytes}B "
+            f"v{self.committed_version} {''.join(flags) or '-'}>"
+        )

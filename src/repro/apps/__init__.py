@@ -1,0 +1,29 @@
+"""Application workload models.
+
+Each model reproduces what matters about the paper's three HPC codes
+for checkpoint behaviour: per-process checkpoint size, the Table-IV
+chunk-size distribution, the per-iteration write schedule (write-once /
+per-iteration / staged / hot chunks, Fig. 6), and communication volume
+(the traffic remote checkpoints contend with).  ``synthetic`` is the
+parameterizable model used by ablations; ``madbench`` reproduces the
+MADBench2 I/O kernel used for the §IV ramdisk-vs-memory motivation.
+"""
+
+from .base import ApplicationModel, ChunkSpec, RankBinding, WritePattern
+from .gtc import GTCModel
+from .lammps import LammpsModel
+from .cm1 import CM1Model
+from .synthetic import SyntheticModel
+from .madbench import MADBench
+
+__all__ = [
+    "ApplicationModel",
+    "ChunkSpec",
+    "RankBinding",
+    "WritePattern",
+    "GTCModel",
+    "LammpsModel",
+    "CM1Model",
+    "SyntheticModel",
+    "MADBench",
+]

@@ -1,0 +1,220 @@
+"""Application model base: chunk declarations + iteration behaviour.
+
+A model describes, per rank:
+
+* the **chunk layout** — names, sizes (matching the app's Table-IV
+  distribution) and write patterns;
+* the **iteration schedule** — at which fractions of the compute
+  interval each chunk is written (this is what DCPC/DCPCP exploit);
+* the **communication schedule** — halo-exchange style bursts on the
+  fabric that asynchronous remote checkpoints contend with (§IV's
+  'communication noise').
+
+Write patterns:
+
+========== ==========================================================
+write_once  written only during initialization (GTC's large static
+            arrays -> the checkpoint-size reduction of Fig. 8)
+per_iter    rewritten every iteration at fixed mid-interval points
+staged      rewritten at several stage boundaries across the interval
+            (LAMMPS 'modified across different application stages')
+hot         modified until the very end of the interval (LAMMPS'
+            3-D result array, Fig. 6) — the DCPCP target
+========== ==========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..alloc.chunk import Chunk
+from ..alloc.nvmalloc import NVAllocator
+from ..config import PrecopyPolicy
+from ..net.interconnect import Fabric
+from ..sim.engine import Engine
+
+__all__ = ["WritePattern", "ChunkSpec", "RankBinding", "ApplicationModel"]
+
+
+class WritePattern:
+    WRITE_ONCE = "write_once"
+    PER_ITER = "per_iter"
+    STAGED = "staged"
+    HOT = "hot"
+
+    #: default write positions (fractions of the compute interval)
+    DEFAULT_FRACTIONS = {
+        WRITE_ONCE: (0.02,),
+        PER_ITER: (0.35, 0.6),
+        STAGED: (0.15, 0.4, 0.65, 0.85),
+        HOT: (0.25, 0.5, 0.75, 0.97),
+    }
+
+
+@dataclass(frozen=True)
+class ChunkSpec:
+    """One checkpoint variable of the application."""
+
+    name: str
+    nbytes: int
+    pattern: str = WritePattern.PER_ITER
+    #: override write positions within the interval (fractions in (0,1])
+    fractions: Optional[Tuple[float, ...]] = None
+
+    def write_fractions(self, iteration: int) -> Tuple[float, ...]:
+        if self.pattern == WritePattern.WRITE_ONCE:
+            return WritePattern.DEFAULT_FRACTIONS[self.pattern] if iteration == 0 else ()
+        if self.fractions is not None:
+            return self.fractions
+        return WritePattern.DEFAULT_FRACTIONS[self.pattern]
+
+
+@dataclass
+class RankBinding:
+    """One rank's live connection to the simulation: its allocator
+    (chunks), fabric endpoint, and neighbor set."""
+
+    rank: str
+    node_id: int
+    allocator: NVAllocator
+    engine: Engine
+    fabric: Optional[Fabric] = None
+    neighbors: Sequence[int] = ()
+    fault_cost: float = PrecopyPolicy().fault_cost
+    #: effective NVM->DRAM migration rate for lazy-restarted chunks
+    #: (NVM reads are near-DRAM speed, Table I)
+    migration_rate: float = 2.0 * 1024**3
+    #: compute-time lost to protection faults so far (accounting)
+    fault_time: float = 0.0
+    #: compute-time lost to lazy-restart migrations so far
+    migration_time: float = 0.0
+
+    def chunk(self, name: str) -> Chunk:
+        return self.allocator.chunk(name)
+
+    def charge_fault(self, faults: int) -> float:
+        """Convert protection faults into lost compute seconds (the
+        paper's 6-12 us per fault)."""
+        cost = faults * self.fault_cost
+        self.fault_time += cost
+        return cost
+
+    def charge_migration(self, nbytes: int) -> float:
+        """Lazy-restart copy-on-write: the first write to an
+        NVM-resident chunk pays the NVM->DRAM copy."""
+        cost = nbytes / self.migration_rate
+        self.migration_time += cost
+        return cost
+
+
+class ApplicationModel:
+    """Base class; subclasses define name/layout/iteration shape."""
+
+    #: application name (report labels)
+    name: str = "app"
+    #: target pure-compute seconds per iteration (local checkpoint
+    #: frequency in the paper's runs: one checkpoint per interval)
+    iteration_compute_time: float = 40.0
+    #: bytes each rank exchanges with neighbors per iteration
+    comm_bytes_per_iteration: int = 0
+    #: number of communication bursts per iteration
+    comm_bursts: int = 4
+
+    def __init__(self, checkpoint_mb_per_rank: Optional[float] = None) -> None:
+        self.checkpoint_mb_per_rank = checkpoint_mb_per_rank
+
+    # -- layout --------------------------------------------------------------
+
+    def chunk_specs(self, rank_index: int) -> List[ChunkSpec]:
+        """The rank's checkpoint variables.  Subclasses implement."""
+        raise NotImplementedError
+
+    def allocate(self, binding: RankBinding, rank_index: int) -> List[Chunk]:
+        """Materialize the layout through the Table-III interface."""
+        return [
+            binding.allocator.nvalloc(spec.name, spec.nbytes, pflag=True)
+            for spec in self.chunk_specs(rank_index)
+        ]
+
+    def checkpoint_bytes(self, rank_index: int = 0) -> int:
+        return sum(s.nbytes for s in self.chunk_specs(rank_index))
+
+    def chunk_size_distribution(self, rank_index: int = 0) -> dict:
+        """Byte share per Table-IV size bucket (for the T4 bench)."""
+        buckets = {
+            "500K-1MB": (500 * 1024, 1024 * 1024),
+            "10-20MB": (10 * 2**20, 20 * 2**20),
+            "50-100MB": (50 * 2**20, 100 * 2**20),
+            "above 100MB": (100 * 2**20, float("inf")),
+            "other": (0, 0),
+        }
+        totals = {k: 0 for k in buckets}
+        grand = 0
+        for spec in self.chunk_specs(rank_index):
+            grand += spec.nbytes
+            for key, (lo, hi) in buckets.items():
+                if key != "other" and lo <= spec.nbytes <= hi:
+                    totals[key] += spec.nbytes
+                    break
+            else:
+                totals["other"] += spec.nbytes
+        if grand == 0:
+            return {k: 0.0 for k in totals}
+        return {k: 100.0 * v / grand for k, v in totals.items()}
+
+    # -- one compute interval ----------------------------------------------------
+
+    def compute_iteration(self, binding: RankBinding, iteration: int):
+        """Generator process: one compute interval for one rank.
+
+        Interleaves compute (timeouts), chunk writes at their scheduled
+        fractions, and communication bursts; protection-fault costs
+        extend the compute time (that is the pre-copy overhead an
+        application actually feels).
+        """
+        engine = binding.engine
+        interval = self.iteration_compute_time
+        events: List[Tuple[float, str, object]] = []
+        for spec in self.chunk_specs(self._rank_index(binding)):
+            for frac in spec.write_fractions(iteration):
+                events.append((frac * interval, "write", spec.name))
+        if self.comm_bytes_per_iteration > 0 and binding.fabric is not None and binding.neighbors:
+            per_burst = self.comm_bytes_per_iteration / self.comm_bursts
+            for b in range(self.comm_bursts):
+                at = (b + 0.5) / self.comm_bursts * interval
+                events.append((at, "comm", per_burst))
+        events.sort(key=lambda e: (e[0], e[1]))
+        # `position` tracks scheduled *compute* progress; faults and
+        # communication stalls delay everything after them, so the
+        # iteration's wall time is compute + fault costs + comm time
+        position = 0.0
+        for at, kind, payload in events:
+            if at > position:
+                yield engine.timeout(at - position)
+                position = at
+            if kind == "write":
+                chunk = binding.chunk(payload)  # type: ignore[arg-type]
+                faults = chunk.touch() if chunk.phantom else chunk.write(
+                    0, chunk.dram[: min(64, chunk.nbytes)]  # type: ignore[index]
+                )
+                cost = binding.charge_fault(faults)
+                cost += binding.charge_migration(chunk.take_migration_bytes())
+                if cost > 0:
+                    yield engine.timeout(cost)
+            else:
+                n_nb = max(1, len(binding.neighbors))
+                waits = [
+                    binding.fabric.transfer(  # type: ignore[union-attr]
+                        binding.node_id, nb, payload / n_nb, tag=f"{binding.rank}:app"
+                    )
+                    for nb in binding.neighbors
+                ]
+                yield engine.all_of(waits)
+        if interval > position:
+            yield engine.timeout(interval - position)
+
+    def _rank_index(self, binding: RankBinding) -> int:
+        # rank ids are formatted "r<k>" by the cluster builder
+        digits = "".join(ch for ch in binding.rank if ch.isdigit())
+        return int(digits) if digits else 0

@@ -1,0 +1,59 @@
+"""Named baseline configurations.
+
+The paper's comparisons are between *configurations* of the same
+runtime; these constructors give the benchmark code self-describing
+names for each arm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..config import CheckpointConfig, PrecopyPolicy
+
+__all__ = [
+    "blocking_local_policy",
+    "precopy_local_policy",
+    "async_noprecopy_config",
+    "precopy_config",
+]
+
+
+def blocking_local_policy() -> PrecopyPolicy:
+    """'No pre-copy': the coordinated local checkpoint copies every
+    persistent chunk after the compute step, nothing in background."""
+    return PrecopyPolicy(mode=PrecopyPolicy.NONE)
+
+
+def precopy_local_policy(mode: str = PrecopyPolicy.DCPCP) -> PrecopyPolicy:
+    """NVM-checkpoint pre-copy (default: the full DCPCP variant)."""
+    return PrecopyPolicy(mode=mode)
+
+
+def async_noprecopy_config(
+    local_interval: float = 40.0, remote_interval: float = 120.0
+) -> CheckpointConfig:
+    """The Fig. 9/10 baseline: remote checkpoints are asynchronous
+    (overlapped with compute, the application does not block) but the
+    whole checkpoint moves at once at each remote interval; local
+    checkpoints run with pre-copy disabled."""
+    return CheckpointConfig(
+        local_interval=local_interval,
+        remote_interval=remote_interval,
+        precopy=blocking_local_policy(),
+        remote_precopy=False,
+    )
+
+
+def precopy_config(
+    local_interval: float = 40.0,
+    remote_interval: float = 120.0,
+    mode: str = PrecopyPolicy.DCPCP,
+) -> CheckpointConfig:
+    """Full NVM-checkpoints: local + remote chunk-level pre-copy."""
+    return CheckpointConfig(
+        local_interval=local_interval,
+        remote_interval=remote_interval,
+        precopy=precopy_local_policy(mode),
+        remote_precopy=True,
+    )

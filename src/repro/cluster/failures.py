@@ -1,0 +1,94 @@
+"""Failure injection (§III failure model).
+
+Failures arrive as a merged Poisson process: per-node soft failures at
+rate ``1/mtbf_local`` (process/OS crash — node-local NVM survives, the
+application recovers from its local checkpoint) and hard failures at
+rate ``1/mtbf_remote`` (node unusable — recovery needs the buddy's
+remote copy).  The ASCI-Q statistic the paper cites (~64% of failures
+soft) corresponds to the default rate ratio.
+
+Draws come from a named RNG stream, so a run's failure schedule is a
+pure function of the seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from ..config import FailureConfig
+from ..sim.rng import RngStreams
+
+__all__ = ["FailureEvent", "FailureInjector"]
+
+SOFT = "soft"
+HARD = "hard"
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """One injected failure."""
+
+    time: float
+    node: int
+    kind: str  # "soft" | "hard"
+
+    @property
+    def is_hard(self) -> bool:
+        return self.kind == HARD
+
+
+class FailureInjector:
+    """Lazy generator of the cluster's failure schedule."""
+
+    def __init__(self, config: FailureConfig, n_nodes: int, rng: Optional[RngStreams] = None) -> None:
+        if n_nodes < 1:
+            raise ValueError("need at least one node")
+        self.config = config
+        self.n_nodes = n_nodes
+        self.rng = rng or RngStreams(config.seed)
+        lam_soft = n_nodes / config.mtbf_local
+        lam_hard = n_nodes / config.mtbf_remote
+        self.lambda_total = lam_soft + lam_hard
+        self.p_soft = lam_soft / self.lambda_total
+        self._clock = 0.0
+        self._pending: Optional[FailureEvent] = None
+        self.injected: List[FailureEvent] = []
+
+    def next_failure(self) -> FailureEvent:
+        """The next failure strictly after the previous one."""
+        if self._pending is not None:
+            ev, self._pending = self._pending, None
+        else:
+            gap = self.rng.exponential("failure.gap", 1.0 / self.lambda_total)
+            self._clock += gap
+            node = int(self.rng.stream("failure.node").integers(0, self.n_nodes))
+            kind = SOFT if self.rng.stream("failure.kind").random() < self.p_soft else HARD
+            ev = FailureEvent(time=self._clock, node=node, kind=kind)
+        self.injected.append(ev)
+        return ev
+
+    def peek(self) -> FailureEvent:
+        """Look at the next failure without consuming it."""
+        if self._pending is None:
+            self._pending = self.next_failure()
+            self.injected.pop()
+        return self._pending
+
+    def schedule_until(self, horizon: float) -> List[FailureEvent]:
+        """All failures up to *horizon* (pre-drawn; deterministic)."""
+        out: List[FailureEvent] = []
+        while self.peek().time <= horizon:
+            out.append(self.next_failure())
+        return out
+
+    def expected_failures(self, elapsed: float) -> float:
+        return elapsed * self.lambda_total
+
+    @property
+    def soft_count(self) -> int:
+        return sum(1 for e in self.injected if e.kind == SOFT)
+
+    @property
+    def hard_count(self) -> int:
+        return sum(1 for e in self.injected if e.kind == HARD)

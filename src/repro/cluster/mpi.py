@@ -1,0 +1,74 @@
+"""Minimal MPI-like coordination for the simulated application:
+a reusable barrier (coordinated checkpoints are barrier-synchronized
+across all ranks, as with mvapich2 collectives in the paper's runs).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import SimulationError
+from ..sim.engine import Engine
+from ..sim.events import Event
+
+__all__ = ["Barrier"]
+
+
+class Barrier:
+    """A cyclic barrier over *parties* simulated processes.
+
+    ``wait()`` returns an event that fires when the last party arrives;
+    the barrier then resets for the next generation.  ``break_all``
+    fails the current generation (failure recovery) so no waiter hangs.
+    """
+
+    def __init__(self, engine: Engine, parties: int, name: str = "barrier") -> None:
+        if parties < 1:
+            raise SimulationError("barrier needs at least one party")
+        self.engine = engine
+        self.parties = parties
+        self.name = name
+        self.generation = 0
+        self._arrived = 0
+        self._event: Optional[Event] = None
+
+    def wait(self) -> Event:
+        """Arrive at the barrier; yield the returned event."""
+        if self._event is None:
+            self._event = self.engine.event(name=f"{self.name}.gen{self.generation}")
+        self._arrived += 1
+        ev = self._event
+        if self._arrived >= self.parties:
+            self._release()
+        return ev
+
+    def _release(self) -> None:
+        ev = self._event
+        self._event = None
+        self._arrived = 0
+        self.generation += 1
+        assert ev is not None
+        ev.succeed(self.generation)
+
+    def break_all(self, exc: Optional[BaseException] = None) -> int:
+        """Fail the in-progress generation; returns how many parties
+        were waiting.  Used when a failure interrupts a coordinated
+        step."""
+        waiting = self._arrived
+        if self._event is not None and not self._event.triggered:
+            self._event.fail(exc or SimulationError(f"{self.name} broken"))
+        self._event = None
+        self._arrived = 0
+        self.generation += 1
+        return waiting
+
+    def reset(self, parties: Optional[int] = None) -> None:
+        """Reset arrivals (and optionally resize) for a fresh start;
+        any waiters are abandoned, so only call after killing them."""
+        if parties is not None:
+            if parties < 1:
+                raise SimulationError("barrier needs at least one party")
+            self.parties = parties
+        self._event = None
+        self._arrived = 0
+        self.generation += 1

@@ -1,0 +1,488 @@
+"""End-to-end experiment runner.
+
+Drives a built :class:`~repro.cluster.cluster.Cluster` through N
+application iterations with coordinated local checkpoints, background
+remote checkpointing, and (optionally) injected failures with full
+recovery:
+
+* **soft failure** — the node's volatile state dies; after a reboot
+  delay every rank reloads its committed checkpoint from node-local
+  NVM (transfers simulated on the NVM buses) and the run rolls back to
+  the last locally-committed iteration;
+* **hard failure** — the node is replaced with fresh hardware; its
+  ranks' state is fetched from the buddy's committed remote copies
+  over the fabric, survivors reload locally, and the run rolls back to
+  the last *remotely*-captured iteration (the K(I+t_lcl)/2 recompute
+  term of §III).
+
+Simulation-scale note: in cluster runs chunks are *phantom* (sizes and
+dirty state, no payloads) and soft restart reuses the in-memory rank
+objects, charging the restart transfers; the object-level
+crash-and-rebuild path is exercised by the functional API tests
+instead.  Timing, traffic and rollback behaviour — what the paper's
+evaluation measures — are fully simulated here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..config import FailureConfig, PrecopyPolicy
+from ..errors import ClusterError, ProcessKilled
+from ..metrics import timeline as tl
+from ..sim.rng import RngStreams
+from .cluster import Cluster
+from .failures import FailureEvent, FailureInjector
+from .mpi import Barrier
+from .node import ClusterNode, RankState
+
+__all__ = ["ClusterRunner", "RunResult"]
+
+#: seconds a node takes to reboot after a soft failure before it can
+#: fetch its checkpoint (OS + process respawn).
+SOFT_REBOOT_DELAY = 5.0
+#: seconds to provision a replacement node after a hard failure.
+HARD_REPLACE_DELAY = 30.0
+
+
+@dataclass
+class RunResult:
+    """Everything a benchmark needs from one run."""
+
+    app_name: str = ""
+    policy_mode: str = ""
+    remote_precopy: bool = False
+    n_ranks: int = 0
+    n_nodes: int = 0
+    iterations: int = 0
+    total_time: float = 0.0
+    #: pure-compute seconds per iteration (the app model's target)
+    compute_per_iteration: float = 0.0
+
+    # -- local checkpointing --
+    coordinated_bytes: int = 0
+    local_precopy_bytes: int = 0
+    total_nvm_bytes: int = 0
+    local_ckpt_time_avg: float = 0.0  # mean coordinated duration per rank-ckpt
+    local_ckpt_time_total: float = 0.0  # T_lcl averaged over ranks
+    local_checkpoints: int = 0
+    fault_time_total: float = 0.0
+
+    # -- remote checkpointing --
+    remote_rounds: int = 0
+    remote_round_bytes: int = 0
+    remote_precopy_bytes: int = 0
+    helper_utilization: float = 0.0
+    rounds_behind: int = 0
+
+    # -- fabric --
+    fabric_peak_window_bytes: float = 0.0
+    #: peak per-window volume of checkpoint traffic only (Fig. 10)
+    fabric_ckpt_peak_window_bytes: float = 0.0
+    fabric_app_bytes: float = 0.0
+    fabric_ckpt_bytes: float = 0.0
+    #: checkpoint-traffic bytes per window over the run (Fig. 10 series)
+    fabric_series: List[Tuple[float, float]] = field(default_factory=list)
+
+    # -- failures --
+    soft_failures: int = 0
+    hard_failures: int = 0
+    recovery_time: float = 0.0
+    iterations_recomputed: int = 0
+
+    timeline: object = None
+
+    @property
+    def ideal_time(self) -> float:
+        """Lower bound: compute only, no checkpoints/contention."""
+        return self.iterations * self.compute_per_iteration
+
+    def efficiency_vs(self, ideal: "RunResult") -> float:
+        """The paper's efficiency metric: ideal runtime / actual."""
+        if self.total_time <= 0:
+            return 0.0
+        return ideal.total_time / self.total_time
+
+    @property
+    def checkpoint_overhead_fraction(self) -> float:
+        """(actual - ideal) / ideal against the analytic lower bound."""
+        ideal = self.ideal_time
+        if ideal <= 0:
+            return 0.0
+        return (self.total_time - ideal) / ideal
+
+
+class ClusterRunner:
+    """Drives one cluster through one experiment."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        *,
+        local_checkpoints: bool = True,
+        failure_config: Optional[FailureConfig] = None,
+        fail_until_iteration: Optional[int] = None,
+        archive=None,
+    ) -> None:
+        if cluster.app is None or cluster.ckpt_config is None:
+            raise ClusterError("cluster must be built before running")
+        self.cluster = cluster
+        self.app = cluster.app
+        self.ckpt_config = cluster.ckpt_config
+        self.local_checkpoints = local_checkpoints
+        self.failure_config = failure_config
+        self.fail_until_iteration = fail_until_iteration
+        #: optional third-tier archiver (repro.core.archive.ArchiveTier)
+        self.archive = archive
+        self.injector: Optional[FailureInjector] = None
+        if failure_config is not None:
+            self.injector = FailureInjector(
+                failure_config,
+                len(cluster.active_nodes),
+                RngStreams(failure_config.seed),
+            )
+        self.barrier = Barrier(cluster.engine, cluster.n_ranks, name="ckpt-barrier")
+        self.committed_iteration = 0
+        self._committed_log: List[Tuple[float, int]] = [(0.0, 0)]
+        self.recovery_time = 0.0
+        self.iterations_recomputed = 0
+        self.soft_failures = 0
+        self.hard_failures = 0
+        self._end_time = None
+        self._bg_procs = []
+
+    # ------------------------------------------------------------------
+    # Public entry point.
+    # ------------------------------------------------------------------
+
+    def run(self, iterations: int) -> RunResult:
+        engine = self.cluster.engine
+        self._start_background()
+        job = engine.process(self._job(iterations), name="job")
+        # if the job dies (bug or unhandled failure), make sure the
+        # background timers stop so engine.run() can drain
+        job.add_callback(lambda ev: self._stop_background())
+        engine.run()
+        if not job.ok:
+            raise job.exception  # type: ignore[misc]
+        for proc in self._bg_procs:
+            if proc.triggered and not proc.ok and not isinstance(
+                proc.exception, ProcessKilled
+            ):
+                raise proc.exception  # a background helper died
+        return self._collect(iterations)
+
+    # ------------------------------------------------------------------
+    # Background machinery.
+    # ------------------------------------------------------------------
+
+    def _start_background(self) -> None:
+        engine = self.cluster.engine
+        if self.local_checkpoints:
+            for state in self.cluster.all_ranks():
+                state.checkpointer.start_background()
+        for node in self.cluster.active_nodes:
+            if node.helper is not None:
+                node.helper.start_background()
+                self._bg_procs.append(
+                    engine.process(node.helper.run(), name=f"{node.helper.owner}:rounds")
+                )
+        if self.archive is not None:
+            self._bg_procs.append(engine.process(self.archive.run(), name="archive"))
+
+    def _stop_background(self) -> None:
+        for state in self.cluster.all_ranks():
+            state.checkpointer.stop_background()
+        for node in self.cluster.active_nodes:
+            if node.helper is not None:
+                node.helper.stop()
+        if self.archive is not None:
+            self.archive.stop()
+
+    # ------------------------------------------------------------------
+    # The job loop.
+    # ------------------------------------------------------------------
+
+    def _job(self, iterations: int):
+        engine = self.cluster.engine
+        it = 0
+        while it < iterations:
+            procs = [
+                engine.process(self._segment(state, it), name=f"{state.rank}.it{it}")
+                for state in self.cluster.all_ranks()
+            ]
+            seg_done = engine.all_of(procs)
+            waits = [seg_done]
+            next_fail: Optional[FailureEvent] = None
+            if self.injector is not None and (
+                self.fail_until_iteration is None or it < self.fail_until_iteration
+            ):
+                next_fail = self.injector.peek()
+                if next_fail.time > engine.now:
+                    waits.append(engine.timeout(next_fail.time - engine.now))
+                # a failure "due" in the past fires immediately
+                else:
+                    waits.append(engine.timeout(0.0))
+            idx, _ = yield engine.any_of(waits)
+            if idx == 0:
+                it += 1
+                if self.local_checkpoints:
+                    self.committed_iteration = it
+                    self._committed_log.append((engine.now, it))
+            else:
+                assert next_fail is not None
+                self.injector.next_failure()  # consume the event
+                yield from self._handle_failure(next_fail, procs)
+                it = self.committed_iteration
+        # record the finish line *before* winding background timers
+        # down (their final timer ticks advance virtual time past the
+        # application's end otherwise)
+        self._end_time = self.cluster.engine.now
+        self._stop_background()
+        return it
+
+    def _segment(self, state: RankState, iteration: int):
+        """One rank's iteration: compute (+writes +communication), a
+        global barrier, then the coordinated local checkpoint."""
+        t0 = self.cluster.engine.now
+        yield from self.app.compute_iteration(state.binding, iteration)
+        self.cluster.timeline.record(
+            state.rank, tl.COMPUTE, t0, self.cluster.engine.now
+        )
+        yield self.barrier.wait()
+        if self.local_checkpoints:
+            yield from state.checkpointer.checkpoint()
+
+    # ------------------------------------------------------------------
+    # Failure handling.
+    # ------------------------------------------------------------------
+
+    def _handle_failure(self, ev: FailureEvent, procs):
+        engine = self.cluster.engine
+        t0 = engine.now
+        node = self.cluster.nodes[ev.node]
+        # stop the world: kill rank processes, break the barrier, tear
+        # down in-flight traffic
+        for p in procs:
+            p.kill()
+        self.barrier.reset()
+        for n in self.cluster.active_nodes:
+            n.ctx.nvm_bus.cancel_matching(None)
+        for lp in self.cluster.fabric.links:
+            lp.egress.cancel_matching(None)
+            lp.ingress.cancel_matching(None)
+        for state in self.cluster.all_ranks():
+            if state.checkpointer.precopy is not None:
+                state.checkpointer.precopy.pause()
+        if ev.kind == "soft":
+            self.soft_failures += 1
+            yield from self._recover_soft(node)
+            rollback = self.committed_iteration
+        else:
+            self.hard_failures += 1
+            rollback = yield from self._recover_hard(node)
+        self.iterations_recomputed += max(0, self.committed_iteration - rollback)
+        self.committed_iteration = rollback
+        # reset chunk dirty state: DRAM now matches the rollback point
+        for state in self.cluster.all_ranks():
+            for chunk in state.allocator.chunks():
+                fresh = chunk.committed_version < 0
+                chunk.dirty_local = fresh
+                chunk.dirty_remote = True
+                chunk.protected = not fresh
+                chunk.begin_interval()
+            if state.checkpointer.precopy is not None:
+                state.checkpointer.precopy.begin_interval()
+                state.checkpointer.precopy.resume()
+            state.checkpointer.last_checkpoint_end = engine.now
+        self.recovery_time += engine.now - t0
+        if self.cluster.timeline is not None:
+            self.cluster.timeline.record(f"n{ev.node}", tl.RESTART, t0, engine.now)
+
+    def _recover_soft(self, node: ClusterNode):
+        """Reboot + all ranks reload their committed local checkpoint."""
+        engine = self.cluster.engine
+        node.ctx.nvmm.store.crash()  # unflushed writes die with the node
+        yield engine.timeout(SOFT_REBOOT_DELAY)
+        factor = self.failure_config.local_restart_factor if self.failure_config else 1.0
+        fetches = []
+        for n in self.cluster.active_nodes:
+            for state in n.ranks:
+                fetches.append(
+                    n.ctx.nvm_bus.transfer(
+                        state.allocator.checkpoint_bytes * factor,
+                        tag=f"{state.rank}:restart",
+                    )
+                )
+        if fetches:
+            yield engine.all_of(fetches)
+
+    def _recover_hard(self, node: ClusterNode):
+        """Replace the node, refetch its ranks' state from the buddy,
+        survivors reload locally; roll back to the remote capture."""
+        from ..core.remote import RemoteHelper
+
+        engine = self.cluster.engine
+        # which iteration did the buddy last capture for this node?
+        rollback = 0
+        if node.helper is not None and node.helper.history:
+            last_start = node.helper.history[-1].start
+            for t, it in self._committed_log:
+                if t <= last_start:
+                    rollback = it
+        old_helper = node.helper
+        old_rank_indices = [s.rank_index for s in node.ranks]
+        buddy_id = old_helper.buddy_id if old_helper is not None else (node.node_id + 1) % len(
+            self.cluster.active_nodes
+        )
+        # stop machinery owned by the dead node
+        for state in node.ranks:
+            state.checkpointer.stop_background()
+        if old_helper is not None:
+            old_helper.stop()
+        # replacement hardware
+        yield engine.timeout(HARD_REPLACE_DELAY)
+        node.replace_hardware()
+        # rebuild ranks on the fresh node
+        for rank_index in old_rank_indices:
+            neighbors = [
+                n for n in self.cluster.topology.neighbors(node.node_id, degree=2)
+                if self.cluster.nodes[n].ranks
+            ]
+            node.add_rank(
+                rank_index,
+                self.app,
+                self.ckpt_config,
+                fabric=self.cluster.fabric,
+                neighbors=neighbors,
+                timeline=self.cluster.timeline,
+                phantom=True,
+            )
+        # fetch the dead node's state from the buddy; survivors reload locally
+        factor = self.failure_config.remote_restart_factor if self.failure_config else 1.0
+        fetches = []
+        for state in node.ranks:
+            fetches.append(
+                self.cluster.fabric.transfer(
+                    buddy_id,
+                    node.node_id,
+                    state.allocator.checkpoint_bytes * factor,
+                    tag=f"{state.rank}:rfetch",
+                )
+            )
+        for n in self.cluster.active_nodes:
+            if n is node:
+                continue
+            for state in n.ranks:
+                fetches.append(
+                    n.ctx.nvm_bus.transfer(
+                        state.allocator.checkpoint_bytes, tag=f"{state.rank}:restart"
+                    )
+                )
+        if fetches:
+            yield engine.all_of(fetches)
+        # new background machinery for the replacement node
+        if self.ckpt_config is not None and old_helper is not None:
+            node.helper = RemoteHelper(
+                node.node_id,
+                node.ctx,
+                self.cluster.fabric,
+                buddy_id,
+                self.cluster.nodes[buddy_id].ctx,
+                [s.allocator for s in node.ranks],
+                self.ckpt_config,
+                timeline=self.cluster.timeline,
+            )
+            node.helper.start_background()
+            self._bg_procs.append(
+                engine.process(node.helper.run(), name=f"{node.helper.owner}:rounds")
+            )
+            # the rebuilt checkpointers must feed the new helper's
+            # stream queue, like Cluster.build wired the originals
+            for state in node.ranks:
+                state.checkpointer.on_complete.append(
+                    self.cluster._make_local_ckpt_hook(node, state.rank)
+                )
+        if self.local_checkpoints:
+            for state in node.ranks:
+                state.checkpointer.start_background()
+        # helpers that used the dead node as their buddy lost their
+        # remote copies: re-point them at the replacement hardware
+        for n in self.cluster.active_nodes:
+            h = n.helper
+            if h is not None and h.buddy_id == node.node_id and n is not node:
+                from ..core.remote import RemoteTarget
+
+                h.buddy_ctx = node.ctx
+                h.targets = {
+                    a.pid: RemoteTarget(a.pid, node.ctx, two_versions=self.ckpt_config.two_versions)
+                    for a in h.ranks
+                }
+                # every remote copy on the dead buddy is gone:
+                # everything must be re-sent
+                h.enqueue_all()
+        return rollback
+
+    # ------------------------------------------------------------------
+    # Result collection.
+    # ------------------------------------------------------------------
+
+    def _collect(self, iterations: int) -> RunResult:
+        cluster = self.cluster
+        engine = cluster.engine
+        ranks = cluster.all_ranks()
+        n_ranks = len(ranks)
+        res = RunResult(
+            app_name=self.app.name,
+            policy_mode=self.ckpt_config.precopy.mode,
+            remote_precopy=self.ckpt_config.remote_precopy,
+            n_ranks=n_ranks,
+            n_nodes=len(cluster.active_nodes),
+            iterations=iterations,
+            total_time=engine.now if self._end_time is None else self._end_time,
+            compute_per_iteration=self.app.iteration_compute_time,
+            timeline=cluster.timeline,
+        )
+        # local
+        all_stats = [s for state in ranks for s in state.checkpointer.history]
+        res.local_checkpoints = len(all_stats)
+        res.coordinated_bytes = sum(state.checkpointer.total_coordinated_bytes for state in ranks)
+        res.local_precopy_bytes = sum(state.checkpointer.total_precopy_bytes for state in ranks)
+        res.total_nvm_bytes = res.coordinated_bytes + res.local_precopy_bytes
+        if all_stats:
+            res.local_ckpt_time_avg = sum(s.duration for s in all_stats) / len(all_stats)
+        res.local_ckpt_time_total = (
+            sum(state.checkpointer.total_checkpoint_time for state in ranks) / max(1, n_ranks)
+        )
+        res.fault_time_total = sum(state.binding.fault_time for state in ranks)
+        # remote
+        helpers = cluster.helpers()
+        res.remote_rounds = sum(len(h.history) for h in helpers)
+        res.remote_round_bytes = sum(h.total_round_bytes for h in helpers)
+        res.remote_precopy_bytes = sum(h.total_precopy_bytes for h in helpers)
+        res.rounds_behind = sum(h.rounds_behind for h in helpers)
+        t_end = engine.now if self._end_time is None else self._end_time
+        if helpers and t_end > 0:
+            res.helper_utilization = sum(
+                h.helper_utilization(t_end) for h in helpers
+            ) / len(helpers)
+        # fabric
+        CKPT_KINDS = ["rckpt", "rprecopy", "rfetch"]
+        res.fabric_peak_window_bytes = cluster.fabric.peak_window_usage(1.0, t_end)
+        res.fabric_ckpt_peak_window_bytes = cluster.fabric.peak_window_usage(
+            1.0, t_end, kinds=CKPT_KINDS
+        )
+        res.fabric_app_bytes = cluster.fabric.total_bytes(":app")
+        res.fabric_ckpt_bytes = (
+            cluster.fabric.total_bytes(":rckpt") + cluster.fabric.total_bytes(":rprecopy")
+        )
+        res.fabric_series = cluster.fabric.windowed_usage(
+            max(1.0, t_end / 200), t_end, kinds=CKPT_KINDS
+        )
+        # failures
+        res.soft_failures = self.soft_failures
+        res.hard_failures = self.hard_failures
+        res.recovery_time = self.recovery_time
+        res.iterations_recomputed = self.iterations_recomputed
+        return res

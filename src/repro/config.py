@@ -1,0 +1,327 @@
+"""Hardware and experiment parameter sets.
+
+The defaults encode the paper's assumptions:
+
+* Table I   — PCM vs DRAM latency/bandwidth (5-year Numonyx projection);
+* §VI       — 8 nodes x 12 x 2.8 GHz Xeon cores, 48 GB DRAM, 40 Gb/s IB,
+              half of DRAM partitioned off as emulated NVM;
+* §III/§VI  — failure-rate and checkpoint-interval choices (local
+              interval 40 s, remote 47-180 s, Dong et al. MTBF ranges).
+
+Everything is a frozen dataclass so that experiment sweeps construct
+variants with :func:`dataclasses.replace` rather than mutating shared
+state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from .units import (
+    GB,
+    GB_per_sec,
+    Gbit_per_sec,
+    PAGE_SIZE,
+    nsec,
+    usec,
+)
+
+__all__ = [
+    "DeviceConfig",
+    "DRAM_CONFIG",
+    "PCM_CONFIG",
+    "BandwidthModelConfig",
+    "RamdiskConfig",
+    "NodeConfig",
+    "InterconnectConfig",
+    "ClusterConfig",
+    "PrecopyPolicy",
+    "CheckpointConfig",
+    "FailureConfig",
+]
+
+
+# ---------------------------------------------------------------------------
+# Memory devices (Table I).
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DeviceConfig:
+    """Performance/capacity parameters of a memory device.
+
+    ``write_bandwidth`` is the *device* (die) bandwidth; the effective
+    per-core bandwidth under contention is derived by
+    :class:`repro.memory.bandwidth.CoreContentionModel`.
+    """
+
+    name: str
+    capacity: int
+    read_bandwidth: float  # bytes/s, device peak
+    write_bandwidth: float  # bytes/s, device peak
+    page_read_latency: float  # seconds, per-page
+    page_write_latency: float  # seconds, per-page
+    byte_addressable: bool = True
+    persistent: bool = False
+    #: writes per cell before wear-out (1e8 PCM vs 1e16 DRAM).
+    write_endurance: float = 1e16
+    #: energy per written bit, joules (PCM ~40x DRAM per the paper).
+    write_energy_per_bit: float = 1.0e-12
+    page_size: int = PAGE_SIZE
+
+    def scaled(self, write_bandwidth: float) -> "DeviceConfig":
+        """A copy of this device with a different peak write bandwidth
+        (used for NVM bandwidth sweeps in Figs. 7-9)."""
+        return replace(self, write_bandwidth=write_bandwidth)
+
+
+#: DRAM per Table I: ~8 GB/s write bandwidth, 20-50 ns page latencies.
+DRAM_CONFIG = DeviceConfig(
+    name="dram",
+    capacity=GB(24),  # half of the 48 GB node (other half emulates NVM)
+    read_bandwidth=GB_per_sec(8.0),
+    write_bandwidth=GB_per_sec(8.0),
+    page_read_latency=nsec(35.0),
+    page_write_latency=nsec(35.0),
+    persistent=False,
+    write_endurance=1e16,
+    write_energy_per_bit=1.0e-12,
+)
+
+#: PCM per Table I: ~2 GB/s write bandwidth, ~1 us page write, ~50 ns
+#: page read, 1e8 endurance, 40x DRAM write energy.
+PCM_CONFIG = DeviceConfig(
+    name="pcm",
+    capacity=GB(24),
+    read_bandwidth=GB_per_sec(8.0),  # reads comparable to DRAM (Table I)
+    write_bandwidth=GB_per_sec(2.0),
+    page_read_latency=nsec(50.0),
+    page_write_latency=usec(1.0),
+    persistent=True,
+    write_endurance=1e8,
+    write_energy_per_bit=40.0e-12,
+)
+
+
+# ---------------------------------------------------------------------------
+# Per-core bandwidth contention (Figure 4).
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BandwidthModelConfig:
+    """Calibration of the per-core effective-bandwidth contention curve.
+
+    Figure 4 (LANL parallel memcpy) shows per-core copy bandwidth
+    dropping ~67% from 1 to 12 concurrent processes even for 33 MB
+    blocks.  We model the device bus as processor sharing with
+
+    * a per-flow cap: one core drives at most ``single_core_fraction``
+      of the device's peak bandwidth (a single thread cannot saturate a
+      DDR bus);
+    * an interference term shrinking usable capacity with concurrency:
+      ``C_eff(n) = C / (1 + alpha * (n - 1))`` (bank conflicts, row
+      misses).
+
+    Per-core rate is ``min(single_core_fraction*C, C_eff(n)/n)``.  With
+    the defaults (0.25, 0.01) the 1->12-process per-core drop is ~70%,
+    matching Fig. 4's shape: flat up to ~4 writers, then ~1/n decay.
+    """
+
+    single_core_fraction: float = 0.25
+    alpha: float = 0.01
+    #: below this block size, per-transfer fixed overhead dominates.
+    small_block_overhead: float = usec(10.0)
+
+
+# ---------------------------------------------------------------------------
+# Ramdisk/VFS baseline cost model (§IV MADBench2 analysis).
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RamdiskConfig:
+    """Cost model of the ramdisk (tmpfs + VFS) checkpoint path vs the
+    in-memory (allocation + memcpy) path.
+
+    Calibrated against the paper's MADBench2 profiling (§IV): at
+    300 MB/core the ramdisk path is ~46% slower than the memcpy path,
+    executes ~3x more kernel synchronization calls, spends ~31% more
+    time waiting on kernel locks, and the gap *widens* with data size
+    (lock hold times grow with the cached file size, hence the
+    quadratic lock-wait term).
+    """
+
+    #: user->kernel transition per I/O syscall.
+    syscall_latency: float = usec(0.8)
+    #: write() granularity applications typically use on the I/O path.
+    io_block_size: int = 512 * 1024
+    #: VFS serialization (marshalling through the page cache): seconds
+    #: per byte of checkpoint data.
+    serialization_per_byte: float = 0.8 / GB(1)
+    #: kernel synchronization calls per I/O syscall on the VFS path
+    #: (vs 1 per block on the memory path) — the paper's '3x'.
+    sync_calls_per_io: int = 3
+    #: memory-path kernel overhead (minor faults on allocation),
+    #: seconds per byte.
+    memory_path_per_byte: float = 0.25 / GB(1)
+    #: quadratic VFS lock-wait coefficient, seconds per GB^2 (kernel
+    #: metadata lock hold times grow with cached file size).
+    lock_wait_quadratic: float = 0.92
+    #: lock-contention scaling with concurrent writers per node.
+    lock_contention_alpha: float = 0.02
+
+
+# ---------------------------------------------------------------------------
+# Nodes and cluster (§VI methodology).
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class NodeConfig:
+    """One compute node: cores + DRAM + node-local NVM."""
+
+    cores: int = 12
+    core_ghz: float = 2.8
+    dram: DeviceConfig = DRAM_CONFIG
+    nvm: DeviceConfig = PCM_CONFIG
+    bandwidth_model: BandwidthModelConfig = BandwidthModelConfig()
+
+
+@dataclass(frozen=True)
+class InterconnectConfig:
+    """Fabric parameters (40 Gb/s InfiniBand in the paper)."""
+
+    link_bandwidth: float = Gbit_per_sec(40.0)
+    rdma_latency: float = usec(2.0)
+    #: per-message setup cost charged to the initiating CPU.
+    message_overhead: float = usec(1.0)
+    #: usable fraction of line rate (protocol efficiency).
+    efficiency: float = 0.9
+
+    @property
+    def effective_bandwidth(self) -> float:
+        """Usable bytes/second on one link."""
+        return self.link_bandwidth * self.efficiency
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """The evaluation testbed: 8 nodes, 12 cores each, 40 Gb/s IB."""
+
+    nodes: int = 8
+    node: NodeConfig = NodeConfig()
+    interconnect: InterconnectConfig = InterconnectConfig()
+    #: racks for buddy placement (remote checkpoints go cross-rack).
+    racks: int = 2
+
+    @property
+    def total_cores(self) -> int:
+        return self.nodes * self.node.cores
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint policies (§IV).
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PrecopyPolicy:
+    """Which pre-copy variant the runtime runs.
+
+    * ``NONE``  — blocking checkpoint only (the 'no pre-copy' baseline);
+    * ``CPC``   — chunk pre-copy from the start of each interval;
+    * ``DCPC``  — delayed chunk pre-copy (threshold ``T_p = I - D/BW``);
+    * ``DCPCP`` — delayed pre-copy with the per-chunk prediction table.
+    """
+
+    NONE = "none"
+    CPC = "cpc"
+    DCPC = "dcpc"
+    DCPCP = "dcpcp"
+
+    mode: str = "dcpcp"
+    #: dirty-tracking granularity: "chunk" (the paper's design) or
+    #: "page" (the strawman §IV rejects: every written page faults,
+    #: ~3 s of fault handling per GB of fully-rewritten data).
+    granularity: str = "chunk"
+    #: safety margin multiplier on the computed copy time T_c when
+    #: deriving the threshold T_p (adapts for estimate error).
+    threshold_margin: float = 1.25
+    #: exponential smoothing factor for interval/size re-estimation.
+    adapt_smoothing: float = 0.5
+    #: cost charged per protection fault (paper: 6-12 usec).
+    fault_cost: float = usec(9.0)
+
+    def __post_init__(self) -> None:
+        valid = {self.NONE, self.CPC, self.DCPC, self.DCPCP}
+        if self.mode not in valid:
+            raise ValueError(f"unknown pre-copy mode {self.mode!r}; expected one of {sorted(valid)}")
+        if self.granularity not in ("chunk", "page"):
+            raise ValueError(f"unknown granularity {self.granularity!r}")
+
+
+@dataclass(frozen=True)
+class CheckpointConfig:
+    """Intervals, versioning and remote policy for a run."""
+
+    #: seconds between coordinated local checkpoints (paper uses 40 s).
+    local_interval: float = 40.0
+    #: seconds between remote checkpoints (paper sweeps 47-180 s).
+    remote_interval: float = 120.0
+    precopy: PrecopyPolicy = PrecopyPolicy()
+    #: pre-copy for the *remote* stream too (the paper's remote design).
+    remote_precopy: bool = True
+    #: keep two versions (committed + in-progress); if False, single
+    #: version locally and failures fetch from the remote copy.
+    two_versions: bool = True
+    #: store/verify per-chunk checksums (optional feature, §V).
+    checksums: bool = True
+    #: dedicated helper core for the asynchronous remote process.
+    helper_core: bool = True
+
+
+# ---------------------------------------------------------------------------
+# Failure model (§III / §VI).
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FailureConfig:
+    """Exponential failure injection split into soft (local-recoverable)
+    and hard (remote-recovery) failures.
+
+    The ASCI-Q observation in the paper: ~64% of failures are soft.
+    ``mtbf_local``/``mtbf_remote`` are per-*node* MTBFs in seconds.
+    """
+
+    mtbf_local: float = 3600.0
+    mtbf_remote: float = 14400.0
+    #: restart fetch times are proportional to checkpoint times (§III);
+    #: these multipliers express that proportionality.
+    local_restart_factor: float = 1.0
+    remote_restart_factor: float = 1.0
+    seed: int = 0x5EED
+
+    @property
+    def soft_fraction(self) -> float:
+        """Fraction of failures that are soft, implied by the two rates."""
+        lam_l = 1.0 / self.mtbf_local
+        lam_r = 1.0 / self.mtbf_remote
+        return lam_l / (lam_l + lam_r)
+
+    @staticmethod
+    def from_rates(
+        lambda_total: float, soft_fraction: float = 0.64, seed: int = 0x5EED
+    ) -> "FailureConfig":
+        """Build from a total failure rate and a soft-failure share
+        (defaults to the paper's 64% ASCI-Q soft-error fraction)."""
+        if not 0.0 < soft_fraction < 1.0:
+            raise ValueError("soft_fraction must be in (0, 1)")
+        if lambda_total <= 0.0:
+            raise ValueError("lambda_total must be positive")
+        lam_l = lambda_total * soft_fraction
+        lam_r = lambda_total * (1.0 - soft_fraction)
+        return FailureConfig(
+            mtbf_local=1.0 / lam_l, mtbf_remote=1.0 / lam_r, seed=seed
+        )

@@ -1,0 +1,110 @@
+"""Online checkpoint-interval tuning (extension).
+
+The paper takes its intervals from Dong et al.'s offline estimates
+(30-100 s).  This component closes the loop at runtime: it estimates
+the failure rate from *observed* failures (exponential MLE with a
+prior, so the estimate is sane before the first failure) and the
+checkpoint cost from *measured* coordinated-step durations, then
+recommends Young's optimum ``I* = sqrt(2 * t_ckpt * MTBF)`` (or Daly's
+refinement), clamped to a configurable band.
+
+Use it standalone or wire ``observe_checkpoint`` /
+``observe_failure`` into a run loop and re-read
+``recommended_interval()`` each interval.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..models.optimal import daly_interval, young_interval
+
+__all__ = ["IntervalTuner"]
+
+
+class IntervalTuner:
+    """Adaptive checkpoint-interval recommendation."""
+
+    def __init__(
+        self,
+        initial_interval: float,
+        *,
+        prior_mtbf: float = 3600.0,
+        prior_weight: float = 1.0,
+        min_interval: float = 5.0,
+        max_interval: float = 600.0,
+        smoothing: float = 0.3,
+        use_daly: bool = False,
+    ) -> None:
+        if initial_interval <= 0:
+            raise ValueError("initial_interval must be positive")
+        if not 0.0 < smoothing <= 1.0:
+            raise ValueError("smoothing must be in (0, 1]")
+        if min_interval <= 0 or max_interval < min_interval:
+            raise ValueError("need 0 < min_interval <= max_interval")
+        self.interval = initial_interval
+        self.prior_mtbf = prior_mtbf
+        self.prior_weight = prior_weight
+        self.min_interval = min_interval
+        self.max_interval = max_interval
+        self.smoothing = smoothing
+        self.use_daly = use_daly
+        self._ckpt_cost: Optional[float] = None
+        self.failures: List[float] = []
+        self._observed_time = 0.0
+
+    # ------------------------------------------------------------------
+    # Observations.
+    # ------------------------------------------------------------------
+
+    def observe_checkpoint(self, duration: float) -> None:
+        """Fold one measured coordinated-checkpoint duration in."""
+        if duration <= 0:
+            return
+        if self._ckpt_cost is None:
+            self._ckpt_cost = duration
+        else:
+            s = self.smoothing
+            self._ckpt_cost = s * duration + (1 - s) * self._ckpt_cost
+
+    def observe_failure(self, now: float) -> None:
+        """Record a failure at virtual time *now*."""
+        self.failures.append(now)
+        self._observed_time = max(self._observed_time, now)
+
+    def observe_progress(self, now: float) -> None:
+        """Record failure-free progress up to *now* (keeps the MTBF
+        estimate honest when nothing goes wrong)."""
+        self._observed_time = max(self._observed_time, now)
+
+    # ------------------------------------------------------------------
+    # Estimates.
+    # ------------------------------------------------------------------
+
+    @property
+    def checkpoint_cost(self) -> Optional[float]:
+        return self._ckpt_cost
+
+    def mtbf_estimate(self) -> float:
+        """Bayesian-flavoured exponential MLE: the prior contributes
+        ``prior_weight`` pseudo-failures over ``prior_weight *
+        prior_mtbf`` pseudo-time, so the estimate starts at the prior
+        and converges to observed elapsed/failures."""
+        pseudo_failures = self.prior_weight + len(self.failures)
+        pseudo_time = self.prior_weight * self.prior_mtbf + self._observed_time
+        return pseudo_time / pseudo_failures
+
+    def recommended_interval(self) -> float:
+        """Young/Daly optimum from the current estimates, clamped."""
+        if self._ckpt_cost is None:
+            return self.interval
+        mtbf = self.mtbf_estimate()
+        if self.use_daly:
+            target = daly_interval(self._ckpt_cost, mtbf)
+        else:
+            target = young_interval(self._ckpt_cost, mtbf)
+        target = min(self.max_interval, max(self.min_interval, target))
+        # smooth the applied interval so the schedule does not thrash
+        s = self.smoothing
+        self.interval = s * target + (1 - s) * self.interval
+        return self.interval

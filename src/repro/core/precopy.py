@@ -1,0 +1,314 @@
+"""The background chunk pre-copy engine (CPC / DCPC / DCPCP, §IV).
+
+One engine instance serves one checkpoint *stream* ("local": DRAM->NVM
+through the node's NVM bus; "remote": NVM->buddy over the fabric, used
+by the remote helper).  It runs as a DES process that continuously:
+
+1. finds a dirty, *eligible* chunk — eligibility depends on the policy
+   (CPC: any dirty chunk; DCPC: only after the learned threshold
+   ``T_p`` within the interval; DCPCP: additionally only once the
+   prediction table expects no further modifications);
+2. moves it through the injected transfer function (bus/fabric
+   contention is charged there);
+3. marks the chunk pre-copied: clean for this stream + write-protected,
+   so the next application write faults and re-dirties it.
+
+A copy that races with an application write is *stale*: the chunk
+stays dirty and the moved bytes count as redundant work (the extra
+data volume visible in Fig. 7's right axis).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional
+
+from ..alloc.chunk import Chunk, ChunkState
+from ..config import PrecopyPolicy
+from ..errors import SimulationError, TransferCancelled
+from ..sim.events import Event
+from .context import NodeContext
+from .prediction import PredictionTable
+from .threshold import ThresholdEstimator
+
+__all__ = ["PrecopyEngine", "PrecopyStats"]
+
+
+@dataclass
+class PrecopyStats:
+    """Work accounting for one pre-copy engine."""
+
+    bytes_copied: int = 0
+    copies: int = 0
+    stale_copies: int = 0  # overwritten mid-copy
+    redundant_copies: int = 0  # re-dirtied after a completed pre-copy
+    faults_induced: int = 0
+
+    @property
+    def wasted_bytes_estimate(self) -> int:
+        total = self.stale_copies + self.redundant_copies
+        if self.copies == 0:
+            return 0
+        return int(self.bytes_copied * total / self.copies)
+
+
+class PrecopyEngine:
+    """Background pre-copy worker for one rank (local stream) or one
+    node helper (remote stream)."""
+
+    def __init__(
+        self,
+        ctx: NodeContext,
+        chunks: Callable[[], Iterable[Chunk]],
+        policy: PrecopyPolicy,
+        *,
+        stream: str = "local",
+        tag: str = "precopy",
+        transfer_fn: Optional[Callable[[Chunk], Event]] = None,
+        finalize_fn: Optional[Callable[[Chunk], None]] = None,
+        threshold: Optional[ThresholdEstimator] = None,
+        prediction: Optional[PredictionTable] = None,
+    ) -> None:
+        if stream not in ("local", "remote"):
+            raise ValueError(f"unknown stream {stream!r}")
+        self.ctx = ctx
+        self._chunks = chunks
+        self.policy = policy
+        self.stream = stream
+        self.tag = tag
+        self._transfer_fn = transfer_fn or self._default_transfer
+        self._finalize_fn = finalize_fn or self._default_finalize
+        self.threshold = threshold
+        self.prediction = prediction
+        if policy.mode == PrecopyPolicy.DCPC and threshold is None:
+            raise SimulationError("DCPC requires a ThresholdEstimator")
+        if policy.mode == PrecopyPolicy.DCPCP and prediction is None:
+            raise SimulationError("DCPCP requires a PredictionTable")
+        # DCPCP may run without a threshold (prediction-only gating):
+        # the remote stream uses this to spread transfers across the
+        # whole interval instead of compressing them into the tail.
+
+        self.stats = PrecopyStats()
+        self.interval_start = ctx.engine.now
+        self._running = False
+        self._paused = False
+        self._stop_requested = False
+        self._wake: Optional[Event] = None
+        self._resume: Optional[Event] = None
+        #: chunks pre-copied this interval and not re-dirtied yet
+        self._pending_clean: Dict[int, Chunk] = {}
+        self._wired: set[int] = set()
+        #: dirty-candidate index so eligibility scans touch only dirty
+        #: chunks, not the whole chunk table (stale entries are dropped
+        #: lazily — e.g. chunks cleaned by the coordinated step)
+        self._dirty: Dict[int, Chunk] = {}
+        self._inflight_chunk: Optional[Chunk] = None
+        self._inflight_done: Optional[Event] = None
+
+    # ------------------------------------------------------------------
+    # Wiring into chunk dirty events.
+    # ------------------------------------------------------------------
+
+    def wire_chunks(self) -> None:
+        """Attach dirty observers to every current chunk (idempotent;
+        call again after new allocations)."""
+        for chunk in self._chunks():
+            if chunk.chunk_id in self._wired:
+                continue
+            chunk.on_dirty.append(self._on_dirty)
+            self._wired.add(chunk.chunk_id)
+            if chunk.persistent and self._is_dirty(chunk):
+                self._dirty[chunk.chunk_id] = chunk
+
+    def _on_dirty(self, chunk: Chunk, now: float) -> None:
+        if chunk.persistent:
+            self._dirty[chunk.chunk_id] = chunk
+        if self.prediction is not None:
+            self.prediction.observe(chunk)
+        pending = self._pending_clean.pop(chunk.chunk_id, None)
+        if pending is not None:
+            # a completed pre-copy turned out redundant
+            self.stats.redundant_copies += 1
+            self.stats.faults_induced += 1
+            if self.prediction is not None:
+                self.prediction.record_outcome(chunk, was_redundant=True)
+        self._kick()
+
+    def _kick(self) -> None:
+        if self._wake is not None and not self._wake.triggered:
+            self._wake.succeed()
+            self._wake = None
+
+    # ------------------------------------------------------------------
+    # Interval lifecycle (driven by the checkpoint coordinator).
+    # ------------------------------------------------------------------
+
+    def begin_interval(self) -> None:
+        """New compute interval starts now: reset prediction walk,
+        settle prediction outcomes for still-clean pre-copies."""
+        self.interval_start = self.ctx.engine.now
+        for chunk in self._pending_clean.values():
+            if self.prediction is not None:
+                self.prediction.record_outcome(chunk, was_redundant=False)
+        self._pending_clean.clear()
+        if self.prediction is not None:
+            self.prediction.begin_interval()
+        for chunk in self._chunks():
+            chunk.begin_interval()
+        self._kick()
+
+    def pause(self) -> None:
+        """Suspend background copying (entered for the coordinated
+        checkpoint so pre-copy does not compete for the bus)."""
+        self._paused = True
+
+    def resume(self) -> None:
+        self._paused = False
+        if self._resume is not None and not self._resume.triggered:
+            self._resume.succeed()
+            self._resume = None
+        self._kick()
+
+    def drain(self):
+        """Generator: wait for the in-flight copy (if any) to finish.
+        Call after :meth:`pause` so a coordinated step never races a
+        background copy of the same chunk."""
+        if self._inflight_done is not None:
+            yield self._inflight_done
+
+    def stop(self) -> None:
+        self._stop_requested = True
+        self._kick()
+        if self._resume is not None and not self._resume.triggered:
+            self._resume.succeed()
+            self._resume = None
+
+    # ------------------------------------------------------------------
+    # Eligibility.
+    # ------------------------------------------------------------------
+
+    def _is_dirty(self, chunk: Chunk) -> bool:
+        return chunk.dirty_local if self.stream == "local" else chunk.dirty_remote
+
+    def threshold_time(self) -> float:
+        """Absolute time at which delayed pre-copy may start this
+        interval.  CPC starts immediately; DCPC/DCPCP never pre-copy
+        during the learning interval ('our method waits for the first
+        checkpoint step to complete', §IV) — hence +inf until the
+        estimator has one observation.  A DCPCP engine without a
+        threshold estimator is prediction-gated only."""
+        if self.policy.mode == PrecopyPolicy.CPC or self.threshold is None:
+            return self.interval_start
+        if not self.threshold.learned:
+            return float("inf")
+        return self.interval_start + self.threshold.threshold()
+
+    def _eligible(self, chunk: Chunk, now: float) -> bool:
+        if not chunk.persistent or not self._is_dirty(chunk):
+            return False
+        if chunk.get_state(self.stream) is not ChunkState.IDLE:
+            return False
+        if self.policy.mode == PrecopyPolicy.NONE:
+            return False
+        if self.policy.mode == PrecopyPolicy.CPC:
+            return True
+        if now + 1e-12 < self.threshold_time():
+            return False
+        if self.policy.mode == PrecopyPolicy.DCPCP and self.prediction is not None:
+            return self.prediction.eligible(chunk)
+        return True
+
+    def _next_eligible(self, now: float) -> Optional[Chunk]:
+        # largest dirty chunk first: big chunks benefit most from being
+        # out of the coordinated step (Table IV analysis)
+        best: Optional[Chunk] = None
+        stale = []
+        for cid, chunk in self._dirty.items():
+            if not self._is_dirty(chunk):
+                stale.append(cid)
+                continue
+            if self._eligible(chunk, now) and (best is None or chunk.nbytes > best.nbytes):
+                best = chunk
+        for cid in stale:
+            del self._dirty[cid]
+        return best
+
+    # ------------------------------------------------------------------
+    # Default local-stream transfer.
+    # ------------------------------------------------------------------
+
+    def _default_transfer(self, chunk: Chunk) -> Event:
+        return self.ctx.copy_to_nvm(chunk.nbytes, tag=self.tag)
+
+    def _default_finalize(self, chunk: Chunk) -> None:
+        chunk.stage_to_nvm()
+
+    # ------------------------------------------------------------------
+    # Main loop (DES process body).
+    # ------------------------------------------------------------------
+
+    def run(self):
+        """Generator process: run until :meth:`stop`."""
+        if self._running:
+            raise SimulationError("pre-copy engine already running")
+        self._running = True
+        engine = self.ctx.engine
+        self.wire_chunks()
+        try:
+            while not self._stop_requested:
+                if self._paused:
+                    self._resume = engine.event("precopy.resume")
+                    yield self._resume
+                    continue
+                now = engine.now
+                chunk = self._next_eligible(now)
+                if chunk is None:
+                    # sleep until a dirty event, or until the threshold
+                    # boundary if one is pending
+                    self._wake = engine.event("precopy.wake")
+                    t_thresh = self.threshold_time()
+                    waits: List[Event] = [self._wake]
+                    if (
+                        now < t_thresh < float("inf")
+                        and any(self._is_dirty(c) for c in self._dirty.values())
+                    ):
+                        waits.append(engine.timeout(t_thresh - now))
+                    yield engine.any_of(waits)
+                    self._wake = None
+                    continue
+                yield from self._copy_one(chunk)
+        finally:
+            self._running = False
+        return self.stats
+
+    def _copy_one(self, chunk: Chunk):
+        mods_before = chunk.total_mods
+        chunk.set_state(self.stream, ChunkState.PRECOPYING)
+        self._inflight_chunk = chunk
+        self._inflight_done = self.ctx.engine.event("precopy.inflight")
+        cancelled = False
+        try:
+            yield self._transfer_fn(chunk)
+        except TransferCancelled:
+            # a failure tore the flow down; the chunk stays dirty and
+            # the engine moves on (it may retry after recovery)
+            cancelled = True
+        finally:
+            chunk.set_state(self.stream, ChunkState.IDLE)
+            self._inflight_chunk = None
+            self._inflight_done.succeed()
+            self._inflight_done = None
+        if cancelled:
+            self.stats.stale_copies += 1
+            return
+        self.stats.copies += 1
+        self.stats.bytes_copied += chunk.nbytes
+        if chunk.total_mods != mods_before:
+            # torn copy: application wrote during the transfer
+            self.stats.stale_copies += 1
+            if self.prediction is not None:
+                self.prediction.record_outcome(chunk, was_redundant=True)
+            return
+        self._finalize_fn(chunk)
+        chunk.mark_precopied(self.stream)
+        self._pending_clean[chunk.chunk_id] = chunk

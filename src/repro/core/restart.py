@@ -1,0 +1,245 @@
+"""Restart/recovery (§V restart component).
+
+Two paths, matching the failure model of §III:
+
+* **local restart** (soft failure — process/OS crash, node survives):
+  rebuild the process from its node-local NVM metadata, verify each
+  committed chunk's checksum, and load the data back into fresh DRAM
+  working copies.  Chunks that fail verification (or never committed
+  locally) are fetched from the buddy's remote copy.
+* **remote restart** (hard failure — node unusable, local NVM
+  inaccessible): rebuild the whole process on a replacement node
+  entirely from the buddy's committed remote versions via RDMA reads.
+
+Timing: NVM reads are near-DRAM speed (Table I) but still flow through
+the node's NVM bus; remote fetches ride the fabric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..alloc.nvmalloc import NVAllocator
+from ..errors import ChecksumMismatch, NoCheckpointAvailable
+from ..metrics import timeline as tl
+from ..metrics.timeline import Timeline
+from ..net.interconnect import Fabric
+from ..net.rdma import rdma_get
+from .context import NodeContext
+from .remote import RemoteTarget
+
+__all__ = ["RestartManager", "RestartReport"]
+
+
+@dataclass
+class RestartReport:
+    """What one restart did."""
+
+    pid: str
+    start: float = 0.0
+    end: float = 0.0
+    chunks_local: int = 0
+    #: of chunks_local, how many stayed NVM-resident (lazy restart)
+    chunks_lazy: int = 0
+    chunks_remote: int = 0
+    bytes_local: int = 0
+    bytes_remote: int = 0
+    corrupted_chunks: List[str] = field(default_factory=list)
+    allocator: Optional[NVAllocator] = None
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class RestartManager:
+    """Rebuilds processes after failures."""
+
+    def __init__(
+        self,
+        ctx: NodeContext,
+        *,
+        fabric: Optional[Fabric] = None,
+        node_id: Optional[int] = None,
+        timeline: Optional[Timeline] = None,
+    ) -> None:
+        self.ctx = ctx
+        self.fabric = fabric
+        self.node_id = node_id
+        self.timeline = timeline
+
+    # ------------------------------------------------------------------
+    # Soft failure: restart from local NVM, remote as fallback.
+    # ------------------------------------------------------------------
+
+    def restart_process(
+        self,
+        pid: str,
+        *,
+        remote_target: Optional[RemoteTarget] = None,
+        remote_node: Optional[int] = None,
+        two_versions: bool = True,
+        clock=None,
+        lazy: bool = False,
+    ):
+        """Generator process: local restart of *pid*.
+
+        Chunks whose committed local version verifies are read back
+        from node NVM; the rest fall back to the buddy (requires
+        ``remote_target`` + ``remote_node`` + a fabric).  Returns a
+        :class:`RestartReport` with the rebuilt allocator attached.
+
+        With ``lazy=True`` (the §IV shadow-buffer read path / §VIII
+        recovery optimization), verified chunks are *not* copied back:
+        they stay NVM-resident, the application reads them in place at
+        near-DRAM speed, and each chunk migrates to DRAM on its first
+        write.  Restart time then covers only verification, and the
+        copy cost is spread over the first compute interval.
+        """
+        engine = self.ctx.engine
+        report = RestartReport(pid=pid, start=engine.now)
+        if self.timeline is not None:
+            self.timeline.begin(pid, tl.RESTART, engine.now)
+        try:
+            alloc = NVAllocator.restart(
+                pid,
+                self.ctx.nvmm,
+                self.ctx.dram,
+                two_versions=two_versions,
+                clock=clock or (lambda: engine.now),
+                load_data=False,
+            )
+            for chunk in alloc.persistent_chunks():
+                ok = chunk.committed_version >= 0 and chunk.verify_checksum()
+                if ok:
+                    if lazy:
+                        # no copy, but the checksum verification still
+                        # reads the chunk once; NVM reads run ~4x the
+                        # write rate (Table I), charged on the bus
+                        yield self.ctx.nvm_bus.transfer(
+                            chunk.nbytes / 4, tag=f"{pid}:restart-verify"
+                        )
+                        chunk.restore_lazy()
+                        report.chunks_lazy += 1
+                    else:
+                        yield self.ctx.nvm_bus.transfer(
+                            chunk.nbytes, tag=f"{pid}:restart"
+                        )
+                        chunk.restore_from_committed()
+                        # DRAM now equals the committed version: clean
+                        # for the local stream, protected so the next
+                        # write faults; the remote copy may be stale,
+                        # so leave the remote bit dirty
+                        chunk.dirty_local = False
+                        chunk.protected = True
+                        report.bytes_local += chunk.nbytes
+                    report.chunks_local += 1
+                    continue
+                if chunk.committed_version >= 0:
+                    report.corrupted_chunks.append(chunk.name)
+                yield from self._fetch_remote(chunk, pid, remote_target, remote_node, report)
+            report.allocator = alloc
+        finally:
+            if self.timeline is not None:
+                self.timeline.end(pid, tl.RESTART, engine.now)
+        report.end = engine.now
+        return report
+
+    def _fetch_remote(self, chunk, pid, remote_target, remote_node, report):
+        if remote_target is None or self.fabric is None or remote_node is None or self.node_id is None:
+            raise NoCheckpointAvailable(
+                f"chunk {chunk.name!r} of {pid!r} has no usable local version and "
+                "no remote target was provided"
+            )
+        if chunk.name not in remote_target.committed or remote_target.committed[chunk.name] < 0:
+            raise NoCheckpointAvailable(
+                f"chunk {chunk.name!r} of {pid!r} is not committed on the buddy either"
+            )
+        yield rdma_get(
+            self.fabric,
+            remote_node,
+            self.node_id,
+            chunk.nbytes,
+            tag=f"{pid}:rfetch",
+            src_nvm_bus=remote_target.dst_ctx.nvm_bus,
+        )
+        payload = remote_target.fetch(chunk.name)
+        if not chunk.phantom:
+            if chunk.dram is None or len(chunk.dram) != chunk.nbytes:
+                chunk.dram = np.zeros(chunk.nbytes, dtype=np.uint8)
+            chunk.dram[:] = payload
+        # the recovered data is not yet persisted locally: dirty it so
+        # the next local checkpoint re-establishes the local copy
+        chunk.dirty_local = True
+        chunk.dirty_remote = False
+        report.chunks_remote += 1
+        report.bytes_remote += chunk.nbytes
+
+    def restart_process_sync(self, pid: str, **kwargs) -> RestartReport:
+        """Run :meth:`restart_process` on this context's own engine."""
+        proc = self.ctx.engine.process(self.restart_process(pid, **kwargs), name=f"{pid}:restart")
+        self.ctx.engine.run()
+        return proc.value
+
+    # ------------------------------------------------------------------
+    # Hard failure: rebuild on a replacement node from the buddy only.
+    # ------------------------------------------------------------------
+
+    def restart_from_remote(
+        self,
+        pid: str,
+        remote_target: RemoteTarget,
+        remote_node: int,
+        *,
+        two_versions: bool = True,
+        phantom: bool = False,
+        clock=None,
+    ):
+        """Generator process: rebuild *pid* on this (replacement) node
+        purely from the buddy's committed copies.  Returns a
+        :class:`RestartReport`; every chunk counts as remote."""
+        engine = self.ctx.engine
+        report = RestartReport(pid=pid, start=engine.now)
+        if self.fabric is None or self.node_id is None:
+            raise NoCheckpointAvailable("remote restart requires a fabric and node id")
+        if self.timeline is not None:
+            self.timeline.begin(pid, tl.RESTART, engine.now)
+        try:
+            names = remote_target.committed_chunks()
+            if not names:
+                raise NoCheckpointAvailable(f"buddy holds no committed chunks for {pid!r}")
+            alloc = NVAllocator(
+                pid,
+                self.ctx.nvmm,
+                self.ctx.dram,
+                two_versions=two_versions,
+                phantom=phantom,
+                clock=clock or (lambda: engine.now),
+            )
+            for name in names:
+                size = remote_target.sizes[name]
+                chunk = alloc.nvalloc(name, size, pflag=True)
+                yield rdma_get(
+                    self.fabric,
+                    remote_node,
+                    self.node_id,
+                    size,
+                    tag=f"{pid}:rfetch",
+                    src_nvm_bus=remote_target.dst_ctx.nvm_bus,
+                )
+                payload = remote_target.fetch(name)
+                if not chunk.phantom:
+                    chunk.write(0, payload)
+                else:
+                    chunk.touch()
+                report.chunks_remote += 1
+                report.bytes_remote += size
+            report.allocator = alloc
+        finally:
+            if self.timeline is not None:
+                self.timeline.end(pid, tl.RESTART, engine.now)
+        report.end = engine.now
+        return report

@@ -1,0 +1,128 @@
+"""Exception hierarchy for the NVM-checkpoints reproduction.
+
+Every library-raised error derives from :class:`ReproError` so callers
+can catch the whole family; fine-grained subclasses mirror the failure
+surfaces of the real system (allocation, persistence, checkpointing,
+simulation misuse).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+# ---------------------------------------------------------------------------
+# Simulation engine errors.
+# ---------------------------------------------------------------------------
+
+
+class SimulationError(ReproError):
+    """Misuse of, or an inconsistency inside, the discrete-event engine."""
+
+
+class ProcessKilled(SimulationError):
+    """Injected into a simulated process when it is forcibly terminated
+    (e.g. by a node failure).  Processes normally do not catch this."""
+
+
+class TransferCancelled(SimulationError):
+    """An in-flight bandwidth flow was aborted (node failure tore down
+    the traffic).  Background engines catch this and carry on."""
+
+
+# ---------------------------------------------------------------------------
+# Memory substrate errors.
+# ---------------------------------------------------------------------------
+
+
+class MemoryError_(ReproError):
+    """Base class for emulated-memory errors (named with a trailing
+    underscore to avoid shadowing the builtin)."""
+
+
+class OutOfMemory(MemoryError_):
+    """A device (DRAM or NVM) ran out of capacity."""
+
+
+class ProtectionFault(MemoryError_):
+    """A write hit a write-protected page/chunk.
+
+    In the real system this is a SIGSEGV handled by the runtime; here the
+    write barrier raises it so that the tracking layer can observe and
+    charge the fault, then unprotect and retry.
+    """
+
+    def __init__(self, message: str, chunk_id: int | None = None) -> None:
+        super().__init__(message)
+        self.chunk_id = chunk_id
+
+
+class InvalidAddress(MemoryError_):
+    """Access outside a mapped region."""
+
+
+class PersistenceError(MemoryError_):
+    """The file-backed persistent store is corrupt or unreadable."""
+
+
+# ---------------------------------------------------------------------------
+# Allocator errors.
+# ---------------------------------------------------------------------------
+
+
+class AllocationError(ReproError):
+    """nvmalloc-level failure (bad size, duplicate id, unknown id...)."""
+
+
+class DuplicateChunkId(AllocationError):
+    """A chunk id was allocated twice without an intervening delete."""
+
+
+class UnknownChunkId(AllocationError):
+    """Lookup of a chunk id that was never allocated (or was deleted)."""
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint/restart errors.
+# ---------------------------------------------------------------------------
+
+
+class CheckpointError(ReproError):
+    """A checkpoint operation failed."""
+
+
+class ChecksumMismatch(CheckpointError):
+    """Restart found a chunk whose stored checksum does not match its
+    data; the restart component falls back to the remote copy."""
+
+    def __init__(self, message: str, chunk_id: int | None = None) -> None:
+        super().__init__(message)
+        self.chunk_id = chunk_id
+
+
+class NoCheckpointAvailable(CheckpointError):
+    """Restart was requested but neither a local nor a remote committed
+    version exists for the chunk/process."""
+
+
+class RestartError(CheckpointError):
+    """Restart could not reconstruct process state."""
+
+
+# ---------------------------------------------------------------------------
+# Cluster / network errors.
+# ---------------------------------------------------------------------------
+
+
+class ClusterError(ReproError):
+    """Cluster-level configuration or runtime error."""
+
+
+class NodeFailed(ClusterError):
+    """Operation attempted on a node currently marked failed."""
+
+
+class NetworkError(ClusterError):
+    """RDMA/fabric transfer failure."""

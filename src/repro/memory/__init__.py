@@ -1,0 +1,23 @@
+"""Emulated memory substrate: DRAM/PCM devices, per-core bandwidth
+contention, page tables with protection bits, the file/in-memory
+persistent store, and the NVM kernel manager (the paper's Linux
+extension rebuilt as a library object).
+"""
+
+from .device import MemoryDevice
+from .bandwidth import CoreContentionModel, make_device_bus
+from .persistence import FileStore, InMemoryStore, PersistentStore
+from .page import PageTable
+from .nvmm import NvmRegion, NVMKernelManager
+
+__all__ = [
+    "MemoryDevice",
+    "CoreContentionModel",
+    "make_device_bus",
+    "PersistentStore",
+    "InMemoryStore",
+    "FileStore",
+    "PageTable",
+    "NVMKernelManager",
+    "NvmRegion",
+]

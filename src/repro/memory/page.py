@@ -1,0 +1,132 @@
+"""Page tables with protection and dirty bits.
+
+The paper's runtime uses hardware paging in two ways:
+
+* **write protection** on all pages of a chunk after its pre-copy, so
+  the first subsequent write faults and marks the whole chunk dirty
+  (chunk-level protection amortizes the 6-12 us fault cost over the
+  chunk instead of paying it per page);
+* an **'nvdirty' bit per NVM page** (added by their kernel patch) that
+  the remote helper reads via a syscall to find dirty pages *without*
+  taking protection faults.
+
+Python cannot trap real SIGSEGV, so writes flow through an explicit
+barrier (:mod:`repro.core.tracking`); this module supplies the same
+bookkeeping the hardware/kernel would: protection bits, dirty bits,
+fault counting.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..errors import InvalidAddress
+from ..units import PAGE_SIZE, pages_of
+
+__all__ = ["PageTable"]
+
+
+class PageTable:
+    """Per-region page state: write-protection and nvdirty bits.
+
+    Offsets are byte offsets within the region; the table converts them
+    to page indexes internally.
+    """
+
+    __slots__ = ("nbytes", "page_size", "n_pages", "_protected", "_nvdirty", "fault_count")
+
+    def __init__(self, nbytes: int, page_size: int = PAGE_SIZE) -> None:
+        if nbytes < 0:
+            raise ValueError("region size must be >= 0")
+        if page_size <= 0:
+            raise ValueError("page size must be positive")
+        self.nbytes = nbytes
+        self.page_size = page_size
+        self.n_pages = pages_of(nbytes, page_size)
+        self._protected = np.zeros(self.n_pages, dtype=bool)
+        self._nvdirty = np.zeros(self.n_pages, dtype=bool)
+        #: protection faults taken against this region (for cost accounting).
+        self.fault_count = 0
+
+    # -- helpers ------------------------------------------------------------
+
+    def _page_range(self, offset: int, nbytes: int) -> Tuple[int, int]:
+        if offset < 0 or nbytes < 0 or offset + nbytes > self.nbytes:
+            raise InvalidAddress(
+                f"access [{offset}, {offset + nbytes}) outside region of {self.nbytes} bytes"
+            )
+        if nbytes == 0:
+            return (0, 0)
+        first = offset // self.page_size
+        last = (offset + nbytes - 1) // self.page_size
+        return (first, last + 1)
+
+    def resize(self, nbytes: int) -> None:
+        """Grow/shrink; new pages start unprotected and clean."""
+        new_pages = pages_of(nbytes, self.page_size)
+        prot = np.zeros(new_pages, dtype=bool)
+        dirty = np.zeros(new_pages, dtype=bool)
+        keep = min(self.n_pages, new_pages)
+        prot[:keep] = self._protected[:keep]
+        dirty[:keep] = self._nvdirty[:keep]
+        self.nbytes = nbytes
+        self.n_pages = new_pages
+        self._protected = prot
+        self._nvdirty = dirty
+
+    # -- protection (chunk-level pre-copy support) -----------------------------
+
+    def protect_all(self) -> None:
+        """Write-protect every page (done right after a chunk pre-copy)."""
+        self._protected[:] = True
+
+    def unprotect_all(self) -> None:
+        """Drop protection on every page (the chunk-level fault response:
+        one fault unprotects the whole chunk)."""
+        self._protected[:] = False
+
+    def is_protected(self, offset: int, nbytes: int = 1) -> bool:
+        """True if *any* page covering the byte range is protected."""
+        first, last = self._page_range(offset, nbytes)
+        return bool(self._protected[first:last].any())
+
+    def any_protected(self) -> bool:
+        return bool(self._protected.any())
+
+    def record_fault(self) -> None:
+        self.fault_count += 1
+
+    # -- nvdirty bits (remote-helper support) --------------------------------------
+
+    def mark_nvdirty(self, offset: int, nbytes: int) -> None:
+        """Set the nvdirty bit on pages covering the byte range (the
+        kernel would set this on NVM page writes)."""
+        first, last = self._page_range(offset, nbytes)
+        self._nvdirty[first:last] = True
+
+    def mark_all_nvdirty(self) -> None:
+        self._nvdirty[:] = True
+
+    def collect_nvdirty(self, clear: bool = True) -> List[int]:
+        """Page indexes currently dirty; optionally clear them (the
+        helper's read-and-reset syscall)."""
+        pages = np.flatnonzero(self._nvdirty).tolist()
+        if clear:
+            self._nvdirty[:] = False
+        return pages
+
+    def nvdirty_bytes(self) -> int:
+        """Upper-bound byte count covered by dirty pages."""
+        n_dirty = int(self._nvdirty.sum())
+        if n_dirty == 0:
+            return 0
+        total = n_dirty * self.page_size
+        # the final page may be partial
+        if self._nvdirty[-1] and self.nbytes % self.page_size:
+            total -= self.page_size - (self.nbytes % self.page_size)
+        return total
+
+    def clear_nvdirty(self) -> None:
+        self._nvdirty[:] = False

@@ -1,0 +1,366 @@
+"""The persistent byte store backing emulated NVM.
+
+The paper emulates PCM by reserving a DRAM range at boot and pinning it
+across application sessions.  Here the "device contents" live in a
+:class:`PersistentStore`:
+
+* :class:`InMemoryStore` — regions held in RAM; survives simulated
+  process crashes (the store object *is* the NVM DIMM) and models the
+  flush boundary: writes are cached and only become durable at
+  :meth:`~PersistentStore.flush`, so :meth:`~PersistentStore.crash`
+  rolls unflushed writes back.
+* :class:`FileStore` — additionally durable across real Python process
+  restarts (regions as files, metadata as JSON; atomic rename commits).
+
+The checkpoint runtime always flushes before marking a version
+committed (the paper's 'Linux cache flush kernel method'), so committed
+data survives crash in both stores and the recovery protocol is
+exercised for real.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from abc import ABC, abstractmethod
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from ..errors import InvalidAddress, PersistenceError
+
+__all__ = ["PersistentStore", "InMemoryStore", "FileStore"]
+
+
+def _as_u8(data: Any) -> np.ndarray:
+    """View arbitrary buffer-like data as a flat uint8 array."""
+    arr = np.asarray(data)
+    return np.ascontiguousarray(arr).view(np.uint8).reshape(-1)
+
+
+class PersistentStore(ABC):
+    """Region-granular persistent byte storage with a flush boundary."""
+
+    # -- region lifecycle ---------------------------------------------------
+
+    @abstractmethod
+    def create(self, region_id: str, nbytes: int) -> None:
+        """Create a zero-filled region.  Fails if it already exists."""
+
+    @abstractmethod
+    def resize(self, region_id: str, nbytes: int) -> None:
+        """Grow/shrink a region, preserving the common prefix."""
+
+    @abstractmethod
+    def delete(self, region_id: str) -> None:
+        """Remove a region (immediately durable)."""
+
+    @abstractmethod
+    def exists(self, region_id: str) -> bool: ...
+
+    @abstractmethod
+    def size(self, region_id: str) -> int: ...
+
+    @abstractmethod
+    def list_regions(self) -> List[str]: ...
+
+    # -- data ---------------------------------------------------------------
+
+    @abstractmethod
+    def write(self, region_id: str, offset: int, data: Any) -> None:
+        """Store bytes at *offset* (cached until :meth:`flush`)."""
+
+    @abstractmethod
+    def read(self, region_id: str, offset: int = 0, nbytes: Optional[int] = None) -> np.ndarray:
+        """Read bytes (uint8 array copy) from the *current* (possibly
+        unflushed) contents."""
+
+    # -- durability ---------------------------------------------------------
+
+    @abstractmethod
+    def flush(self) -> int:
+        """Make all cached writes durable; returns bytes flushed."""
+
+    @abstractmethod
+    def crash(self) -> None:
+        """Simulate power/process loss: discard unflushed writes,
+        keeping the last flushed state."""
+
+    # -- metadata (small JSON-able records, durable at flush) ---------------
+
+    @abstractmethod
+    def put_meta(self, key: str, value: Any) -> None: ...
+
+    @abstractmethod
+    def get_meta(self, key: str, default: Any = None) -> Any: ...
+
+    @abstractmethod
+    def delete_meta(self, key: str) -> None: ...
+
+    @abstractmethod
+    def list_meta(self) -> List[str]: ...
+
+    # -- shared helpers -------------------------------------------------------
+
+    def _check_range(self, region_size: int, offset: int, nbytes: int, region_id: str) -> None:
+        if offset < 0 or nbytes < 0 or offset + nbytes > region_size:
+            raise InvalidAddress(
+                f"region {region_id!r}: access [{offset}, {offset + nbytes}) "
+                f"outside size {region_size}"
+            )
+
+
+class InMemoryStore(PersistentStore):
+    """RAM-resident store with write-back caching and crash rollback."""
+
+    def __init__(self) -> None:
+        #: durable (flushed) contents.
+        self._durable: Dict[str, np.ndarray] = {}
+        #: working contents (durable + unflushed writes), copy-on-write.
+        self._working: Dict[str, np.ndarray] = {}
+        self._dirty: set[str] = set()
+        self._meta_durable: Dict[str, Any] = {}
+        self._meta_working: Dict[str, Any] = {}
+        self._meta_dirty_keys: set[str] = set()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def create(self, region_id: str, nbytes: int) -> None:
+        if region_id in self._working:
+            raise PersistenceError(f"region {region_id!r} already exists")
+        if nbytes < 0:
+            raise PersistenceError("region size must be >= 0")
+        self._working[region_id] = np.zeros(nbytes, dtype=np.uint8)
+        self._dirty.add(region_id)
+
+    def resize(self, region_id: str, nbytes: int) -> None:
+        cur = self._region(region_id)
+        new = np.zeros(nbytes, dtype=np.uint8)
+        keep = min(len(cur), nbytes)
+        new[:keep] = cur[:keep]
+        self._working[region_id] = new
+        self._dirty.add(region_id)
+
+    def delete(self, region_id: str) -> None:
+        self._region(region_id)  # existence check
+        self._working.pop(region_id, None)
+        self._durable.pop(region_id, None)
+        self._dirty.discard(region_id)
+
+    def exists(self, region_id: str) -> bool:
+        return region_id in self._working
+
+    def size(self, region_id: str) -> int:
+        return len(self._region(region_id))
+
+    def list_regions(self) -> List[str]:
+        return sorted(self._working)
+
+    # -- data ------------------------------------------------------------------
+
+    def _region(self, region_id: str) -> np.ndarray:
+        try:
+            return self._working[region_id]
+        except KeyError:
+            raise PersistenceError(f"unknown region {region_id!r}") from None
+
+    def write(self, region_id: str, offset: int, data: Any) -> None:
+        region = self._region(region_id)
+        payload = _as_u8(data)
+        self._check_range(len(region), offset, len(payload), region_id)
+        if region_id not in self._dirty and region_id in self._durable:
+            # copy-on-write so crash() can roll back to the durable copy
+            region = region.copy()
+            self._working[region_id] = region
+        region[offset : offset + len(payload)] = payload
+        self._dirty.add(region_id)
+
+    def read(self, region_id: str, offset: int = 0, nbytes: Optional[int] = None) -> np.ndarray:
+        region = self._region(region_id)
+        if nbytes is None:
+            nbytes = len(region) - offset
+        self._check_range(len(region), offset, nbytes, region_id)
+        return region[offset : offset + nbytes].copy()
+
+    # -- durability ----------------------------------------------------------------
+
+    def flush(self) -> int:
+        flushed = 0
+        for region_id in self._dirty:
+            if region_id in self._working:
+                self._durable[region_id] = self._working[region_id].copy()
+                flushed += len(self._working[region_id])
+        self._dirty.clear()
+        # metadata: snapshot only the keys written since the last flush
+        # (a whole-table deep copy per flush dominates simulation time)
+        for key in self._meta_dirty_keys:
+            if key in self._meta_working:
+                self._meta_durable[key] = json.loads(json.dumps(self._meta_working[key]))
+            else:
+                self._meta_durable.pop(key, None)
+        self._meta_dirty_keys.clear()
+        return flushed
+
+    def crash(self) -> None:
+        self._working = {rid: arr.copy() for rid, arr in self._durable.items()}
+        self._dirty.clear()
+        self._meta_working = {
+            k: json.loads(json.dumps(v)) for k, v in self._meta_durable.items()
+        }
+        self._meta_dirty_keys.clear()
+
+    # -- metadata ---------------------------------------------------------------------
+
+    def put_meta(self, key: str, value: Any) -> None:
+        self._meta_working[key] = json.loads(json.dumps(value))
+        self._meta_dirty_keys.add(key)
+
+    def get_meta(self, key: str, default: Any = None) -> Any:
+        return self._meta_working.get(key, default)
+
+    def delete_meta(self, key: str) -> None:
+        self._meta_working.pop(key, None)
+        self._meta_dirty_keys.add(key)
+
+    def list_meta(self) -> List[str]:
+        return sorted(self._meta_working)
+
+
+class FileStore(PersistentStore):
+    """Disk-backed store: one file per region plus a JSON metadata file.
+
+    Writes go to an in-RAM working set; :meth:`flush` persists each
+    dirty region atomically (write-temp + rename) and then the metadata
+    file, so a crash between flushes leaves the previous consistent
+    state on disk.  Re-instantiating with the same directory reloads
+    the durable state — a true process restart.
+    """
+
+    _META_FILE = "meta.json"
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+        self._inner = InMemoryStore()
+        self._deleted: set[str] = set()
+        self._load()
+
+    # -- disk layout -----------------------------------------------------------
+
+    def _region_path(self, region_id: str) -> str:
+        safe = region_id.replace(os.sep, "_").replace("..", "_")
+        return os.path.join(self.directory, f"region_{safe}.bin")
+
+    def _meta_path(self) -> str:
+        return os.path.join(self.directory, self._META_FILE)
+
+    def _load(self) -> None:
+        meta_path = self._meta_path()
+        if not os.path.exists(meta_path):
+            return
+        try:
+            with open(meta_path, "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (OSError, json.JSONDecodeError) as err:
+            raise PersistenceError(f"corrupt store metadata at {meta_path}") from err
+        for key, value in payload.get("user_meta", {}).items():
+            self._inner.put_meta(key, value)
+        for region_id, size in payload.get("regions", {}).items():
+            path = self._region_path(region_id)
+            if not os.path.exists(path):
+                raise PersistenceError(
+                    f"store metadata lists region {region_id!r} but {path} is missing"
+                )
+            data = np.fromfile(path, dtype=np.uint8)
+            if len(data) != size:
+                raise PersistenceError(
+                    f"region {region_id!r}: file has {len(data)} bytes, metadata says {size}"
+                )
+            self._inner.create(region_id, size)
+            if size:
+                self._inner.write(region_id, 0, data)
+        self._inner.flush()
+
+    # -- delegate lifecycle/data to the in-memory working set --------------------
+
+    def create(self, region_id: str, nbytes: int) -> None:
+        self._inner.create(region_id, nbytes)
+        self._deleted.discard(region_id)
+
+    def resize(self, region_id: str, nbytes: int) -> None:
+        self._inner.resize(region_id, nbytes)
+
+    def delete(self, region_id: str) -> None:
+        self._inner.delete(region_id)
+        self._deleted.add(region_id)
+
+    def exists(self, region_id: str) -> bool:
+        return self._inner.exists(region_id)
+
+    def size(self, region_id: str) -> int:
+        return self._inner.size(region_id)
+
+    def list_regions(self) -> List[str]:
+        return self._inner.list_regions()
+
+    def write(self, region_id: str, offset: int, data: Any) -> None:
+        self._inner.write(region_id, offset, data)
+
+    def read(self, region_id: str, offset: int = 0, nbytes: Optional[int] = None) -> np.ndarray:
+        return self._inner.read(region_id, offset, nbytes)
+
+    def put_meta(self, key: str, value: Any) -> None:
+        self._inner.put_meta(key, value)
+
+    def get_meta(self, key: str, default: Any = None) -> Any:
+        return self._inner.get_meta(key, default)
+
+    def delete_meta(self, key: str) -> None:
+        self._inner.delete_meta(key)
+
+    def list_meta(self) -> List[str]:
+        return self._inner.list_meta()
+
+    # -- durability -------------------------------------------------------------------
+
+    def flush(self) -> int:
+        dirty = set(self._inner._dirty)
+        flushed = self._inner.flush()
+        for region_id in dirty:
+            if not self._inner.exists(region_id):
+                continue
+            data = self._inner._durable[region_id]
+            path = self._region_path(region_id)
+            fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    data.tofile(fh)
+                os.replace(tmp, path)
+            except OSError as err:
+                if os.path.exists(tmp):
+                    os.unlink(tmp)
+                raise PersistenceError(f"flush of region {region_id!r} failed") from err
+        for region_id in self._deleted:
+            path = self._region_path(region_id)
+            if os.path.exists(path):
+                os.unlink(path)
+        self._deleted.clear()
+        payload = {
+            "regions": {rid: self._inner.size(rid) for rid in self._inner.list_regions()},
+            "user_meta": {k: self._inner.get_meta(k) for k in self._inner.list_meta()},
+        }
+        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh)
+            os.replace(tmp, self._meta_path())
+        except OSError as err:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise PersistenceError("flush of store metadata failed") from err
+        return flushed
+
+    def crash(self) -> None:
+        self._inner.crash()
+        self._deleted.clear()

@@ -1,0 +1,137 @@
+"""Plain-text table and series rendering for the benchmark harness.
+
+Every ``benchmarks/bench_*.py`` prints the rows/series the paper's
+corresponding table or figure reports, through these helpers, so the
+output is uniform and diffable (EXPERIMENTS.md quotes it verbatim).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["Table", "Series", "render_table", "render_series", "fmt"]
+
+
+def fmt(value: Any, precision: int = 3) -> str:
+    """Compact numeric formatting for table cells."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return f"{value:,}"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 10 ** (-precision):
+            return f"{value:.{precision}g}"
+        return f"{value:,.{precision}f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A titled table with aligned plain-text rendering."""
+
+    title: str
+    columns: Sequence[str]
+    rows: List[Sequence[Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *cells: Any) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells, table {self.title!r} has "
+                f"{len(self.columns)} columns"
+            )
+        self.rows.append(list(cells))
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def render(self) -> str:
+        return render_table(self)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def render_table(table: Table) -> str:
+    cells = [[fmt(c) for c in row] for row in table.rows]
+    headers = [str(c) for c in table.columns]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [f"== {table.title} ==",
+             " | ".join(h.ljust(w) for h, w in zip(headers, widths)),
+             sep]
+    for row in cells:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    for note in table.notes:
+        lines.append(f"  * {note}")
+    return "\n".join(lines)
+
+
+@dataclass
+class Series:
+    """A named (x, y) series, e.g. one line of a figure."""
+
+    name: str
+    points: List[Tuple[float, float]] = field(default_factory=list)
+
+    def add(self, x: float, y: float) -> None:
+        self.points.append((float(x), float(y)))
+
+    @property
+    def xs(self) -> List[float]:
+        return [p[0] for p in self.points]
+
+    @property
+    def ys(self) -> List[float]:
+        return [p[1] for p in self.points]
+
+
+def render_series(
+    title: str,
+    series: Iterable[Series],
+    x_label: str = "x",
+    y_label: str = "y",
+    width: int = 72,
+    height: int = 16,
+) -> str:
+    """ASCII scatter/line rendering of one or more series, with a
+    tabular dump of the exact values underneath (the numbers are the
+    deliverable; the plot is orientation)."""
+    series = list(series)
+    all_pts = [p for s in series for p in s.points]
+    if not all_pts:
+        return f"== {title} ==\n(no data)"
+    xs = [p[0] for p in all_pts]
+    ys = [p[1] for p in all_pts]
+    x0, x1 = min(xs), max(xs)
+    y0, y1 = min(ys), max(ys)
+    if x1 == x0:
+        x1 = x0 + 1.0
+    if y1 == y0:
+        y1 = y0 + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    marks = "ox+*#@%&"
+    for si, s in enumerate(series):
+        m = marks[si % len(marks)]
+        for x, y in s.points:
+            cx = int((x - x0) / (x1 - x0) * (width - 1))
+            cy = int((y - y0) / (y1 - y0) * (height - 1))
+            grid[height - 1 - cy][cx] = m
+    lines = [f"== {title} ==", f"   {y_label} (top={fmt(y1)}, bottom={fmt(y0)})"]
+    for row in grid:
+        lines.append("   |" + "".join(row) + "|")
+    lines.append(f"   {x_label}: {fmt(x0)} .. {fmt(x1)}")
+    for si, s in enumerate(series):
+        lines.append(f"   [{marks[si % len(marks)]}] {s.name}")
+    # exact values
+    lines.append("")
+    for s in series:
+        pts = "  ".join(f"({fmt(x)}, {fmt(y)})" for x, y in s.points)
+        lines.append(f"   {s.name}: {pts}")
+    return "\n".join(lines)

@@ -1,0 +1,144 @@
+"""Phase timelines: who did what when (compute / local checkpoint /
+remote checkpoint / pre-copy / restart), reproducing the timing
+diagrams of Figures 1 and 5 as data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["Phase", "Timeline"]
+
+#: canonical phase names (the paper's C/L/R plus ours)
+COMPUTE = "compute"
+LOCAL_CKPT = "local_ckpt"
+REMOTE_CKPT = "remote_ckpt"
+PRECOPY = "precopy"
+REMOTE_PRECOPY = "remote_precopy"
+RESTART = "restart"
+BLOCKED = "blocked"
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One closed interval of activity by one actor."""
+
+    actor: str
+    kind: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class Timeline:
+    """Append-only phase log with per-actor/per-kind aggregation."""
+
+    def __init__(self) -> None:
+        self.phases: List[Phase] = []
+        self._open: Dict[Tuple[str, str], float] = {}
+
+    # -- recording ------------------------------------------------------------
+
+    def record(self, actor: str, kind: str, start: float, end: float) -> None:
+        if end < start:
+            raise ValueError(f"phase ends before it starts: {start} > {end}")
+        self.phases.append(Phase(actor, kind, start, end))
+
+    def begin(self, actor: str, kind: str, now: float) -> None:
+        """Open a phase; close it with :meth:`end`."""
+        self._open[(actor, kind)] = now
+
+    def end(self, actor: str, kind: str, now: float) -> None:
+        start = self._open.pop((actor, kind), None)
+        if start is None:
+            raise ValueError(f"no open phase {kind!r} for actor {actor!r}")
+        self.record(actor, kind, start, now)
+
+    # -- aggregation --------------------------------------------------------------
+
+    def total(self, kind: str, actor: Optional[str] = None) -> float:
+        """Total time spent in *kind* (optionally for one actor)."""
+        return sum(
+            p.duration
+            for p in self.phases
+            if p.kind == kind and (actor is None or p.actor == actor)
+        )
+
+    def count(self, kind: str, actor: Optional[str] = None) -> int:
+        return sum(
+            1 for p in self.phases if p.kind == kind and (actor is None or p.actor == actor)
+        )
+
+    def actors(self) -> List[str]:
+        return sorted({p.actor for p in self.phases})
+
+    def kinds(self) -> List[str]:
+        return sorted({p.kind for p in self.phases})
+
+    def for_actor(self, actor: str) -> List[Phase]:
+        return sorted((p for p in self.phases if p.actor == actor), key=lambda p: p.start)
+
+    def span(self) -> Tuple[float, float]:
+        if not self.phases:
+            return (0.0, 0.0)
+        return (min(p.start for p in self.phases), max(p.end for p in self.phases))
+
+    def overlap(self, kind_a: str, kind_b: str) -> float:
+        """Total time during which a *kind_a* phase (any actor) overlaps
+        a *kind_b* phase — quantifies how much checkpointing was hidden
+        under compute (the whole point of Figure 5)."""
+        a = sorted(
+            ((p.start, p.end) for p in self.phases if p.kind == kind_a), key=lambda t: t[0]
+        )
+        b = sorted(
+            ((p.start, p.end) for p in self.phases if p.kind == kind_b), key=lambda t: t[0]
+        )
+        total = 0.0
+        i = j = 0
+        while i < len(a) and j < len(b):
+            lo = max(a[i][0], b[j][0])
+            hi = min(a[i][1], b[j][1])
+            if hi > lo:
+                total += hi - lo
+            if a[i][1] <= b[j][1]:
+                i += 1
+            else:
+                j += 1
+        return total
+
+    # -- rendering --------------------------------------------------------------------
+
+    _GLYPHS = {
+        COMPUTE: "C",
+        LOCAL_CKPT: "L",
+        REMOTE_CKPT: "R",
+        PRECOPY: "p",
+        REMOTE_PRECOPY: "r",
+        RESTART: "X",
+        BLOCKED: ".",
+    }
+
+    def ascii_art(self, width: int = 100, actors: Optional[List[str]] = None) -> str:
+        """The Figure-5 diagram as ASCII: one row per actor, one glyph
+        per time bucket (C=compute, L=local ckpt, R=remote ckpt,
+        p/r=local/remote pre-copy, X=restart)."""
+        t0, t1 = self.span()
+        if t1 <= t0:
+            return "(empty timeline)"
+        scale = width / (t1 - t0)
+        rows = []
+        for actor in actors or self.actors():
+            row = [" "] * width
+            for p in self.for_actor(actor):
+                g = self._GLYPHS.get(p.kind, p.kind[:1])
+                lo = int((p.start - t0) * scale)
+                hi = max(lo + 1, int((p.end - t0) * scale))
+                for k in range(lo, min(hi, width)):
+                    row[k] = g
+            rows.append(f"{actor:>12} |{''.join(row)}|")
+        legend = "  ".join(f"{g}={k}" for k, g in self._GLYPHS.items())
+        return "\n".join(rows) + f"\n{'':>12}  [{t0:.1f}s .. {t1:.1f}s]  {legend}"

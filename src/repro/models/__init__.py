@@ -1,0 +1,20 @@
+"""The §III analytical performance model: Table-II notation, the
+2-level checkpoint equations, application efficiency, and the optimal
+checkpoint-interval extension.
+"""
+
+from .notation import ModelParams
+from .multilevel import MultilevelModel, TimeBreakdown
+from .efficiency import efficiency, overhead_fraction
+from .optimal import optimal_local_interval, young_interval, daly_interval
+
+__all__ = [
+    "ModelParams",
+    "MultilevelModel",
+    "TimeBreakdown",
+    "efficiency",
+    "overhead_fraction",
+    "optimal_local_interval",
+    "young_interval",
+    "daly_interval",
+]

@@ -1,0 +1,28 @@
+"""Application efficiency (§VI): ideal runtime / actual runtime.
+
+The ideal runtime is a failure-free, checkpoint-free run; the actual
+runtime includes local/remote checkpointing (and, in the model,
+restart/recompute).  Figure 9 plots this metric against remote
+checkpoint interval and NVM bandwidth.
+"""
+
+from __future__ import annotations
+
+from .multilevel import MultilevelModel
+from .notation import ModelParams
+
+__all__ = ["efficiency", "overhead_fraction"]
+
+
+def efficiency(params: ModelParams) -> float:
+    """Model-predicted efficiency = T_compute / T_total."""
+    total = MultilevelModel(params).total_time()
+    if total <= 0:
+        return 0.0
+    return params.compute_time / total
+
+
+def overhead_fraction(params: ModelParams) -> float:
+    """(T_total - T_compute) / T_compute."""
+    total = MultilevelModel(params).total_time()
+    return (total - params.compute_time) / params.compute_time

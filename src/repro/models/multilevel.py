@@ -1,0 +1,142 @@
+"""The §III 2-level checkpoint model.
+
+    T_total = T_compute + T_lcl + O_rmt + T_restart + T_recomp
+
+with
+
+    N_lcl  = T_compute / I                  (checkpoints taken)
+    T_lcl  = N_lcl * t_lcl
+    O_rmt  = N_rmt * noise per interval     (asynchronous overlap noise)
+    F_lcl  = T_compute / MTBF_lcl
+    T_lclrestart + T_lclrecomp = F_lcl * (R_lcl + (I + t_lcl)/2)
+    F_rmt  = T_total / MTBF_rmt             (solved by fixed point)
+    T_rmtrestart = F_rmt * R_rmt
+    T_rmtrecomp  = F_rmt * K * (I + t_lcl) / 2
+
+The remote-failure term references T_total itself, so the model solves
+a short fixed-point iteration (§III writes F_rmt = T_total/MTBF_rmt).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .notation import ModelParams
+
+__all__ = ["TimeBreakdown", "MultilevelModel"]
+
+
+@dataclass
+class TimeBreakdown:
+    """The model's decomposition of total runtime."""
+
+    compute: float
+    local_checkpoint: float
+    remote_overhead: float
+    local_restart: float
+    local_recompute: float
+    remote_restart: float
+    remote_recompute: float
+
+    @property
+    def restart_total(self) -> float:
+        return self.local_restart + self.remote_restart
+
+    @property
+    def recompute_total(self) -> float:
+        return self.local_recompute + self.remote_recompute
+
+    @property
+    def total(self) -> float:
+        return (
+            self.compute
+            + self.local_checkpoint
+            + self.remote_overhead
+            + self.restart_total
+            + self.recompute_total
+        )
+
+class MultilevelModel:
+    """Evaluates the §III equations for a parameter set."""
+
+    def __init__(self, params: ModelParams) -> None:
+        self.p = params
+
+    # -- checkpoint counts -------------------------------------------------------
+
+    @property
+    def n_local(self) -> float:
+        """N_lcl = T_compute / I."""
+        return self.p.compute_time / self.p.local_interval
+
+    @property
+    def n_remote(self) -> float:
+        return self.p.compute_time / self.p.remote_interval
+
+    @property
+    def local_failures(self) -> float:
+        """F_lcl = T_compute / MTBF_lcl."""
+        return self.p.compute_time / self.p.mtbf_local
+
+    def remote_failures(self, total_time: float) -> float:
+        """F_rmt = T_total / MTBF_rmt."""
+        return total_time / self.p.mtbf_remote
+
+    # -- components ------------------------------------------------------------------
+
+    def local_checkpoint_time(self) -> float:
+        """T_lcl = N_lcl * t_lcl."""
+        return self.n_local * self.p.t_lcl
+
+    def remote_overhead(self) -> float:
+        """O_rmt: asynchronous remote checkpointing shows up as noise
+        on the application, not as blocking time."""
+        per_interval = self.p.remote_noise_fraction * self.p.remote_interval
+        return self.n_remote * per_interval
+
+    def local_restart_terms(self) -> tuple[float, float]:
+        """(T_lclrestart, T_lclrecomp) = F_lcl*(R_lcl, (I+t_lcl)/2)."""
+        f = self.local_failures
+        restart = f * self.p.r_lcl
+        recomp = f * (self.p.local_interval + self.p.t_lcl) / 2.0
+        return restart, recomp
+
+    def remote_restart_terms(self, total_time: float) -> tuple[float, float]:
+        """(T_rmtrestart, T_rmtrecomp) for a given T_total."""
+        f = self.remote_failures(total_time)
+        restart = f * self.p.r_rmt
+        recomp = f * self.p.k_locals_per_remote * (self.p.local_interval + self.p.t_lcl) / 2.0
+        return restart, recomp
+
+    # -- total ------------------------------------------------------------------------
+
+    def solve(self, tol: float = 1e-9, max_iter: int = 200) -> TimeBreakdown:
+        """Fixed-point solve of the T_total equation."""
+        base = (
+            self.p.compute_time
+            + self.local_checkpoint_time()
+            + self.remote_overhead()
+        )
+        l_restart, l_recomp = self.local_restart_terms()
+        base += l_restart + l_recomp
+        total = base
+        for _ in range(max_iter):
+            r_restart, r_recomp = self.remote_restart_terms(total)
+            new_total = base + r_restart + r_recomp
+            if abs(new_total - total) <= tol * max(1.0, total):
+                total = new_total
+                break
+            total = new_total
+        r_restart, r_recomp = self.remote_restart_terms(total)
+        return TimeBreakdown(
+            compute=self.p.compute_time,
+            local_checkpoint=self.local_checkpoint_time(),
+            remote_overhead=self.remote_overhead(),
+            local_restart=l_restart,
+            local_recompute=l_recomp,
+            remote_restart=r_restart,
+            remote_recompute=r_recomp,
+        )
+
+    def total_time(self) -> float:
+        return self.solve().total

@@ -1,0 +1,88 @@
+"""Table II: checkpoint model notation, as a parameter object.
+
+All times in seconds, sizes in bytes, bandwidths in bytes/second.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["ModelParams"]
+
+
+@dataclass(frozen=True)
+class ModelParams:
+    """Inputs to the §III model."""
+
+    #: total useful compute time the application needs (T_compute)
+    compute_time: float
+    #: per-process checkpoint data size (chkpt.datasize)
+    checkpoint_bytes: float
+    #: effective NVM write bandwidth per core (NVMBW_core)
+    nvm_bw_per_core: float
+    #: effective interconnect bandwidth available to a process's
+    #: remote-checkpoint stream (datamovementcost)
+    remote_bw: float
+    #: local checkpoint interval I (compute seconds between local ckpts)
+    local_interval: float
+    #: remote checkpoint interval (seconds between remote ckpts)
+    remote_interval: float
+    #: MTBF of failures recoverable from local NVM (MTBF_lcl, per job)
+    mtbf_local: float
+    #: MTBF of failures needing remote recovery (MTBF_rmt, per job)
+    mtbf_remote: float
+    #: local checkpoint *fetch* time factor: R_lcl = factor * t_lcl
+    #: (the paper assumes restart time proportional to checkpoint time)
+    local_fetch_factor: float = 1.0
+    #: remote fetch factor: R_rmt = factor * t_rmt
+    remote_fetch_factor: float = 1.0
+    #: fraction of the local checkpoint hidden by pre-copy overlap
+    #: (0 = blocking 'no pre-copy'; the paper's measurements put the
+    #: pre-copy variants at ~0.5-0.9 depending on chunk mix)
+    precopy_overlap: float = 0.0
+    #: remote-checkpoint noise on the application per remote interval,
+    #: as a fraction of the interval (alpha_comm + alpha_others)
+    remote_noise_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("compute_time", "checkpoint_bytes", "nvm_bw_per_core",
+                     "remote_bw", "local_interval", "remote_interval",
+                     "mtbf_local", "mtbf_remote"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if not 0.0 <= self.precopy_overlap <= 1.0:
+            raise ValueError("precopy_overlap must be in [0, 1]")
+        if self.remote_noise_fraction < 0:
+            raise ValueError("remote_noise_fraction must be >= 0")
+
+    def with_(self, **kwargs) -> "ModelParams":
+        return replace(self, **kwargs)
+
+    # -- primitive quantities -------------------------------------------------
+
+    @property
+    def t_lcl(self) -> float:
+        """One local checkpoint: chkpt.datasize / NVMBW_core, with the
+        pre-copy overlap fraction hidden under compute."""
+        raw = self.checkpoint_bytes / self.nvm_bw_per_core
+        return raw * (1.0 - self.precopy_overlap)
+
+    @property
+    def t_rmt(self) -> float:
+        """One remote checkpoint's data-movement time."""
+        return self.checkpoint_bytes / self.remote_bw
+
+    @property
+    def r_lcl(self) -> float:
+        """Local checkpoint fetch time R_lcl."""
+        return self.local_fetch_factor * (self.checkpoint_bytes / self.nvm_bw_per_core)
+
+    @property
+    def r_rmt(self) -> float:
+        """Remote checkpoint fetch time R_rmt."""
+        return self.remote_fetch_factor * self.t_rmt
+
+    @property
+    def k_locals_per_remote(self) -> float:
+        """K: local checkpoints per remote interval."""
+        return max(1.0, self.remote_interval / self.local_interval)

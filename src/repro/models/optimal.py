@@ -1,0 +1,70 @@
+"""Optimal checkpoint-interval selection (extension).
+
+The paper takes its intervals from Dong et al.'s estimates (30-100 s);
+this module adds the classical closed forms so experiments can derive
+intervals from first principles and compare:
+
+* **Young** (1974): ``I* = sqrt(2 * t_ckpt * MTBF)``;
+* **Daly** (2006) higher-order form;
+* a numeric optimizer over the full §III model, which accounts for the
+  two failure levels and pre-copy overlap (neither closed form does).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+from .multilevel import MultilevelModel
+from .notation import ModelParams
+
+__all__ = ["young_interval", "daly_interval", "optimal_local_interval"]
+
+
+def young_interval(t_ckpt: float, mtbf: float) -> float:
+    """Young's first-order optimum sqrt(2 * delta * M)."""
+    if t_ckpt <= 0 or mtbf <= 0:
+        raise ValueError("t_ckpt and mtbf must be positive")
+    return math.sqrt(2.0 * t_ckpt * mtbf)
+
+
+def daly_interval(t_ckpt: float, mtbf: float) -> float:
+    """Daly's higher-order estimate (valid for t_ckpt < 2*MTBF)."""
+    if t_ckpt <= 0 or mtbf <= 0:
+        raise ValueError("t_ckpt and mtbf must be positive")
+    if t_ckpt >= 2.0 * mtbf:
+        return mtbf  # degenerate regime: checkpoint constantly
+    x = t_ckpt / (2.0 * mtbf)
+    return math.sqrt(2.0 * t_ckpt * mtbf) * (1.0 + math.sqrt(x) / 3.0 + x / 9.0) - t_ckpt
+
+
+def optimal_local_interval(
+    params: ModelParams,
+    lo: float = 1.0,
+    hi: float = 3600.0,
+    tol: float = 0.5,
+) -> Tuple[float, float]:
+    """Golden-section minimization of model T_total over the local
+    interval.  Returns ``(I*, T_total(I*))``."""
+    if lo <= 0 or hi <= lo:
+        raise ValueError("need 0 < lo < hi")
+    phi = (math.sqrt(5.0) - 1.0) / 2.0
+
+    def f(interval: float) -> float:
+        return MultilevelModel(params.with_(local_interval=interval)).total_time()
+
+    a, b = lo, hi
+    c = b - phi * (b - a)
+    d = a + phi * (b - a)
+    fc, fd = f(c), f(d)
+    while (b - a) > tol:
+        if fc < fd:
+            b, d, fd = d, c, fc
+            c = b - phi * (b - a)
+            fc = f(c)
+        else:
+            a, c, fc = c, d, fd
+            d = a + phi * (b - a)
+            fd = f(d)
+    best = (a + b) / 2.0
+    return best, f(best)

@@ -1,0 +1,10 @@
+"""Interconnect substrate: topology with cross-rack buddy placement,
+the processor-sharing fabric (per-node full-duplex links), and RDMA
+put/get primitives that also charge the destination NVM bus.
+"""
+
+from .topology import Topology
+from .interconnect import Fabric, LinkPair
+from .rdma import rdma_put, rdma_get
+
+__all__ = ["Topology", "Fabric", "LinkPair", "rdma_put", "rdma_get"]

@@ -1,0 +1,168 @@
+"""The interconnect fabric: per-node full-duplex links around a
+non-blocking core (the usual fat-tree abstraction for a small IB
+cluster).
+
+A transfer from node A to node B holds a flow on A's *egress* link and
+B's *ingress* link simultaneously; each link is a processor-sharing
+:class:`~repro.sim.resources.BandwidthResource`, so checkpoint streams
+and application communication genuinely contend — the communication
+noise of §IV arises here, and the Fig.-10 peak-usage series is read
+off the link trackers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..config import InterconnectConfig
+from ..errors import ClusterError
+from ..sim.engine import Engine
+from ..sim.events import Event
+from ..sim.resources import BandwidthResource
+
+__all__ = ["Fabric", "LinkPair"]
+
+
+@dataclass
+class LinkPair:
+    """One node's full-duplex NIC: independent egress/ingress lanes."""
+
+    egress: BandwidthResource
+    ingress: BandwidthResource
+
+
+class Fabric:
+    """Per-node links + non-blocking core."""
+
+    def __init__(self, engine: Engine, n_nodes: int, config: Optional[InterconnectConfig] = None) -> None:
+        if n_nodes < 1:
+            raise ClusterError("fabric needs at least one node")
+        self.engine = engine
+        self.config = config or InterconnectConfig()
+        bw = self.config.effective_bandwidth
+        self.links: List[LinkPair] = [
+            LinkPair(
+                egress=BandwidthResource(engine, bw, name=f"n{i}.egress"),
+                ingress=BandwidthResource(engine, bw, name=f"n{i}.ingress"),
+            )
+            for i in range(n_nodes)
+        ]
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.links)
+
+    def _check(self, node: int) -> None:
+        if not 0 <= node < self.n_nodes:
+            raise ClusterError(f"node {node} outside [0, {self.n_nodes})")
+
+    # ------------------------------------------------------------------
+    # Transfers.
+    # ------------------------------------------------------------------
+
+    def transfer(self, src: int, dst: int, nbytes: float, tag: str = "") -> Event:
+        """Move *nbytes* from *src* to *dst*; the returned event fires
+        when both the egress and ingress flows complete (plus the base
+        RDMA latency)."""
+        self._check(src)
+        self._check(dst)
+        if src == dst:
+            raise ClusterError("loopback transfers do not touch the fabric")
+        eg = self.links[src].egress.transfer(nbytes, tag=tag)
+        ing = self.links[dst].ingress.transfer(nbytes, tag=tag)
+        both = self.engine.all_of([eg, ing])
+        done = self.engine.event(name=f"xfer {src}->{dst} {nbytes:.0f}B")
+        latency = self.config.rdma_latency
+
+        def _finish(ev: Event) -> None:
+            if not ev.ok:
+                done.fail(ev.exception)  # type: ignore[arg-type]
+                return
+            self.engine.call_at(self.engine.now + latency, lambda: done.succeed(None))
+
+        both.add_callback(_finish)
+        return done
+
+    # ------------------------------------------------------------------
+    # Measurement (Figure 10).
+    # ------------------------------------------------------------------
+
+    def egress_of(self, node: int) -> BandwidthResource:
+        self._check(node)
+        return self.links[node].egress
+
+    def total_bytes(self, tag_suffix: str = "") -> float:
+        """Bytes through all egress links (optionally only tags ending
+        with *tag_suffix*)."""
+        total = 0.0
+        for lp in self.links:
+            if tag_suffix:
+                total += sum(
+                    v for k, v in lp.egress.bytes_by_tag.items() if k.endswith(tag_suffix)
+                )
+            else:
+                total += lp.egress.total_bytes
+        return total
+
+    def windowed_usage(
+        self,
+        window: float,
+        t_end: float,
+        t_start: float = 0.0,
+        kinds: Optional[List[str]] = None,
+    ) -> List[Tuple[float, float]]:
+        """Aggregate fabric usage per window across all egress links:
+        ``(window_start, bytes_in_window)`` — the Fig. 10 timeline.
+
+        ``kinds`` restricts to traffic kinds (tag suffixes), e.g.
+        ``["rckpt", "rprecopy"]`` for checkpoint-only traffic."""
+        out: Dict[float, float] = {}
+        for lp in self.links:
+            trackers = (
+                [lp.egress.utilization]
+                if kinds is None
+                else [
+                    lp.egress.utilization_by_kind[k]
+                    for k in kinds
+                    if k in lp.egress.utilization_by_kind
+                ]
+            )
+            for tracker in trackers:
+                for t, rate in tracker.windowed_series(window, t_end, t_start):
+                    out[t] = out.get(t, 0.0) + rate * window
+        return sorted(out.items())
+
+    def peak_window_usage(
+        self,
+        window: float,
+        t_end: float,
+        t_start: float = 0.0,
+        kinds: Optional[List[str]] = None,
+    ) -> float:
+        """The paper's 'peak interconnect usage': the largest
+        per-window aggregate byte volume (optionally per traffic kind)."""
+        series = self.windowed_usage(window, t_end, t_start, kinds=kinds)
+        return max((v for _, v in series), default=0.0)
+
+    def peak_rate(self) -> float:
+        """Peak instantaneous aggregate egress rate (bytes/s)."""
+        # sum of per-link peaks is an upper bound; compute the true
+        # aggregate by merging the piecewise-constant series
+        events: List[Tuple[float, float]] = []
+        for lp in self.links:
+            samples = lp.egress.utilization.samples
+            for i, (t, v) in enumerate(samples):
+                prev = samples[i - 1][1] if i else 0.0
+                events.append((t, v - prev))
+        events.sort(key=lambda e: e[0])
+        level = 0.0
+        peak = 0.0
+        i = 0
+        while i < len(events):
+            t = events[i][0]
+            while i < len(events) and events[i][0] == t:
+                level += events[i][1]
+                i += 1
+            peak = max(peak, level)
+        return peak

@@ -1,0 +1,171 @@
+"""Event primitives for the discrete-event engine.
+
+An :class:`Event` is a one-shot synchronization object.  Processes wait
+on events by ``yield``-ing them; the engine resumes the process when the
+event fires.  Events may *succeed* (carrying a value) or *fail*
+(carrying an exception that is re-raised inside the waiting process).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Optional, TYPE_CHECKING
+
+from ..errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine import Engine
+
+__all__ = ["Event", "Timeout", "AllOf", "AnyOf"]
+
+_PENDING = object()
+
+
+class Event:
+    """A one-shot event.
+
+    States: *pending* -> (*succeeded* | *failed*).  Once triggered the
+    value/exception is frozen; triggering twice is an error (it would
+    hide scheduling bugs).
+    """
+
+    __slots__ = ("engine", "callbacks", "_value", "_exc", "_triggered", "_scheduled", "name")
+
+    def __init__(self, engine: "Engine", name: str = "") -> None:
+        self.engine = engine
+        self.name = name
+        self.callbacks: list[Callable[[Event], None]] = []
+        self._value: Any = _PENDING
+        self._exc: Optional[BaseException] = None
+        self._triggered = False
+        self._scheduled = False
+
+    # -- state ------------------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once :meth:`succeed` or :meth:`fail` was called."""
+        return self._triggered
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (valid only once triggered)."""
+        return self._triggered and self._exc is None
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimulationError(f"event {self!r} has no value yet")
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        return self._exc
+
+    # -- triggering --------------------------------------------------------
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Mark the event successful and schedule its callbacks *now*."""
+        self._trigger(value, None)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Mark the event failed; waiters will re-raise *exc*."""
+        if not isinstance(exc, BaseException):
+            raise TypeError("fail() needs an exception instance")
+        self._trigger(_PENDING, exc)
+        return self
+
+    def _trigger(self, value: Any, exc: Optional[BaseException]) -> None:
+        if self._triggered:
+            raise SimulationError(f"event {self!r} triggered twice")
+        self._triggered = True
+        self._value = value
+        self._exc = exc
+        self.engine._queue_event(self)
+        self._scheduled = True
+
+    # -- callbacks ---------------------------------------------------------
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Run *fn(event)* when the event fires.  If the event has
+        already been dispatched, run at the next engine step."""
+        if self._triggered and self._scheduled is False:
+            # already fully dispatched: queue a fresh delivery
+            self.engine._queue_callback(lambda: fn(self))
+        else:
+            self.callbacks.append(fn)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "pending"
+        if self._triggered:
+            state = "ok" if self._exc is None else f"failed({self._exc!r})"
+        label = self.name or self.__class__.__name__
+        return f"<{label} {state}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed virtual-time delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, engine: "Engine", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay}")
+        super().__init__(engine, name=f"timeout({delay:g})")
+        self.delay = delay
+        # A timeout is born triggered; it is delivered after `delay`.
+        self._triggered = True
+        self._value = value
+        engine._queue_event(self, delay=delay)
+        self._scheduled = True
+
+
+class AllOf(Event):
+    """Fires when every child event has fired; value is the list of
+    child values (in construction order).  Fails fast on first failure."""
+
+    __slots__ = ("_children", "_remaining")
+
+    def __init__(self, engine: "Engine", events: Iterable[Event]) -> None:
+        super().__init__(engine, name="all_of")
+        self._children = list(events)
+        self._remaining = len(self._children)
+        if self._remaining == 0:
+            self.succeed([])
+            return
+        for ev in self._children:
+            ev.add_callback(self._on_child)
+
+    def _on_child(self, ev: Event) -> None:
+        if self._triggered:
+            return
+        if not ev.ok:
+            self.fail(ev.exception)  # type: ignore[arg-type]
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([c._value for c in self._children])
+
+
+class AnyOf(Event):
+    """Fires when the first child fires; value is ``(index, value)``."""
+
+    __slots__ = ("_children",)
+
+    def __init__(self, engine: "Engine", events: Iterable[Event]) -> None:
+        super().__init__(engine, name="any_of")
+        self._children = list(events)
+        if not self._children:
+            raise SimulationError("AnyOf needs at least one event")
+        for i, ev in enumerate(self._children):
+            ev.add_callback(lambda e, i=i: self._on_child(i, e))
+
+    def _on_child(self, index: int, ev: Event) -> None:
+        if self._triggered:
+            return
+        if not ev.ok:
+            self.fail(ev.exception)  # type: ignore[arg-type]
+            return
+        self.succeed((index, ev._value))

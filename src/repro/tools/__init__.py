@@ -1,0 +1,2 @@
+"""Command-line tooling: the experiment driver
+(``python -m repro.tools.experiment``)."""

@@ -1,0 +1,225 @@
+"""Experiment driver CLI.
+
+Run one checkpointing experiment on the simulated testbed and print a
+summary (optionally machine-readable JSON)::
+
+    python -m repro.tools.experiment --app lammps --mode dcpcp \
+        --nodes 4 --ranks-per-node 12 --iterations 6 \
+        --nvm-gbps 1.0 --local-interval 40 --remote-interval 120
+
+    python -m repro.tools.experiment --app gtc --mode none --no-remote \
+        --json results.json
+
+    python -m repro.tools.experiment --app synthetic --chunk-mb 25 \
+        --checkpoint-mb 300 --hot-fraction 0.5 --mtbf-local 600 \
+        --mtbf-remote 2400 --timeline
+
+Every run is deterministic for a given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+from typing import Optional
+
+from ..apps import CM1Model, GTCModel, LammpsModel, SyntheticModel
+from ..cluster import Cluster, ClusterRunner, RunResult
+from ..config import (
+    CheckpointConfig,
+    ClusterConfig,
+    FailureConfig,
+    PrecopyPolicy,
+)
+from ..units import GB_per_sec, to_GB, to_MB
+
+__all__ = ["build_parser", "run_experiment", "result_to_dict", "main"]
+
+APPS = {
+    "gtc": lambda args: GTCModel(small_chunks=args.small_chunks),
+    "lammps": lambda args: LammpsModel(),
+    "cm1": lambda args: CM1Model(small_chunks=args.small_chunks),
+    "synthetic": lambda args: SyntheticModel(
+        checkpoint_mb_per_rank=args.checkpoint_mb,
+        chunk_mb=args.chunk_mb,
+        hot_fraction=args.hot_fraction,
+        write_once_fraction=args.write_once_fraction,
+        iteration_compute_time=args.local_interval,
+        comm_mb_per_iteration=args.comm_mb,
+    ),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro.tools.experiment",
+        description="Run one NVM-checkpoints experiment on the simulated testbed.",
+    )
+    p.add_argument("--app", choices=sorted(APPS), default="lammps")
+    p.add_argument("--mode", choices=["none", "cpc", "dcpc", "dcpcp"],
+                   default="dcpcp", help="local pre-copy policy")
+    p.add_argument("--granularity", choices=["chunk", "page"], default="chunk",
+                   help="dirty-tracking granularity")
+    p.add_argument("--nodes", type=int, default=4)
+    p.add_argument("--ranks-per-node", type=int, default=12)
+    p.add_argument("--iterations", type=int, default=6)
+    p.add_argument("--nvm-gbps", type=float, default=2.0,
+                   help="NVM device write bandwidth (Table I default: 2.0)")
+    p.add_argument("--local-interval", type=float, default=40.0)
+    p.add_argument("--remote-interval", type=float, default=120.0)
+    p.add_argument("--no-remote", action="store_true",
+                   help="disable remote (buddy) checkpointing")
+    p.add_argument("--pfs-gbps", type=float, default=None,
+                   help="checkpoint to a shared PFS at this aggregate GB/s "
+                        "instead of node-local NVM (implies --no-remote)")
+    p.add_argument("--no-remote-precopy", action="store_true",
+                   help="asynchronous no-pre-copy remote baseline")
+    p.add_argument("--compress-ratio", type=float, default=None,
+                   help="compress remote checkpoint traffic at this "
+                        "compressed/original ratio (mcrengine-style)")
+    p.add_argument("--mtbf-local", type=float, default=None,
+                   help="per-node soft-failure MTBF (s); enables failure injection")
+    p.add_argument("--mtbf-remote", type=float, default=None,
+                   help="per-node hard-failure MTBF (s)")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--timeline", action="store_true",
+                   help="print the phase timeline (Fig. 5 style)")
+    p.add_argument("--json", metavar="PATH", default=None,
+                   help="write the result as JSON to PATH ('-' for stdout)")
+    # synthetic-model knobs
+    p.add_argument("--checkpoint-mb", type=float, default=400.0)
+    p.add_argument("--chunk-mb", type=float, default=25.0)
+    p.add_argument("--hot-fraction", type=float, default=0.0)
+    p.add_argument("--write-once-fraction", type=float, default=0.0)
+    p.add_argument("--comm-mb", type=float, default=100.0)
+    p.add_argument("--small-chunks", type=int, default=24,
+                   help="small-bucket chunk count for gtc/cm1 (0 = faithful)")
+    return p
+
+
+def run_experiment(args: argparse.Namespace) -> RunResult:
+    if args.small_chunks == 0:
+        args.small_chunks = None  # faithful layouts
+    app = APPS[args.app](args)
+    app.iteration_compute_time = args.local_interval
+    config = CheckpointConfig(
+        local_interval=args.local_interval,
+        remote_interval=args.remote_interval,
+        precopy=PrecopyPolicy(mode=args.mode, granularity=args.granularity),
+        remote_precopy=not args.no_remote_precopy,
+    )
+    cluster = Cluster(
+        ClusterConfig(nodes=args.nodes),
+        nvm_write_bandwidth=GB_per_sec(args.nvm_gbps),
+        seed=args.seed,
+    )
+    pfs = None
+    if args.pfs_gbps is not None:
+        from ..baselines import PfsModel
+
+        pfs = PfsModel(cluster.engine, aggregate_bandwidth=GB_per_sec(args.pfs_gbps))
+        args.no_remote = True
+    compression = None
+    if args.compress_ratio is not None:
+        from ..core import CompressionModel
+
+        compression = CompressionModel(phantom_ratio=args.compress_ratio)
+    cluster.build(
+        app, config, ranks_per_node=args.ranks_per_node,
+        with_remote=not args.no_remote, pfs=pfs, compression=compression,
+    )
+    failure_config: Optional[FailureConfig] = None
+    if args.mtbf_local is not None or args.mtbf_remote is not None:
+        failure_config = FailureConfig(
+            mtbf_local=args.mtbf_local or 1e12,
+            mtbf_remote=args.mtbf_remote or 1e12,
+            seed=args.seed,
+        )
+    runner = ClusterRunner(cluster, failure_config=failure_config)
+    result = runner.run(args.iterations)
+    result.cluster = cluster  # type: ignore[attr-defined]
+    return result
+
+
+def result_to_dict(result: RunResult) -> dict:
+    """JSON-friendly summary of a run."""
+    return {
+        "app": result.app_name,
+        "policy": result.policy_mode,
+        "remote_precopy": result.remote_precopy,
+        "n_nodes": result.n_nodes,
+        "n_ranks": result.n_ranks,
+        "iterations": result.iterations,
+        "total_time_s": result.total_time,
+        "ideal_time_s": result.ideal_time,
+        "overhead_fraction": result.checkpoint_overhead_fraction,
+        "local": {
+            "checkpoints": result.local_checkpoints,
+            "avg_blocking_s": result.local_ckpt_time_avg,
+            "coordinated_gb": to_GB(result.coordinated_bytes),
+            "precopy_gb": to_GB(result.local_precopy_bytes),
+            "fault_time_s": result.fault_time_total,
+        },
+        "remote": {
+            "rounds": result.remote_rounds,
+            "round_gb": to_GB(result.remote_round_bytes),
+            "stream_gb": to_GB(result.remote_precopy_bytes),
+            "helper_utilization": result.helper_utilization,
+        },
+        "fabric": {
+            "ckpt_peak_1s_mb": to_MB(result.fabric_ckpt_peak_window_bytes),
+            "app_gb": to_GB(result.fabric_app_bytes),
+            "ckpt_gb": to_GB(result.fabric_ckpt_bytes),
+        },
+        "failures": {
+            "soft": result.soft_failures,
+            "hard": result.hard_failures,
+            "recovery_s": result.recovery_time,
+            "iterations_recomputed": result.iterations_recomputed,
+        },
+    }
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    result = run_experiment(args)
+    summary = result_to_dict(result)
+
+    print(f"{summary['app']} x{summary['n_ranks']} ranks, policy={summary['policy']}"
+          f"{'' if summary['remote_precopy'] else ' (no remote pre-copy)'}")
+    print(f"  execution time   : {summary['total_time_s']:.1f} s "
+          f"(ideal {summary['ideal_time_s']:.0f} s, "
+          f"overhead {summary['overhead_fraction']*100:.1f}%)")
+    loc = summary["local"]
+    print(f"  local            : {loc['checkpoints']} ckpts, avg blocking "
+          f"{loc['avg_blocking_s']:.2f} s, {loc['coordinated_gb']:.1f} GB coordinated"
+          f" + {loc['precopy_gb']:.1f} GB pre-copied")
+    rem = summary["remote"]
+    if rem["rounds"]:
+        print(f"  remote           : {rem['rounds']} rounds, {rem['round_gb']:.1f} GB "
+              f"at rounds + {rem['stream_gb']:.1f} GB streamed, helper "
+              f"{rem['helper_utilization']*100:.1f}%")
+    fail = summary["failures"]
+    if fail["soft"] or fail["hard"]:
+        print(f"  failures         : {fail['soft']} soft, {fail['hard']} hard, "
+              f"{fail['recovery_s']:.1f} s recovering, "
+              f"{fail['iterations_recomputed']} iterations recomputed")
+    if args.timeline:
+        actors = ["r0"]
+        helpers = [f"n0:helper"] if rem["rounds"] else []
+        print("\n" + result.timeline.ascii_art(width=100, actors=actors + helpers))
+    if args.json:
+        payload = json.dumps(summary, indent=2)
+        if args.json == "-":
+            print(payload)
+        else:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                fh.write(payload + "\n")
+            print(f"  wrote JSON       : {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

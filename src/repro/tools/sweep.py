@@ -1,0 +1,112 @@
+"""Parameter-sweep CLI: run a grid of experiments, emit CSV.
+
+Example — Fig. 7 as a CSV::
+
+    python -m repro.tools.sweep --app lammps --sweep nvm-gbps=0.5,1.0,2.0 \
+        --sweep mode=none,dcpcp --iterations 6 --out fig7.csv
+
+Any scalar option of ``repro.tools.experiment`` can be swept; the
+cross product of all ``--sweep`` axes runs deterministically and one
+CSV row is written per cell.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import itertools
+import sys
+from typing import Dict, List, Sequence, Tuple
+
+from .experiment import build_parser as build_experiment_parser
+from .experiment import result_to_dict, run_experiment
+
+__all__ = ["parse_sweeps", "run_sweep", "main"]
+
+#: flat CSV columns pulled from result_to_dict
+CSV_FIELDS = [
+    "app", "policy", "remote_precopy", "n_nodes", "n_ranks", "iterations",
+    "total_time_s", "ideal_time_s", "overhead_fraction",
+    "local.checkpoints", "local.avg_blocking_s", "local.coordinated_gb",
+    "local.precopy_gb", "local.fault_time_s",
+    "remote.rounds", "remote.round_gb", "remote.stream_gb",
+    "remote.helper_utilization",
+    "fabric.ckpt_peak_1s_mb", "fabric.app_gb", "fabric.ckpt_gb",
+    "failures.soft", "failures.hard", "failures.recovery_s",
+]
+
+
+def _flatten(d: dict, prefix: str = "") -> dict:
+    out = {}
+    for key, value in d.items():
+        name = f"{prefix}{key}"
+        if isinstance(value, dict):
+            out.update(_flatten(value, prefix=f"{name}."))
+        else:
+            out[name] = value
+    return out
+
+
+def parse_sweeps(specs: Sequence[str]) -> List[Tuple[str, List[str]]]:
+    """``["nvm-gbps=0.5,1.0", "mode=none,dcpcp"]`` -> axis list."""
+    axes: List[Tuple[str, List[str]]] = []
+    for spec in specs:
+        if "=" not in spec:
+            raise ValueError(f"sweep spec {spec!r} must look like name=v1,v2")
+        name, _, values = spec.partition("=")
+        vals = [v for v in values.split(",") if v]
+        if not vals:
+            raise ValueError(f"sweep spec {spec!r} has no values")
+        axes.append((name.strip(), vals))
+    return axes
+
+
+def run_sweep(base_args: List[str], axes: List[Tuple[str, List[str]]]) -> List[dict]:
+    """Run the cross product; returns one flat record per cell."""
+    parser = build_experiment_parser()
+    records: List[dict] = []
+    names = [name for name, _ in axes]
+    for combo in itertools.product(*(vals for _, vals in axes)):
+        argv = list(base_args)
+        for name, value in zip(names, combo):
+            argv += [f"--{name}", value]
+        args = parser.parse_args(argv)
+        result = run_experiment(args)
+        record = _flatten(result_to_dict(result))
+        for name, value in zip(names, combo):
+            record[f"sweep.{name}"] = value
+        records.append(record)
+    return records
+
+
+def main(argv=None) -> int:
+    p = argparse.ArgumentParser(
+        prog="repro.tools.sweep",
+        description="Run a grid of NVM-checkpoints experiments; emit CSV.",
+    )
+    p.add_argument("--sweep", action="append", default=[], metavar="NAME=V1,V2",
+                   help="axis to sweep (repeatable; cross product)")
+    p.add_argument("--out", default="-", help="CSV path ('-' for stdout)")
+    args, passthrough = p.parse_known_args(argv)
+    if not args.sweep:
+        p.error("at least one --sweep axis is required")
+    axes = parse_sweeps(args.sweep)
+    records = run_sweep(passthrough, axes)
+
+    sweep_cols = [f"sweep.{name}" for name, _ in axes]
+    fields = sweep_cols + [f for f in CSV_FIELDS if records and f in records[0]]
+    out = sys.stdout if args.out == "-" else open(args.out, "w", newline="", encoding="utf-8")
+    try:
+        writer = csv.DictWriter(out, fieldnames=fields, extrasaction="ignore")
+        writer.writeheader()
+        for record in records:
+            writer.writerow(record)
+    finally:
+        if out is not sys.stdout:
+            out.close()
+            print(f"wrote {len(records)} rows to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

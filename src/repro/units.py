@@ -1,0 +1,111 @@
+"""Unit helpers and conversions used throughout the simulator.
+
+All simulated times are kept in **seconds** (floats) and all data sizes
+in **bytes** (ints).  These helpers exist so that call sites read like
+the paper ("410 MB per process", "1 us page write") instead of raw
+powers of two.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Data sizes (binary units, as memory sizes in the paper are binary).
+# ---------------------------------------------------------------------------
+
+KiB: int = 1024
+MiB: int = 1024 * KiB
+GiB: int = 1024 * MiB
+
+#: Default page size used by the emulated NVM kernel manager (4 KiB, the
+#: Linux default the paper's kernel extension operates on).
+PAGE_SIZE: int = 4 * KiB
+
+
+def KB(n: float) -> int:
+    """*n* kibibytes as an integer byte count."""
+    return int(n * KiB)
+
+
+def MB(n: float) -> int:
+    """*n* mebibytes as an integer byte count."""
+    return int(n * MiB)
+
+
+def GB(n: float) -> int:
+    """*n* gibibytes as an integer byte count."""
+    return int(n * GiB)
+
+
+# ---------------------------------------------------------------------------
+# Times.
+# ---------------------------------------------------------------------------
+
+
+def usec(n: float) -> float:
+    """*n* microseconds in seconds."""
+    return n * 1e-6
+
+
+def nsec(n: float) -> float:
+    """*n* nanoseconds in seconds."""
+    return n * 1e-9
+
+
+def msec(n: float) -> float:
+    """*n* milliseconds in seconds."""
+    return n * 1e-3
+
+
+def minutes(n: float) -> float:
+    """*n* minutes in seconds."""
+    return n * 60.0
+
+
+def hours(n: float) -> float:
+    """*n* hours in seconds."""
+    return n * 3600.0
+
+
+# ---------------------------------------------------------------------------
+# Rates.
+# ---------------------------------------------------------------------------
+
+
+def GB_per_sec(n: float) -> float:
+    """*n* GiB/s as bytes/second."""
+    return n * GiB
+
+
+def MB_per_sec(n: float) -> float:
+    """*n* MiB/s as bytes/second."""
+    return n * MiB
+
+
+def Gbit_per_sec(n: float) -> float:
+    """*n* gigabits/second as bytes/second (decimal gigabit, as used for
+    interconnect line rates like "40Gbps InfiniBand")."""
+    return n * 1e9 / 8.0
+
+
+def to_MB(nbytes: float) -> float:
+    """Bytes to mebibytes (float, for reporting)."""
+    return nbytes / MiB
+
+
+def to_GB(nbytes: float) -> float:
+    """Bytes to gibibytes (float, for reporting)."""
+    return nbytes / GiB
+
+
+def pages_of(nbytes: int, page_size: int = PAGE_SIZE) -> int:
+    """Number of pages needed to hold *nbytes* (ceiling division)."""
+    if nbytes <= 0:
+        return 0
+    return -(-nbytes // page_size)
+
+
+def align_up(nbytes: int, alignment: int = PAGE_SIZE) -> int:
+    """Round *nbytes* up to a multiple of *alignment*."""
+    if nbytes <= 0:
+        return 0
+    return -(-nbytes // alignment) * alignment

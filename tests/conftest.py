@@ -1,0 +1,72 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    BandwidthModelConfig,
+    CheckpointConfig,
+    ClusterConfig,
+    DRAM_CONFIG,
+    NodeConfig,
+    PCM_CONFIG,
+    PrecopyPolicy,
+)
+from repro.core.context import make_standalone_context
+from repro.alloc.nvmalloc import NVAllocator
+from repro.memory.device import MemoryDevice
+from repro.memory.nvmm import NVMKernelManager
+from repro.memory.persistence import InMemoryStore
+from repro.sim.engine import Engine
+from repro.units import GB_per_sec, MB
+
+
+@pytest.fixture
+def engine():
+    return Engine()
+
+
+@pytest.fixture
+def store():
+    return InMemoryStore()
+
+
+@pytest.fixture
+def nvmm(store):
+    return NVMKernelManager(store=store)
+
+
+@pytest.fixture
+def dram():
+    return MemoryDevice(DRAM_CONFIG)
+
+
+@pytest.fixture
+def ctx():
+    """A standalone single-node context with its own engine."""
+    return make_standalone_context(name="testnode")
+
+
+@pytest.fixture
+def allocator(ctx):
+    """A real-data allocator bound to the standalone context."""
+    return NVAllocator(
+        "p0", ctx.nvmm, ctx.dram, clock=lambda: ctx.engine.now
+    )
+
+
+@pytest.fixture
+def phantom_allocator(ctx):
+    """A phantom (size-only) allocator for simulation-style tests."""
+    return NVAllocator(
+        "p0", ctx.nvmm, ctx.dram, phantom=True, clock=lambda: ctx.engine.now
+    )
+
+
+def run_proc(engine, gen, until=None):
+    """Run a generator process to completion and return its value."""
+    proc = engine.process(gen)
+    engine.run(until=until)
+    assert proc.triggered, "process did not finish"
+    return proc.value

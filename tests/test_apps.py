@@ -1,0 +1,204 @@
+"""Application workload models: chunk layouts (Table IV), write
+schedules, iteration behaviour, MADBench calibration."""
+
+import pytest
+
+from repro.apps import (
+    ApplicationModel,
+    CM1Model,
+    ChunkSpec,
+    GTCModel,
+    LammpsModel,
+    MADBench,
+    RankBinding,
+    SyntheticModel,
+    WritePattern,
+)
+from repro.alloc import NVAllocator
+from repro.core import make_standalone_context
+from repro.units import MB
+
+
+ALL_MODELS = [GTCModel, LammpsModel, CM1Model]
+
+
+class TestChunkLayouts:
+    @pytest.mark.parametrize("model_cls", ALL_MODELS)
+    def test_total_matches_declared_checkpoint_size(self, model_cls):
+        m = model_cls()
+        total = m.checkpoint_bytes(0)
+        assert total == pytest.approx(MB(m.checkpoint_mb_per_rank), rel=0.02)
+
+    @pytest.mark.parametrize("model_cls", ALL_MODELS)
+    def test_unique_chunk_names(self, model_cls):
+        specs = model_cls().chunk_specs(0)
+        names = [s.name for s in specs]
+        assert len(names) == len(set(names))
+
+    @pytest.mark.parametrize("model_cls", ALL_MODELS)
+    def test_positive_sizes(self, model_cls):
+        assert all(s.nbytes > 0 for s in model_cls().chunk_specs(0))
+
+    def test_gtc_large_bucket_share(self):
+        d = GTCModel().chunk_size_distribution()
+        # Table IV: GTC ~45% above 100MB
+        assert 35 <= d["above 100MB"] + d["50-100MB"] <= 60
+
+    def test_gtc_has_write_once_large_chunk(self):
+        """'few large chunks are modified only once' (Fig. 8 analysis)."""
+        specs = GTCModel().chunk_specs(0)
+        once = [s for s in specs if s.pattern == WritePattern.WRITE_ONCE]
+        assert once and max(s.nbytes for s in once) >= MB(50)
+
+    def test_lammps_31_chunks(self):
+        assert len(LammpsModel().chunk_specs(0)) == 31
+
+    def test_lammps_has_hot_chunk(self):
+        """The 3-D molecular position array is hot (Fig. 6)."""
+        specs = LammpsModel().chunk_specs(0)
+        hot = [s for s in specs if s.pattern == WritePattern.HOT]
+        assert len(hot) == 1
+        assert hot[0].nbytes > MB(100)
+        assert max(hot[0].write_fractions(1)) >= 0.95
+
+    def test_cm1_no_chunk_above_100mb(self):
+        """Table IV: CM1 has (almost) nothing above 100MB — the reason
+        pre-copy helps it < 5%."""
+        d = CM1Model().chunk_size_distribution()
+        assert d["above 100MB"] <= 5
+
+    def test_cm1_dominated_by_mid_bucket(self):
+        d = CM1Model().chunk_size_distribution()
+        assert d["50-100MB"] >= 40
+
+    def test_small_chunks_override(self):
+        few = GTCModel(small_chunks=10).chunk_specs(0)
+        many = GTCModel().chunk_specs(0)
+        assert len(few) < len(many)
+
+    def test_specs_cached(self):
+        m = GTCModel()
+        assert m.chunk_specs(0) is m.chunk_specs(0)
+
+
+class TestWriteSchedules:
+    def test_write_once_only_in_iteration_zero(self):
+        spec = ChunkSpec("x", 100, WritePattern.WRITE_ONCE)
+        assert spec.write_fractions(0)
+        assert spec.write_fractions(1) == ()
+
+    def test_custom_fractions_override(self):
+        spec = ChunkSpec("x", 100, WritePattern.PER_ITER, fractions=(0.5,))
+        assert spec.write_fractions(3) == (0.5,)
+
+    def test_default_fractions_by_pattern(self):
+        for pattern in (WritePattern.PER_ITER, WritePattern.STAGED, WritePattern.HOT):
+            spec = ChunkSpec("x", 100, pattern)
+            assert spec.write_fractions(1)
+
+    def test_hot_writes_near_interval_end(self):
+        spec = ChunkSpec("x", 100, WritePattern.HOT)
+        assert max(spec.write_fractions(1)) > 0.9
+
+
+class TestIterationExecution:
+    def _binding(self, model, ctx):
+        alloc = NVAllocator("r0", ctx.nvmm, ctx.dram, phantom=True, clock=lambda: ctx.engine.now)
+        binding = RankBinding(rank="r0", node_id=0, allocator=alloc, engine=ctx.engine)
+        model.allocate(binding, 0)
+        return binding
+
+    def test_iteration_takes_at_least_compute_time(self):
+        ctx = make_standalone_context(name="app")
+        m = SyntheticModel(checkpoint_mb_per_rank=20, chunk_mb=10, iteration_compute_time=8.0)
+        binding = self._binding(m, ctx)
+        proc = ctx.engine.process(m.compute_iteration(binding, 0))
+        ctx.engine.run()
+        assert proc.ok
+        assert ctx.engine.now >= 8.0
+
+    def test_iteration_dirties_chunks(self):
+        ctx = make_standalone_context(name="app")
+        m = SyntheticModel(checkpoint_mb_per_rank=20, chunk_mb=10, iteration_compute_time=5.0)
+        binding = self._binding(m, ctx)
+        for c in binding.allocator.chunks():
+            c.dirty_local = False
+        ctx.engine.process(m.compute_iteration(binding, 0))
+        ctx.engine.run()
+        assert all(c.dirty_local for c in binding.allocator.chunks())
+
+    def test_write_once_chunk_untouched_after_iteration_zero(self):
+        ctx = make_standalone_context(name="app")
+        m = SyntheticModel(
+            checkpoint_mb_per_rank=20, chunk_mb=10,
+            write_once_fraction=0.5, iteration_compute_time=5.0,
+        )
+        binding = self._binding(m, ctx)
+        ctx.engine.process(m.compute_iteration(binding, 0))
+        ctx.engine.run()
+        once_chunk = binding.allocator.chunk("chunk_0")
+        once_chunk.dirty_local = False
+        proc = ctx.engine.process(m.compute_iteration(binding, 1))
+        ctx.engine.run()
+        assert proc.ok
+        assert not once_chunk.dirty_local
+
+    def test_fault_costs_extend_iteration(self):
+        ctx = make_standalone_context(name="app")
+        m = SyntheticModel(checkpoint_mb_per_rank=10, chunk_mb=10, iteration_compute_time=5.0)
+        binding = self._binding(m, ctx)
+        chunk = binding.allocator.chunk("chunk_0")
+        chunk.mark_precopied("local")  # protected: next write faults
+        ctx.engine.process(m.compute_iteration(binding, 0))
+        ctx.engine.run()
+        assert binding.fault_time > 0
+        assert ctx.engine.now > 5.0
+
+
+class TestSyntheticModel:
+    def test_chunk_count_scales(self):
+        m = SyntheticModel(checkpoint_mb_per_rank=100, chunk_mb=10)
+        assert len(m.chunk_specs(0)) == 10
+
+    def test_hot_and_once_fractions(self):
+        m = SyntheticModel(
+            checkpoint_mb_per_rank=100, chunk_mb=10,
+            hot_fraction=0.2, write_once_fraction=0.3,
+        )
+        specs = m.chunk_specs(0)
+        assert sum(1 for s in specs if s.pattern == WritePattern.HOT) == 2
+        assert sum(1 for s in specs if s.pattern == WritePattern.WRITE_ONCE) == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticModel(chunk_mb=0)
+        with pytest.raises(ValueError):
+            SyntheticModel(hot_fraction=0.8, write_once_fraction=0.5)
+
+
+class TestMADBench:
+    def test_46_percent_at_300mb(self):
+        r = MADBench().run_point(300, writers=12)
+        assert r.slowdown == pytest.approx(0.46, abs=0.04)
+
+    def test_3x_sync_calls(self):
+        r = MADBench().run_point(300, writers=12)
+        assert r.sync_call_ratio == pytest.approx(3.0, rel=0.01)
+
+    def test_31_percent_more_lock_wait_at_300mb(self):
+        r = MADBench().run_point(300, writers=12)
+        assert r.lock_wait_ratio == pytest.approx(1.31, abs=0.08)
+
+    def test_gap_widens_with_size(self):
+        results = MADBench().sweep([50, 150, 300])
+        slowdowns = [r.slowdown for r in results]
+        assert slowdowns == sorted(slowdowns)
+
+    def test_ramdisk_always_slower(self):
+        for r in MADBench().sweep():
+            assert r.ramdisk.total > r.memory.total
+
+    def test_multi_phase_scales_linearly(self):
+        one = MADBench(phases=1).run_point(100)
+        two = MADBench(phases=2).run_point(100)
+        assert two.memory.total == pytest.approx(2 * one.memory.total)

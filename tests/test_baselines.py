@@ -1,0 +1,70 @@
+"""Baseline path models and named configurations."""
+
+import pytest
+
+from repro.baselines import (
+    MemoryPathModel,
+    RamdiskPathModel,
+    async_noprecopy_config,
+    blocking_local_policy,
+    precopy_config,
+    precopy_local_policy,
+)
+from repro.config import PrecopyPolicy
+from repro.units import MB
+
+
+class TestPathModels:
+    def test_same_copy_cost_different_path_cost(self):
+        mem = MemoryPathModel().checkpoint_costs(MB(100), 12)
+        ram = RamdiskPathModel().checkpoint_costs(MB(100), 12)
+        assert mem.copy == pytest.approx(ram.copy)
+        assert ram.total > mem.total
+
+    def test_ramdisk_pays_serialization_and_syscalls(self):
+        ram = RamdiskPathModel().checkpoint_costs(MB(100), 12)
+        assert ram.serialization > 0
+        assert ram.syscalls > 0
+
+    def test_memory_path_no_serialization(self):
+        mem = MemoryPathModel().checkpoint_costs(MB(100), 12)
+        assert mem.serialization == 0.0
+        assert mem.syscalls == 0.0
+
+    def test_contention_raises_both(self):
+        solo = RamdiskPathModel().checkpoint_time(MB(100), 1)
+        packed = RamdiskPathModel().checkpoint_time(MB(100), 12)
+        assert packed > solo
+
+    def test_costs_scale_with_size(self):
+        m = RamdiskPathModel()
+        assert m.checkpoint_time(MB(200)) > m.checkpoint_time(MB(100))
+
+    def test_checkpoint_time_equals_cost_total(self):
+        m = MemoryPathModel()
+        assert m.checkpoint_time(MB(10), 4) == pytest.approx(
+            m.checkpoint_costs(MB(10), 4).total
+        )
+
+
+class TestNamedConfigs:
+    def test_blocking_policy(self):
+        assert blocking_local_policy().mode == PrecopyPolicy.NONE
+
+    def test_precopy_policy_default_dcpcp(self):
+        assert precopy_local_policy().mode == PrecopyPolicy.DCPCP
+
+    def test_precopy_policy_mode_selectable(self):
+        assert precopy_local_policy("cpc").mode == "cpc"
+
+    def test_async_noprecopy_config_shape(self):
+        cfg = async_noprecopy_config(40, 120)
+        assert cfg.precopy.mode == PrecopyPolicy.NONE
+        assert not cfg.remote_precopy
+        assert cfg.local_interval == 40
+        assert cfg.remote_interval == 120
+
+    def test_precopy_config_shape(self):
+        cfg = precopy_config(40, 120)
+        assert cfg.precopy.mode == PrecopyPolicy.DCPCP
+        assert cfg.remote_precopy

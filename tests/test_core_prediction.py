@@ -1,0 +1,154 @@
+"""DCPCP prediction table and the Fig.-6 modification state machine."""
+
+import pytest
+
+from repro.core.prediction import ModificationStateMachine, PredictionTable
+
+
+class FakeChunk:
+    def __init__(self, cid):
+        self.chunk_id = cid
+
+
+@pytest.fixture
+def table():
+    return PredictionTable(smoothing=0.5)
+
+
+class TestLearning:
+    def test_learning_until_first_interval_completes(self, table):
+        assert table.learning
+        table.begin_interval()
+        table.end_interval()
+        assert not table.learning
+
+    def test_everything_eligible_while_learning(self, table):
+        c = FakeChunk(1)
+        table.begin_interval()
+        table.observe(c)
+        assert table.eligible(c)
+
+    def test_learned_counts_match_observations(self, table):
+        c = FakeChunk(1)
+        table.begin_interval()
+        for _ in range(3):
+            table.observe(c)
+        table.end_interval()
+        assert table.expected_mods(c) == pytest.approx(3.0)
+
+
+class TestEligibility:
+    def _learn(self, table, chunk, mods):
+        table.begin_interval()
+        for _ in range(mods):
+            table.observe(chunk)
+        table.end_interval()
+
+    def test_withheld_until_count_reached(self, table):
+        """Fig. 6 / §IV: chunk C3 modified 3 times in the learning run
+        is not copied until its counter reaches 0."""
+        c = FakeChunk(3)
+        self._learn(table, c, 3)
+        table.begin_interval()
+        table.observe(c)
+        assert not table.eligible(c)
+        table.observe(c)
+        assert not table.eligible(c)
+        table.observe(c)
+        assert table.eligible(c)
+
+    def test_remaining_mods(self, table):
+        c = FakeChunk(1)
+        self._learn(table, c, 4)
+        table.begin_interval()
+        table.observe(c)
+        assert table.remaining_mods(c) == pytest.approx(3.0)
+
+    def test_unknown_chunk_is_eligible_after_learning(self, table):
+        """A chunk never seen in learning has expectation 0 — copy it
+        whenever dirty (prediction can't help)."""
+        self._learn(table, FakeChunk(1), 2)
+        assert table.eligible(FakeChunk(99))
+
+    def test_smoothing_adapts(self, table):
+        c = FakeChunk(1)
+        self._learn(table, c, 4)
+        # behaviour changes: now only 2 mods per interval
+        for _ in range(6):
+            self._learn(table, c, 2)
+        assert table.expected_mods(c) == pytest.approx(2.0, abs=0.2)
+
+    def test_smoothing_validation(self):
+        with pytest.raises(ValueError):
+            PredictionTable(smoothing=0.0)
+        with pytest.raises(ValueError):
+            PredictionTable(smoothing=1.5)
+
+
+class TestAccuracy:
+    def test_hits_and_misses(self, table):
+        c = FakeChunk(1)
+        table.record_outcome(c, was_redundant=False)
+        table.record_outcome(c, was_redundant=False)
+        table.record_outcome(c, was_redundant=True)
+        assert table.accuracy() == pytest.approx(2.0 / 3.0)
+
+    def test_accuracy_defaults_to_one(self, table):
+        assert table.accuracy() == 1.0
+
+    def test_snapshot(self, table):
+        c = FakeChunk(5)
+        table.begin_interval()
+        table.observe(c)
+        table.end_interval()
+        assert table.snapshot() == {5: 1.0}
+
+
+class TestStateMachine:
+    def test_transition_counting(self):
+        m = ModificationStateMachine()
+        for cid in (1, 2, 3, 1, 2, 3):
+            m.observe(cid)
+        assert m.transitions[(1, 2)] == 2
+        assert m.transitions[(2, 3)] == 2
+        assert m.transitions[(3, 1)] == 1
+
+    def test_predict_next_most_frequent(self):
+        m = ModificationStateMachine()
+        for cid in (1, 2, 1, 2, 1, 3):
+            m.observe(cid)
+        assert m.predict_next(1) == 2
+
+    def test_predict_unknown_state(self):
+        m = ModificationStateMachine()
+        assert m.predict_next(9) is None
+
+    def test_reset_position_breaks_walk(self):
+        m = ModificationStateMachine()
+        m.observe(1)
+        m.reset_position()
+        m.observe(2)
+        assert (1, 2) not in m.transitions
+
+    def test_successors_sorted_by_count(self):
+        m = ModificationStateMachine()
+        for cid in (1, 2, 1, 2, 1, 3):
+            m.observe(cid)
+        succ = m.successors(1)
+        assert succ[0][0] == 2 and succ[0][1] == 2
+
+    def test_to_dot_contains_edges(self):
+        m = ModificationStateMachine()
+        m.observe(1)
+        m.observe(2)
+        dot = m.to_dot(names={1: "C1", 2: "C2"})
+        assert '"C1" -> "C2"' in dot
+        assert dot.startswith("digraph")
+
+    def test_machine_integrated_with_table(self, table):
+        a, b = FakeChunk(1), FakeChunk(2)
+        table.begin_interval()
+        table.observe(a)
+        table.observe(b)
+        table.end_interval()
+        assert table.machine.predict_next(1) == 2

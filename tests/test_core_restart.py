@@ -1,0 +1,175 @@
+"""Restart/recovery: local reload, checksum fallback to the buddy,
+hard-failure rebuild from remote only."""
+
+import numpy as np
+import pytest
+
+from repro.alloc import NVAllocator
+from repro.config import CheckpointConfig, PrecopyPolicy
+from repro.core import (
+    LocalCheckpointer,
+    RemoteHelper,
+    RemoteTarget,
+    RestartManager,
+    make_standalone_context,
+)
+from repro.errors import NoCheckpointAvailable
+from repro.net import Fabric
+from repro.sim import Engine
+from repro.units import MB
+
+
+def make_world(phantom=False):
+    engine = Engine()
+    src = make_standalone_context(name="n0", engine=engine)
+    dst = make_standalone_context(name="n1", engine=engine)
+    fabric = Fabric(engine, 2)
+    alloc = NVAllocator("r0", src.nvmm, src.dram, phantom=phantom, clock=lambda: engine.now)
+    ck = LocalCheckpointer(src, alloc, PrecopyPolicy(mode="none"))
+    # remote_precopy off so a directly-invoked round moves everything
+    helper = RemoteHelper(
+        0, src, fabric, 1, dst, [alloc], CheckpointConfig(remote_precopy=False)
+    )
+    return engine, src, dst, fabric, alloc, ck, helper
+
+
+def checkpoint_and_replicate(engine, alloc, ck, helper):
+    """One local checkpoint + one remote round, synchronously."""
+    def proc():
+        yield from ck.checkpoint()
+        yield from helper.remote_checkpoint()
+
+    p = engine.process(proc())
+    engine.run()
+    assert p.ok
+
+
+class TestLocalRestart:
+    def test_restart_restores_data_and_times_it(self):
+        engine, src, dst, fabric, alloc, ck, helper = make_world()
+        data = np.arange(1024, dtype=np.float64)
+        alloc.nvalloc("a", 8192).write(0, data)
+        checkpoint_and_replicate(engine, alloc, ck, helper)
+        src.nvmm.store.crash()
+        src.nvmm.crash_process("r0")
+        mgr = RestartManager(src)
+        report = mgr.restart_process_sync("r0")
+        assert report.chunks_local == 1
+        assert report.bytes_local == 8192
+        assert report.duration > 0
+        assert np.array_equal(report.allocator.chunk("a").view(np.float64), data)
+
+    def test_restart_report_attaches_allocator(self):
+        engine, src, dst, fabric, alloc, ck, helper = make_world()
+        alloc.nvalloc("a", 4096)
+        checkpoint_and_replicate(engine, alloc, ck, helper)
+        src.nvmm.crash_process("r0")
+        report = RestartManager(src).restart_process_sync("r0")
+        assert report.allocator is not None
+        assert report.allocator.has_chunk("a")
+
+    def test_corrupted_chunk_fetched_from_buddy(self):
+        engine, src, dst, fabric, alloc, ck, helper = make_world()
+        data = np.full(512, 2.5)
+        alloc.nvalloc("a", 4096).write(0, data)
+        checkpoint_and_replicate(engine, alloc, ck, helper)
+        # corrupt the local committed copy (both versions to be sure)
+        src.nvmm.store.write("r0/a#v0", 0, np.full(16, 0xAB, dtype=np.uint8))
+        src.nvmm.store.flush()
+        src.nvmm.crash_process("r0")
+        mgr = RestartManager(src, fabric=fabric, node_id=0)
+        report = mgr.restart_process_sync(
+            "r0", remote_target=helper.targets["r0"], remote_node=1
+        )
+        assert report.corrupted_chunks == ["a"]
+        assert report.chunks_remote == 1
+        assert np.array_equal(
+            report.allocator.chunk("a").view(np.float64)[:512], data
+        )
+
+    def test_remote_fetched_chunk_is_dirty_local(self):
+        """Recovered-from-buddy data must be re-persisted locally."""
+        engine, src, dst, fabric, alloc, ck, helper = make_world()
+        alloc.nvalloc("a", 4096).write(0, np.ones(512))
+        checkpoint_and_replicate(engine, alloc, ck, helper)
+        src.nvmm.store.write("r0/a#v0", 0, np.full(16, 1, dtype=np.uint8))
+        src.nvmm.store.flush()
+        src.nvmm.crash_process("r0")
+        mgr = RestartManager(src, fabric=fabric, node_id=0)
+        report = mgr.restart_process_sync(
+            "r0", remote_target=helper.targets["r0"], remote_node=1
+        )
+        assert report.allocator.chunk("a").dirty_local
+
+    def test_corruption_without_remote_raises(self):
+        engine, src, dst, fabric, alloc, ck, helper = make_world()
+        alloc.nvalloc("a", 4096).write(0, np.ones(512))
+        checkpoint_and_replicate(engine, alloc, ck, helper)
+        src.nvmm.store.write("r0/a#v0", 0, np.full(16, 1, dtype=np.uint8))
+        src.nvmm.store.flush()
+        src.nvmm.crash_process("r0")
+        mgr = RestartManager(src)
+        with pytest.raises(NoCheckpointAvailable):
+            mgr.restart_process_sync("r0")
+
+    def test_never_committed_without_remote_raises(self):
+        engine, src, dst, fabric, alloc, ck, helper = make_world()
+        alloc.nvalloc("a", 4096)
+        alloc._persist_metadata()
+        src.nvmm.cache_flush()
+        src.nvmm.crash_process("r0")
+        with pytest.raises(NoCheckpointAvailable):
+            RestartManager(src).restart_process_sync("r0")
+
+
+class TestHardFailureRestart:
+    def test_rebuild_entirely_from_buddy(self):
+        engine, src, dst, fabric, alloc, ck, helper = make_world()
+        data = np.arange(512, dtype=np.float64)
+        alloc.nvalloc("a", 4096).write(0, data)
+        alloc.nvalloc("b", 2048).write(0, np.ones(256))
+        checkpoint_and_replicate(engine, alloc, ck, helper)
+        # the node is gone; a replacement context starts empty
+        replacement = make_standalone_context(name="n0v2", engine=engine)
+        mgr = RestartManager(replacement, fabric=fabric, node_id=0)
+        proc = engine.process(
+            mgr.restart_from_remote("r0", helper.targets["r0"], remote_node=1)
+        )
+        engine.run()
+        report = proc.value
+        assert report.chunks_remote == 2
+        assert np.array_equal(report.allocator.chunk("a").view(np.float64), data)
+
+    def test_empty_buddy_rejected(self):
+        engine, src, dst, fabric, alloc, ck, helper = make_world()
+        alloc.nvalloc("a", 4096)
+        replacement = make_standalone_context(name="n0v2", engine=engine)
+        mgr = RestartManager(replacement, fabric=fabric, node_id=0)
+        proc = engine.process(
+            mgr.restart_from_remote("r0", helper.targets["r0"], remote_node=1)
+        )
+        engine.run()
+        assert isinstance(proc.exception, NoCheckpointAvailable)
+
+    def test_requires_fabric(self):
+        engine, src, dst, fabric, alloc, ck, helper = make_world()
+        mgr = RestartManager(src)  # no fabric/node_id
+        proc = engine.process(
+            mgr.restart_from_remote("r0", helper.targets["r0"], remote_node=1)
+        )
+        engine.run()
+        assert isinstance(proc.exception, NoCheckpointAvailable)
+
+    def test_phantom_rebuild(self):
+        engine, src, dst, fabric, alloc, ck, helper = make_world(phantom=True)
+        alloc.nvalloc("a", MB(2)).touch()
+        checkpoint_and_replicate(engine, alloc, ck, helper)
+        replacement = make_standalone_context(name="n0v2", engine=engine)
+        mgr = RestartManager(replacement, fabric=fabric, node_id=0)
+        proc = engine.process(
+            mgr.restart_from_remote(
+                "r0", helper.targets["r0"], remote_node=1, phantom=True
+            )
+        )
+        engine.run()
+        assert proc.value.bytes_remote == MB(2)

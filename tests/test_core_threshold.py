@@ -1,0 +1,89 @@
+"""DCPC threshold estimation: T_c = D/BW, T_p = I - T_c."""
+
+import pytest
+
+from repro.core.threshold import ThresholdEstimator
+from repro.units import MB, MB_per_sec
+
+
+@pytest.fixture
+def est():
+    return ThresholdEstimator(bandwidth_per_core=MB_per_sec(100), smoothing=0.5, margin=1.0)
+
+
+class TestLearning:
+    def test_unlearned_threshold_is_zero(self, est):
+        assert not est.learned
+        assert est.threshold() == 0.0
+
+    def test_one_observation_learns(self, est):
+        est.observe_interval(40.0, MB(400))
+        assert est.learned
+        assert est.interval_estimate == pytest.approx(40.0)
+        assert est.data_size_estimate == pytest.approx(MB(400))
+
+    def test_nonpositive_interval_ignored(self, est):
+        est.observe_interval(0.0, MB(100))
+        assert not est.learned
+
+
+class TestEquations:
+    def test_paper_equation(self, est):
+        """T_c = D/NVMBW_core; T_p = I - T_c (margin 1.0)."""
+        est.observe_interval(40.0, MB(400))
+        assert est.copy_time() == pytest.approx(4.0)
+        assert est.threshold() == pytest.approx(36.0)
+
+    def test_margin_scales_copy_time(self):
+        est = ThresholdEstimator(MB_per_sec(100), margin=1.5)
+        est.observe_interval(40.0, MB(400))
+        assert est.copy_time() == pytest.approx(6.0)
+        assert est.threshold() == pytest.approx(34.0)
+
+    def test_threshold_never_negative(self, est):
+        # copy takes longer than the whole interval
+        est.observe_interval(2.0, MB(400))
+        assert est.threshold() == 0.0
+
+    def test_update_bandwidth(self, est):
+        est.observe_interval(40.0, MB(400))
+        est.update_bandwidth(MB_per_sec(200))
+        assert est.copy_time() == pytest.approx(2.0)
+
+    def test_update_bandwidth_ignores_nonpositive(self, est):
+        est.update_bandwidth(0.0)
+        assert est.bandwidth_per_core == MB_per_sec(100)
+
+
+class TestAdaptation:
+    def test_exponential_smoothing(self, est):
+        est.observe_interval(40.0, MB(400))
+        est.observe_interval(20.0, MB(200))
+        # s=0.5: interval = 0.5*20 + 0.5*40 = 30
+        assert est.interval_estimate == pytest.approx(30.0)
+        assert est.data_size_estimate == pytest.approx(MB(300))
+
+    def test_converges_to_stable_workload(self, est):
+        est.observe_interval(100.0, MB(100))
+        for _ in range(12):
+            est.observe_interval(40.0, MB(400))
+        assert est.interval_estimate == pytest.approx(40.0, rel=0.01)
+
+    def test_observation_count(self, est):
+        for _ in range(3):
+            est.observe_interval(40.0, MB(400))
+        assert est.observations == 3
+
+
+class TestValidation:
+    def test_bandwidth_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ThresholdEstimator(0.0)
+
+    def test_smoothing_range(self):
+        with pytest.raises(ValueError):
+            ThresholdEstimator(1.0, smoothing=0.0)
+
+    def test_margin_at_least_one(self):
+        with pytest.raises(ValueError):
+            ThresholdEstimator(1.0, margin=0.5)

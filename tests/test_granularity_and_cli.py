@@ -1,0 +1,129 @@
+"""Page-vs-chunk tracking granularity and the experiment CLI."""
+
+import json
+
+import pytest
+
+from repro.config import PrecopyPolicy
+from repro.tools.experiment import build_parser, main, result_to_dict, run_experiment
+from repro.units import PAGE_SIZE, MB
+
+
+class TestGranularity:
+    def test_policy_validates_granularity(self):
+        assert PrecopyPolicy(granularity="page").granularity == "page"
+        with pytest.raises(ValueError):
+            PrecopyPolicy(granularity="byte")
+
+    def test_chunk_level_single_fault(self):
+        from tests.test_alloc_chunk import make_chunk
+
+        chunk, _ = make_chunk(nbytes=8 * PAGE_SIZE)
+        chunk.mark_precopied("local")
+        assert chunk.touch() == 1
+        assert chunk.fault_count == 1
+
+    def test_page_level_fault_per_page(self):
+        from tests.test_alloc_chunk import make_chunk
+
+        chunk, _ = make_chunk(nbytes=8 * PAGE_SIZE)
+        chunk.page_granular_protection = True
+        chunk.mark_precopied("local")
+        assert chunk.touch() == 8  # one fault per page of the full write
+        assert chunk.fault_count == 8
+
+    def test_page_level_partial_write(self):
+        from tests.test_alloc_chunk import make_chunk
+
+        chunk, _ = make_chunk(nbytes=8 * PAGE_SIZE)
+        chunk.page_granular_protection = True
+        chunk.mark_precopied("local")
+        assert chunk.touch(2 * PAGE_SIZE) == 2
+
+    def test_paper_arithmetic_3s_per_gb(self):
+        """§IV: 6-12 us per fault -> ~seconds per rewritten GB."""
+        from repro.units import GB, pages_of
+
+        faults = pages_of(GB(1))
+        cost = faults * PrecopyPolicy().fault_cost
+        assert 1.5 <= cost <= 3.2  # '3 sec for 1 GB'
+
+    def test_checkpointer_wires_granularity(self):
+        from repro.alloc import NVAllocator
+        from repro.core import LocalCheckpointer, make_standalone_context
+
+        ctx = make_standalone_context(name="g")
+        alloc = NVAllocator("p0", ctx.nvmm, ctx.dram, phantom=True)
+        alloc.nvalloc("a", MB(1))
+        ck = LocalCheckpointer(ctx, alloc, PrecopyPolicy(granularity="page"))
+        ck.start_background()
+        assert alloc.chunk("a").page_granular_protection
+        ck.stop_background()
+
+
+class TestCli:
+    def _args(self, *extra):
+        return build_parser().parse_args(
+            [
+                "--app", "synthetic", "--nodes", "2", "--ranks-per-node", "2",
+                "--iterations", "2", "--local-interval", "10",
+                "--remote-interval", "30", "--checkpoint-mb", "40",
+                "--chunk-mb", "10", "--comm-mb", "10", *extra,
+            ]
+        )
+
+    def test_run_experiment_returns_result(self):
+        res = run_experiment(self._args())
+        assert res.iterations == 2
+        assert res.n_ranks == 4
+        assert res.total_time > 0
+
+    def test_result_to_dict_is_json_serializable(self):
+        res = run_experiment(self._args())
+        payload = json.dumps(result_to_dict(res))
+        back = json.loads(payload)
+        assert back["iterations"] == 2
+        assert back["local"]["checkpoints"] == 8
+
+    def test_main_writes_json(self, tmp_path, capsys):
+        out = tmp_path / "r.json"
+        code = main(
+            [
+                "--app", "synthetic", "--nodes", "2", "--ranks-per-node", "2",
+                "--iterations", "2", "--local-interval", "10",
+                "--remote-interval", "30", "--checkpoint-mb", "40",
+                "--chunk-mb", "10", "--no-remote", "--json", str(out),
+            ]
+        )
+        assert code == 0
+        data = json.loads(out.read_text())
+        assert data["remote"]["rounds"] == 0
+        assert "execution time" in capsys.readouterr().out
+
+    def test_main_timeline_flag(self, capsys):
+        code = main(
+            [
+                "--app", "synthetic", "--nodes", "2", "--ranks-per-node", "2",
+                "--iterations", "2", "--local-interval", "10",
+                "--remote-interval", "30", "--checkpoint-mb", "40",
+                "--chunk-mb", "10", "--no-remote", "--timeline",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "C=compute" in out
+
+    def test_failure_injection_flags(self):
+        res = run_experiment(self._args("--mtbf-local", "40", "--seed", "13"))
+        assert res.iterations == 2
+        assert res.soft_failures >= 1
+
+    def test_no_precopy_mode(self):
+        res = run_experiment(self._args("--mode", "none", "--no-remote-precopy"))
+        assert res.policy_mode == "none"
+        assert not res.remote_precopy
+
+    def test_page_granularity_flag_costs_faults(self):
+        chunk_arm = run_experiment(self._args("--granularity", "chunk"))
+        page_arm = run_experiment(self._args("--granularity", "page"))
+        assert page_arm.fault_time_total > chunk_arm.fault_time_total

@@ -1,0 +1,119 @@
+"""Memory device models: capacity, timing, wear, endurance."""
+
+import pytest
+
+from repro.config import DRAM_CONFIG, PCM_CONFIG
+from repro.errors import OutOfMemory
+from repro.memory import MemoryDevice
+from repro.units import GB, MB, PAGE_SIZE
+
+
+@pytest.fixture
+def pcm():
+    return MemoryDevice(PCM_CONFIG)
+
+
+class TestCapacity:
+    def test_allocate_and_release(self, pcm):
+        pcm.allocate(MB(100), owner="p0")
+        assert pcm.allocated == MB(100)
+        assert pcm.allocated_by("p0") == MB(100)
+        pcm.release(MB(100), owner="p0")
+        assert pcm.allocated == 0
+        assert pcm.allocated_by("p0") == 0
+
+    def test_out_of_memory(self, pcm):
+        with pytest.raises(OutOfMemory):
+            pcm.allocate(pcm.capacity + 1)
+
+    def test_exhaust_exactly(self, pcm):
+        pcm.allocate(pcm.capacity)
+        assert pcm.free == 0
+        with pytest.raises(OutOfMemory):
+            pcm.allocate(1)
+
+    def test_negative_sizes_rejected(self, pcm):
+        with pytest.raises(ValueError):
+            pcm.allocate(-1)
+        with pytest.raises(ValueError):
+            pcm.release(-1)
+
+    def test_over_release_rejected(self, pcm):
+        pcm.allocate(10)
+        with pytest.raises(ValueError):
+            pcm.release(11)
+
+    def test_peak_watermark(self, pcm):
+        pcm.allocate(MB(10))
+        pcm.allocate(MB(20))
+        pcm.release(MB(25))
+        assert pcm.peak_allocated == MB(30)
+
+
+class TestTiming:
+    def test_write_time_bandwidth_bound(self, pcm):
+        # 2 GiB at 2 GiB/s = 1 s (bandwidth dominates for big writes)
+        t = pcm.write_time(GB(2))
+        assert t == pytest.approx(1.0, rel=0.05)
+
+    def test_write_time_latency_floor_small(self):
+        # on a device fast enough that bandwidth alone would predict
+        # < page latency, the per-page latency floor applies
+        import dataclasses
+
+        fast = dataclasses.replace(PCM_CONFIG, write_bandwidth=1e12)
+        dev = MemoryDevice(fast)
+        assert dev.write_time(PAGE_SIZE) == pytest.approx(fast.page_write_latency)
+
+    def test_write_time_never_below_latency_floor(self, pcm):
+        assert pcm.write_time(PAGE_SIZE) >= PCM_CONFIG.page_write_latency
+
+    def test_read_faster_than_write_on_pcm(self, pcm):
+        assert pcm.read_time(MB(64)) < pcm.write_time(MB(64))
+
+    def test_zero_bytes_zero_time(self, pcm):
+        assert pcm.write_time(0) == 0.0
+        assert pcm.read_time(0) == 0.0
+
+    def test_dram_symmetric(self):
+        dram = MemoryDevice(DRAM_CONFIG)
+        assert dram.read_time(MB(64)) == pytest.approx(dram.write_time(MB(64)))
+
+
+class TestWearAndEnergy:
+    def test_write_accounting(self, pcm):
+        pcm.record_write(MB(1))
+        assert pcm.wear.bytes_written == MB(1)
+        assert pcm.wear.page_writes == MB(1) // PAGE_SIZE
+
+    def test_read_accounting(self, pcm):
+        pcm.record_read(MB(2))
+        assert pcm.wear.bytes_read == MB(2)
+
+    def test_energy_40x_dram(self):
+        pcm = MemoryDevice(PCM_CONFIG)
+        dram = MemoryDevice(DRAM_CONFIG)
+        pcm.record_write(MB(1))
+        dram.record_write(MB(1))
+        ratio = pcm.wear.write_energy_joules / dram.wear.write_energy_joules
+        assert ratio == pytest.approx(40.0)
+
+    def test_endurance_fraction(self, pcm):
+        pcm.record_write(int(0.01 * PCM_CONFIG.write_endurance * PCM_CONFIG.capacity))
+        assert pcm.endurance_fraction_used() == pytest.approx(0.01)
+
+    def test_endurance_zero_when_unwritten(self, pcm):
+        assert pcm.endurance_fraction_used() == 0.0
+        assert pcm.estimated_lifetime_seconds(100.0) == float("inf")
+
+    def test_lifetime_extrapolation(self, pcm):
+        # consume 1% of endurance in 100 s -> lifetime 10,000 s
+        pcm.record_write(int(0.01 * PCM_CONFIG.write_endurance * PCM_CONFIG.capacity))
+        assert pcm.estimated_lifetime_seconds(100.0) == pytest.approx(10_000.0, rel=0.01)
+
+    def test_wear_merge(self, pcm):
+        other = MemoryDevice(PCM_CONFIG)
+        pcm.record_write(100)
+        other.record_write(50)
+        pcm.wear.merge(other.wear)
+        assert pcm.wear.bytes_written == 150

@@ -1,0 +1,109 @@
+"""Page tables: protection bits, nvdirty bits, fault accounting."""
+
+import pytest
+
+from repro.errors import InvalidAddress
+from repro.memory import PageTable
+from repro.units import PAGE_SIZE
+
+
+@pytest.fixture
+def table():
+    return PageTable(10 * PAGE_SIZE)
+
+
+class TestConstruction:
+    def test_page_count(self, table):
+        assert table.n_pages == 10
+
+    def test_partial_last_page(self):
+        t = PageTable(PAGE_SIZE + 1)
+        assert t.n_pages == 2
+
+    def test_empty_region(self):
+        t = PageTable(0)
+        assert t.n_pages == 0
+        assert not t.any_protected()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PageTable(-1)
+        with pytest.raises(ValueError):
+            PageTable(100, page_size=0)
+
+
+class TestProtection:
+    def test_protect_all_and_check_range(self, table):
+        table.protect_all()
+        assert table.is_protected(0)
+        assert table.is_protected(5 * PAGE_SIZE, PAGE_SIZE)
+        assert table.any_protected()
+
+    def test_unprotect_all(self, table):
+        table.protect_all()
+        table.unprotect_all()
+        assert not table.any_protected()
+
+    def test_out_of_bounds_access(self, table):
+        with pytest.raises(InvalidAddress):
+            table.is_protected(10 * PAGE_SIZE, 1)
+        with pytest.raises(InvalidAddress):
+            table.is_protected(-1)
+
+    def test_fault_counting(self, table):
+        table.record_fault()
+        table.record_fault()
+        assert table.fault_count == 2
+
+
+class TestNvDirty:
+    def test_mark_and_collect(self, table):
+        table.mark_nvdirty(0, 1)  # page 0
+        table.mark_nvdirty(3 * PAGE_SIZE, PAGE_SIZE)  # page 3
+        assert table.collect_nvdirty(clear=False) == [0, 3]
+
+    def test_range_spanning_pages(self, table):
+        table.mark_nvdirty(PAGE_SIZE - 1, 2)  # crosses page 0->1
+        assert table.collect_nvdirty() == [0, 1]
+
+    def test_collect_clears_by_default(self, table):
+        table.mark_nvdirty(0, PAGE_SIZE)
+        assert table.collect_nvdirty() == [0]
+        assert table.collect_nvdirty() == []
+
+    def test_mark_all(self, table):
+        table.mark_all_nvdirty()
+        assert len(table.collect_nvdirty()) == 10
+
+    def test_nvdirty_bytes_full_pages(self, table):
+        table.mark_nvdirty(0, 2 * PAGE_SIZE)
+        assert table.nvdirty_bytes() == 2 * PAGE_SIZE
+
+    def test_nvdirty_bytes_partial_last_page(self):
+        t = PageTable(PAGE_SIZE + 100)
+        t.mark_all_nvdirty()
+        assert t.nvdirty_bytes() == PAGE_SIZE + 100
+
+    def test_nvdirty_bytes_zero(self, table):
+        assert table.nvdirty_bytes() == 0
+
+    def test_zero_length_mark_is_noop(self, table):
+        table.mark_nvdirty(0, 0)
+        assert table.collect_nvdirty() == []
+
+
+class TestResize:
+    def test_grow_preserves_state(self, table):
+        table.protect_all()
+        table.mark_nvdirty(0, PAGE_SIZE)
+        table.resize(20 * PAGE_SIZE)
+        assert table.n_pages == 20
+        assert table.is_protected(0)
+        assert not table.is_protected(15 * PAGE_SIZE)  # new pages clean
+        assert table.collect_nvdirty() == [0]
+
+    def test_shrink_truncates(self, table):
+        table.mark_nvdirty(9 * PAGE_SIZE, PAGE_SIZE)
+        table.resize(5 * PAGE_SIZE)
+        assert table.n_pages == 5
+        assert table.collect_nvdirty() == []

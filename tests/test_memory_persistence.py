@@ -1,0 +1,206 @@
+"""Persistent stores: region lifecycle, flush boundary, crash rollback,
+file-backed restart."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidAddress, PersistenceError
+from repro.memory import FileStore, InMemoryStore
+
+
+@pytest.fixture(params=["memory", "file"])
+def anystore(request, tmp_path):
+    if request.param == "memory":
+        return InMemoryStore()
+    return FileStore(str(tmp_path / "store"))
+
+
+class TestRegionLifecycle:
+    def test_create_zero_filled(self, anystore):
+        anystore.create("r", 64)
+        assert anystore.size("r") == 64
+        assert not anystore.read("r").any()
+
+    def test_duplicate_create_rejected(self, anystore):
+        anystore.create("r", 8)
+        with pytest.raises(PersistenceError):
+            anystore.create("r", 8)
+
+    def test_delete(self, anystore):
+        anystore.create("r", 8)
+        anystore.delete("r")
+        assert not anystore.exists("r")
+        with pytest.raises(PersistenceError):
+            anystore.read("r")
+
+    def test_delete_unknown_rejected(self, anystore):
+        with pytest.raises(PersistenceError):
+            anystore.delete("ghost")
+
+    def test_resize_grow_preserves_prefix(self, anystore):
+        anystore.create("r", 4)
+        anystore.write("r", 0, np.array([1, 2, 3, 4], dtype=np.uint8))
+        anystore.resize("r", 8)
+        assert list(anystore.read("r")[:4]) == [1, 2, 3, 4]
+        assert list(anystore.read("r")[4:]) == [0, 0, 0, 0]
+
+    def test_resize_shrink(self, anystore):
+        anystore.create("r", 8)
+        anystore.resize("r", 2)
+        assert anystore.size("r") == 2
+
+    def test_list_regions_sorted(self, anystore):
+        for name in ("c", "a", "b"):
+            anystore.create(name, 1)
+        assert anystore.list_regions() == ["a", "b", "c"]
+
+    def test_negative_size_rejected(self, anystore):
+        with pytest.raises(PersistenceError):
+            anystore.create("r", -1)
+
+
+class TestDataAccess:
+    def test_write_read_roundtrip(self, anystore):
+        anystore.create("r", 1024)
+        data = np.arange(128, dtype=np.float64)
+        anystore.write("r", 0, data)
+        got = anystore.read("r", 0, 1024).view(np.float64)
+        assert np.array_equal(got, data)
+
+    def test_offset_write(self, anystore):
+        anystore.create("r", 16)
+        anystore.write("r", 8, np.full(8, 7, dtype=np.uint8))
+        got = anystore.read("r")
+        assert not got[:8].any()
+        assert (got[8:] == 7).all()
+
+    def test_out_of_bounds_write(self, anystore):
+        anystore.create("r", 8)
+        with pytest.raises(InvalidAddress):
+            anystore.write("r", 4, np.zeros(8, dtype=np.uint8))
+
+    def test_out_of_bounds_read(self, anystore):
+        anystore.create("r", 8)
+        with pytest.raises(InvalidAddress):
+            anystore.read("r", 4, 8)
+
+    def test_read_returns_copy(self, anystore):
+        anystore.create("r", 4)
+        got = anystore.read("r")
+        got[:] = 99
+        assert not anystore.read("r").any()
+
+
+class TestFlushBoundary:
+    def test_unflushed_write_dies_on_crash(self, anystore):
+        anystore.create("r", 4)
+        anystore.flush()
+        anystore.write("r", 0, np.full(4, 5, dtype=np.uint8))
+        anystore.crash()
+        assert not anystore.read("r").any()
+
+    def test_flushed_write_survives_crash(self, anystore):
+        anystore.create("r", 4)
+        anystore.write("r", 0, np.full(4, 5, dtype=np.uint8))
+        anystore.flush()
+        anystore.crash()
+        assert (anystore.read("r") == 5).all()
+
+    def test_unflushed_region_creation_dies(self, anystore):
+        anystore.create("never_flushed", 4)
+        anystore.crash()
+        assert not anystore.exists("never_flushed")
+
+    def test_flush_returns_byte_count(self, anystore):
+        anystore.create("r", 100)
+        assert anystore.flush() == 100
+        assert anystore.flush() == 0  # nothing dirty now
+
+    def test_metadata_flush_boundary(self, anystore):
+        anystore.put_meta("k", {"a": 1})
+        anystore.flush()
+        anystore.put_meta("k", {"a": 2})
+        anystore.crash()
+        assert anystore.get_meta("k") == {"a": 1}
+
+    def test_meta_delete_crash_rollback(self, anystore):
+        anystore.put_meta("k", 1)
+        anystore.flush()
+        anystore.delete_meta("k")
+        anystore.crash()
+        assert anystore.get_meta("k") == 1
+
+    def test_meta_delete_flushed(self, anystore):
+        anystore.put_meta("k", 1)
+        anystore.flush()
+        anystore.delete_meta("k")
+        anystore.flush()
+        anystore.crash()
+        assert anystore.get_meta("k") is None
+
+    def test_meta_value_is_deep_copied(self, anystore):
+        payload = {"list": [1, 2]}
+        anystore.put_meta("k", payload)
+        payload["list"].append(3)
+        assert anystore.get_meta("k") == {"list": [1, 2]}
+
+
+class TestFileStoreRestart:
+    def test_survives_process_restart(self, tmp_path):
+        path = str(tmp_path / "s")
+        s1 = FileStore(path)
+        s1.create("r", 16)
+        s1.write("r", 0, np.arange(16, dtype=np.uint8))
+        s1.put_meta("who", "rank0")
+        s1.flush()
+        del s1
+        s2 = FileStore(path)
+        assert s2.get_meta("who") == "rank0"
+        assert list(s2.read("r")) == list(range(16))
+
+    def test_unflushed_lost_across_restart(self, tmp_path):
+        path = str(tmp_path / "s")
+        s1 = FileStore(path)
+        s1.create("r", 4)
+        s1.flush()
+        s1.write("r", 0, np.full(4, 9, dtype=np.uint8))
+        del s1  # no flush
+        s2 = FileStore(path)
+        assert not s2.read("r").any()
+
+    def test_deleted_region_gone_after_restart(self, tmp_path):
+        path = str(tmp_path / "s")
+        s1 = FileStore(path)
+        s1.create("r", 4)
+        s1.flush()
+        s1.delete("r")
+        s1.flush()
+        del s1
+        assert not FileStore(path).exists("r")
+
+    def test_corrupt_metadata_detected(self, tmp_path):
+        path = tmp_path / "s"
+        s1 = FileStore(str(path))
+        s1.create("r", 4)
+        s1.flush()
+        (path / "meta.json").write_text("{not json")
+        with pytest.raises(PersistenceError):
+            FileStore(str(path))
+
+    def test_missing_region_file_detected(self, tmp_path):
+        path = tmp_path / "s"
+        s1 = FileStore(str(path))
+        s1.create("r", 4)
+        s1.flush()
+        (path / "region_r.bin").unlink()
+        with pytest.raises(PersistenceError):
+            FileStore(str(path))
+
+    def test_truncated_region_file_detected(self, tmp_path):
+        path = tmp_path / "s"
+        s1 = FileStore(str(path))
+        s1.create("r", 4)
+        s1.flush()
+        (path / "region_r.bin").write_bytes(b"\0")
+        with pytest.raises(PersistenceError):
+            FileStore(str(path))

@@ -1,0 +1,187 @@
+"""The §III analytic model: equations, fixed point, optimal interval."""
+
+import pytest
+
+from repro.models import (
+    ModelParams,
+    MultilevelModel,
+    daly_interval,
+    efficiency,
+    optimal_local_interval,
+    overhead_fraction,
+    young_interval,
+)
+from repro.units import GB_per_sec, MB, MB_per_sec
+
+
+def params(**kw):
+    defaults = dict(
+        compute_time=3600.0,
+        checkpoint_bytes=MB(400),
+        nvm_bw_per_core=MB_per_sec(170),
+        remote_bw=MB_per_sec(400),
+        local_interval=40.0,
+        remote_interval=120.0,
+        mtbf_local=3600.0,
+        mtbf_remote=14400.0,
+    )
+    defaults.update(kw)
+    return ModelParams(**defaults)
+
+
+class TestParams:
+    def test_t_lcl_is_size_over_bandwidth(self):
+        p = params()
+        assert p.t_lcl == pytest.approx(MB(400) / MB_per_sec(170))
+
+    def test_precopy_overlap_hides_local_cost(self):
+        base = params().t_lcl
+        hidden = params(precopy_overlap=0.8).t_lcl
+        assert hidden == pytest.approx(0.2 * base)
+
+    def test_k_locals_per_remote(self):
+        assert params().k_locals_per_remote == pytest.approx(3.0)
+        assert params(remote_interval=10.0).k_locals_per_remote == 1.0
+
+    def test_fetch_times_proportional(self):
+        p = params(local_fetch_factor=2.0)
+        assert p.r_lcl == pytest.approx(2.0 * MB(400) / MB_per_sec(170))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            params(compute_time=0.0)
+        with pytest.raises(ValueError):
+            params(precopy_overlap=1.5)
+        with pytest.raises(ValueError):
+            params(remote_noise_fraction=-0.1)
+
+    def test_with_replaces(self):
+        p = params().with_(local_interval=80.0)
+        assert p.local_interval == 80.0
+        assert p.compute_time == 3600.0
+
+
+class TestEquations:
+    def test_n_local(self):
+        m = MultilevelModel(params())
+        assert m.n_local == pytest.approx(90.0)
+
+    def test_t_lcl_total(self):
+        m = MultilevelModel(params())
+        assert m.local_checkpoint_time() == pytest.approx(90.0 * params().t_lcl)
+
+    def test_local_restart_terms(self):
+        p = params()
+        m = MultilevelModel(p)
+        restart, recomp = m.local_restart_terms()
+        f = 3600.0 / 3600.0  # one expected local failure
+        assert restart == pytest.approx(f * p.r_lcl)
+        assert recomp == pytest.approx(f * (40.0 + p.t_lcl) / 2.0)
+
+    def test_remote_recompute_includes_k(self):
+        p = params()
+        m = MultilevelModel(p)
+        _, recomp = m.remote_restart_terms(total_time=14400.0)
+        # F_rmt = 1; K = 3
+        assert recomp == pytest.approx(3.0 * (40.0 + p.t_lcl) / 2.0)
+
+    def test_remote_overhead_from_noise(self):
+        p = params(remote_noise_fraction=0.05)
+        m = MultilevelModel(p)
+        # 30 remote intervals * 0.05 * 120 s
+        assert m.remote_overhead() == pytest.approx(30 * 6.0)
+
+
+class TestFixedPoint:
+    def test_solution_consistent(self):
+        m = MultilevelModel(params())
+        bd = m.solve()
+        # plugging T_total back in reproduces the remote failure terms
+        r_restart, r_recomp = m.remote_restart_terms(bd.total)
+        assert bd.remote_restart == pytest.approx(r_restart, rel=1e-6)
+        assert bd.remote_recompute == pytest.approx(r_recomp, rel=1e-6)
+
+    def test_total_exceeds_compute(self):
+        bd = MultilevelModel(params()).solve()
+        assert bd.total > params().compute_time
+
+    def test_no_failures_limit(self):
+        p = params(mtbf_local=1e15, mtbf_remote=1e15)
+        bd = MultilevelModel(p).solve()
+        assert bd.restart_total == pytest.approx(0.0, abs=1e-3)
+        assert bd.total == pytest.approx(
+            p.compute_time + MultilevelModel(p).local_checkpoint_time(), rel=1e-6
+        )
+
+    def test_breakdown_sums(self):
+        bd = MultilevelModel(params()).solve()
+        assert bd.total == pytest.approx(
+            bd.compute + bd.local_checkpoint + bd.remote_overhead
+            + bd.restart_total + bd.recompute_total
+        )
+
+
+class TestMonotonicity:
+    def test_more_failures_more_time(self):
+        fast = MultilevelModel(params(mtbf_local=7200.0)).total_time()
+        slow = MultilevelModel(params(mtbf_local=900.0)).total_time()
+        assert slow > fast
+
+    def test_more_bandwidth_less_time(self):
+        slow = MultilevelModel(params(nvm_bw_per_core=MB_per_sec(100))).total_time()
+        fast = MultilevelModel(params(nvm_bw_per_core=MB_per_sec(400))).total_time()
+        assert fast < slow
+
+    def test_precopy_improves_total(self):
+        base = MultilevelModel(params()).total_time()
+        pre = MultilevelModel(params(precopy_overlap=0.7)).total_time()
+        assert pre < base
+
+    def test_efficiency_between_0_and_1(self):
+        assert 0.0 < efficiency(params()) < 1.0
+
+    def test_efficiency_improves_with_precopy(self):
+        assert efficiency(params(precopy_overlap=0.7)) > efficiency(params())
+
+    def test_overhead_fraction_positive(self):
+        assert overhead_fraction(params()) > 0.0
+
+
+class TestOptimalInterval:
+    def test_young_formula(self):
+        assert young_interval(10.0, 1000.0) == pytest.approx((2 * 10 * 1000) ** 0.5)
+
+    def test_daly_close_to_young_for_small_ratio(self):
+        y = young_interval(1.0, 10000.0)
+        d = daly_interval(1.0, 10000.0)
+        assert d == pytest.approx(y, rel=0.05)
+
+    def test_daly_degenerate_regime(self):
+        assert daly_interval(30.0, 10.0) == 10.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            young_interval(0.0, 10.0)
+        with pytest.raises(ValueError):
+            daly_interval(10.0, 0.0)
+
+    def test_numeric_optimum_beats_endpoints(self):
+        p = params(mtbf_local=600.0)
+        best_i, best_t = optimal_local_interval(p, lo=5.0, hi=600.0)
+        assert 5.0 <= best_i <= 600.0
+        t_lo = MultilevelModel(p.with_(local_interval=5.0)).total_time()
+        t_hi = MultilevelModel(p.with_(local_interval=600.0)).total_time()
+        assert best_t <= t_lo + 1e-6
+        assert best_t <= t_hi + 1e-6
+
+    def test_numeric_optimum_near_young(self):
+        """With only local failures, the model optimum should land in
+        the same ballpark as Young's closed form."""
+        p = params(mtbf_local=1200.0, mtbf_remote=1e12, remote_noise_fraction=0.0)
+        best_i, _ = optimal_local_interval(p, lo=5.0, hi=1000.0)
+        y = young_interval(p.t_lcl, p.mtbf_local)
+        assert best_i == pytest.approx(y, rel=0.5)
+
+    def test_bounds_validation(self):
+        with pytest.raises(ValueError):
+            optimal_local_interval(params(), lo=10.0, hi=5.0)

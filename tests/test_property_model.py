@@ -1,0 +1,98 @@
+"""Property-based tests of the §III analytic model: monotonicity in
+every physically-meaningful direction and fixed-point stability."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.models import ModelParams, MultilevelModel, efficiency
+from repro.units import MB, MB_per_sec
+
+param_sets = st.fixed_dictionaries(
+    {
+        "compute_time": st.floats(600.0, 86_400.0),
+        "checkpoint_mb": st.floats(10.0, 2000.0),
+        "nvm_mb": st.floats(50.0, 2000.0),
+        "remote_mb": st.floats(50.0, 2000.0),
+        "local_interval": st.floats(10.0, 600.0),
+        "remote_multiple": st.integers(1, 10),
+        "mtbf_local": st.floats(600.0, 1e6),
+        "mtbf_remote": st.floats(3600.0, 1e7),
+        "overlap": st.floats(0.0, 0.95),
+    }
+)
+
+
+def build(d, **over):
+    kw = dict(
+        compute_time=d["compute_time"],
+        checkpoint_bytes=MB(d["checkpoint_mb"]),
+        nvm_bw_per_core=MB_per_sec(d["nvm_mb"]),
+        remote_bw=MB_per_sec(d["remote_mb"]),
+        local_interval=d["local_interval"],
+        remote_interval=d["local_interval"] * d["remote_multiple"],
+        mtbf_local=d["mtbf_local"],
+        mtbf_remote=d["mtbf_remote"],
+        precopy_overlap=d["overlap"],
+    )
+    kw.update(over)
+    return ModelParams(**kw)
+
+
+@given(d=param_sets)
+@settings(max_examples=150, deadline=None)
+def test_total_at_least_compute(d):
+    assert MultilevelModel(build(d)).total_time() >= d["compute_time"]
+
+
+@given(d=param_sets)
+@settings(max_examples=150, deadline=None)
+def test_efficiency_in_unit_interval(d):
+    assert 0.0 < efficiency(build(d)) <= 1.0
+
+
+@given(d=param_sets)
+@settings(max_examples=100, deadline=None)
+def test_monotone_in_precopy_overlap(d):
+    lo = MultilevelModel(build(d, precopy_overlap=0.0)).total_time()
+    hi = MultilevelModel(build(d, precopy_overlap=0.9)).total_time()
+    assert hi <= lo + 1e-6
+
+
+@given(d=param_sets)
+@settings(max_examples=100, deadline=None)
+def test_monotone_in_local_mtbf(d):
+    frail = MultilevelModel(build(d, mtbf_local=max(600.0, d["mtbf_local"] / 4))).total_time()
+    sturdy = MultilevelModel(build(d, mtbf_local=d["mtbf_local"] * 4)).total_time()
+    assert sturdy <= frail + 1e-6
+
+
+@given(d=param_sets)
+@settings(max_examples=100, deadline=None)
+def test_monotone_in_nvm_bandwidth(d):
+    slow = MultilevelModel(
+        build(d, nvm_bw_per_core=MB_per_sec(d["nvm_mb"] / 2))
+    ).total_time()
+    fast = MultilevelModel(
+        build(d, nvm_bw_per_core=MB_per_sec(d["nvm_mb"] * 2))
+    ).total_time()
+    assert fast <= slow + 1e-6
+
+
+@given(d=param_sets)
+@settings(max_examples=100, deadline=None)
+def test_fixed_point_is_self_consistent(d):
+    m = MultilevelModel(build(d))
+    bd = m.solve()
+    r_restart, r_recomp = m.remote_restart_terms(bd.total)
+    assert bd.remote_restart == pytest.approx(r_restart, rel=1e-6, abs=1e-9)
+    assert bd.remote_recompute == pytest.approx(r_recomp, rel=1e-6, abs=1e-9)
+
+
+@given(d=param_sets)
+@settings(max_examples=100, deadline=None)
+def test_breakdown_components_nonnegative(d):
+    bd = MultilevelModel(build(d)).solve()
+    assert bd.local_checkpoint >= 0
+    assert bd.remote_overhead >= 0
+    assert bd.local_restart >= 0
+    assert bd.remote_recompute >= 0

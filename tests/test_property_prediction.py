@@ -1,0 +1,110 @@
+"""Property-based tests of the DCPCP predictor: convergence on
+periodic workloads, safety (eligibility never blocks forever within an
+interval once the pattern repeats), and state-machine consistency."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.prediction import ModificationStateMachine, PredictionTable
+
+
+class FakeChunk:
+    def __init__(self, cid):
+        self.chunk_id = cid
+
+
+# per-chunk modification counts for a periodic workload
+workload = st.dictionaries(
+    keys=st.integers(0, 6),
+    values=st.integers(1, 8),
+    min_size=1,
+    max_size=6,
+)
+
+
+def run_interval(table, counts):
+    table.begin_interval()
+    for cid, n in sorted(counts.items()):
+        for _ in range(n):
+            table.observe(FakeChunk(cid))
+    table.end_interval()
+
+
+@given(counts=workload, intervals=st.integers(2, 8))
+@settings(max_examples=100, deadline=None)
+def test_expected_mods_converges_on_periodic_workload(counts, intervals):
+    table = PredictionTable(smoothing=0.5)
+    for _ in range(intervals):
+        run_interval(table, counts)
+    for cid, n in counts.items():
+        assert table.expected_mods(FakeChunk(cid)) == pytest.approx(n, rel=1e-6)
+
+
+@given(counts=workload)
+@settings(max_examples=100, deadline=None)
+def test_chunk_becomes_eligible_after_its_last_observed_mod(counts):
+    """Safety: on a repeating workload, every chunk is eligible by the
+    time its learned modification count arrives — DCPCP never starves
+    a chunk past its final write."""
+    table = PredictionTable(smoothing=0.5)
+    run_interval(table, counts)  # learning
+    table.begin_interval()
+    for cid, n in sorted(counts.items()):
+        chunk = FakeChunk(cid)
+        for _ in range(n):
+            table.observe(chunk)
+        assert table.eligible(chunk)
+
+
+@given(counts=workload)
+@settings(max_examples=100, deadline=None)
+def test_remaining_mods_monotone_within_interval(counts):
+    table = PredictionTable(smoothing=0.5)
+    run_interval(table, counts)
+    table.begin_interval()
+    for cid, n in sorted(counts.items()):
+        chunk = FakeChunk(cid)
+        prev = table.remaining_mods(chunk)
+        for _ in range(n):
+            table.observe(chunk)
+            cur = table.remaining_mods(chunk)
+            assert cur <= prev
+            prev = cur
+        assert table.remaining_mods(chunk) == 0.0
+
+
+@given(
+    sequence=st.lists(st.integers(0, 4), min_size=2, max_size=60),
+)
+@settings(max_examples=100, deadline=None)
+def test_state_machine_transition_conservation(sequence):
+    """Total transition count equals observations minus walk starts."""
+    m = ModificationStateMachine()
+    for cid in sequence:
+        m.observe(cid)
+    assert sum(m.transitions.values()) == len(sequence) - 1
+
+
+@given(
+    sequence=st.lists(st.integers(0, 4), min_size=1, max_size=40),
+    resets=st.integers(1, 5),
+)
+@settings(max_examples=80, deadline=None)
+def test_state_machine_resets_break_walks(sequence, resets):
+    m = ModificationStateMachine()
+    total_obs = 0
+    for _ in range(resets):
+        m.reset_position()
+        for cid in sequence:
+            m.observe(cid)
+            total_obs += 1
+    assert sum(m.transitions.values()) == total_obs - resets
+
+
+@given(counts=workload)
+@settings(max_examples=60, deadline=None)
+def test_accuracy_bounded(counts):
+    table = PredictionTable()
+    for cid in counts:
+        table.record_outcome(FakeChunk(cid), was_redundant=(cid % 2 == 0))
+    assert 0.0 <= table.accuracy() <= 1.0

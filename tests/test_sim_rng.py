@@ -1,0 +1,57 @@
+"""Named RNG streams: determinism and independence."""
+
+import numpy as np
+import pytest
+
+from repro.sim import RngStreams
+
+
+class TestRngStreams:
+    def test_same_seed_same_stream(self):
+        a = RngStreams(7).stream("x").random(5)
+        b = RngStreams(7).stream("x").random(5)
+        assert np.array_equal(a, b)
+
+    def test_different_names_different_streams(self):
+        r = RngStreams(7)
+        a = r.stream("x").random(5)
+        b = r.stream("y").random(5)
+        assert not np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = RngStreams(1).stream("x").random(5)
+        b = RngStreams(2).stream("x").random(5)
+        assert not np.array_equal(a, b)
+
+    def test_stream_cached(self):
+        r = RngStreams(0)
+        assert r.stream("x") is r.stream("x")
+
+    def test_order_independence(self):
+        r1 = RngStreams(3)
+        r1.stream("a")
+        a_then = r1.stream("b").random(3)
+        r2 = RngStreams(3)
+        b_only = r2.stream("b").random(3)
+        assert np.array_equal(a_then, b_only)
+
+    def test_spawn_independent(self):
+        parent = RngStreams(5)
+        child = parent.spawn("node0")
+        a = parent.stream("x").random(3)
+        b = child.stream("x").random(3)
+        assert not np.array_equal(a, b)
+
+    def test_spawn_deterministic(self):
+        a = RngStreams(5).spawn("node0").stream("x").random(3)
+        b = RngStreams(5).spawn("node0").stream("x").random(3)
+        assert np.array_equal(a, b)
+
+    def test_exponential_mean(self):
+        r = RngStreams(11)
+        draws = [r.exponential("f", 10.0) for _ in range(4000)]
+        assert np.mean(draws) == pytest.approx(10.0, rel=0.1)
+
+    def test_exponential_validates_mean(self):
+        with pytest.raises(ValueError):
+            RngStreams(0).exponential("f", 0.0)

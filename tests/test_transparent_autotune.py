@@ -1,0 +1,150 @@
+"""Transparent checkpointing and the interval auto-tuner."""
+
+import pytest
+
+from repro.core import IntervalTuner, TransparentCheckpointer, make_standalone_context
+from repro.errors import CheckpointError
+from repro.units import GB, MB
+
+
+class TestTransparent:
+    def test_segments_cover_the_address_space(self, ctx):
+        t = TransparentCheckpointer(ctx, "p0", GB(1))
+        assert sum(s.nbytes for s in t.segments) == GB(1)
+        assert t.checkpoint_bytes == GB(1)
+        assert len(t.segments) == 16  # 64 MB segments
+
+    def test_small_space_single_segment(self, ctx):
+        t = TransparentCheckpointer(ctx, "p0", MB(10))
+        assert len(t.segments) == 1
+
+    def test_empty_space_rejected(self, ctx):
+        with pytest.raises(CheckpointError):
+            TransparentCheckpointer(ctx, "p0", 0)
+
+    def test_checkpoint_copies_everything(self, ctx):
+        t = TransparentCheckpointer(ctx, "p0", MB(256))
+        stats = t.checkpoint_sync()
+        assert stats.bytes_copied == MB(256)
+        # and again: no dirty tracking without application knowledge
+        t.mark_activity()
+        stats2 = t.checkpoint_sync()
+        assert stats2.bytes_copied == MB(256)
+
+    def test_transparent_bigger_than_declared(self, ctx):
+        """The §II argument: the address space dwarfs the declared
+        checkpoint set."""
+        from repro.alloc import NVAllocator
+        from repro.config import PrecopyPolicy
+        from repro.core import LocalCheckpointer
+
+        declared = NVAllocator("app", ctx.nvmm, ctx.dram, phantom=True)
+        declared.nvalloc("state", MB(100))
+        app_ck = LocalCheckpointer(ctx, declared, PrecopyPolicy(mode="none"))
+        app_stats = app_ck.checkpoint_sync()
+
+        t = TransparentCheckpointer(ctx, "app2", MB(300))
+        t_stats = t.checkpoint_sync()
+        assert t_stats.bytes_copied == 3 * app_stats.bytes_copied
+        assert t_stats.duration > app_stats.duration
+
+    def test_page_tracking_mode_faults_per_page(self, ctx):
+        from repro.units import PAGE_SIZE
+
+        t = TransparentCheckpointer(ctx, "p0", MB(1), page_tracking=True)
+        t.checkpoint_sync()  # protects segments
+        faults = t.mark_activity(MB(1))
+        assert faults == MB(1) // PAGE_SIZE
+
+    def test_mark_activity_partial(self, ctx):
+        t = TransparentCheckpointer(ctx, "p0", MB(256))
+        t.checkpoint_sync()
+        t.mark_activity(MB(64))  # dirties only the first segment
+        stats = t.checkpoint_sync()
+        assert stats.bytes_copied == MB(256)  # policy NONE: full copy anyway
+
+    def test_history_accumulates(self, ctx):
+        t = TransparentCheckpointer(ctx, "p0", MB(64))
+        t.checkpoint_sync()
+        t.checkpoint_sync()
+        assert len(t.history) == 2
+        assert t.total_bytes_to_nvm == 2 * MB(64)
+
+
+class TestIntervalTuner:
+    def test_holds_initial_until_a_checkpoint_is_measured(self):
+        tuner = IntervalTuner(40.0)
+        assert tuner.recommended_interval() == 40.0
+
+    def test_mtbf_starts_at_prior(self):
+        tuner = IntervalTuner(40.0, prior_mtbf=1000.0)
+        assert tuner.mtbf_estimate() == pytest.approx(1000.0)
+
+    def test_mtbf_converges_to_observations(self):
+        tuner = IntervalTuner(40.0, prior_mtbf=1000.0, prior_weight=1.0)
+        # 20 failures over 2000 s -> observed MTBF 100
+        for i in range(1, 21):
+            tuner.observe_failure(i * 100.0)
+        est = tuner.mtbf_estimate()
+        assert est == pytest.approx((1000.0 + 2000.0) / 21, rel=1e-9)
+        assert est < 200.0
+
+    def test_recommendation_tracks_young(self):
+        tuner = IntervalTuner(40.0, prior_mtbf=800.0, smoothing=1.0)
+        tuner.observe_checkpoint(2.0)
+        from repro.models import young_interval
+
+        assert tuner.recommended_interval() == pytest.approx(
+            young_interval(2.0, 800.0)
+        )
+
+    def test_daly_variant(self):
+        tuner = IntervalTuner(40.0, prior_mtbf=800.0, smoothing=1.0, use_daly=True)
+        tuner.observe_checkpoint(2.0)
+        from repro.models import daly_interval
+
+        assert tuner.recommended_interval() == pytest.approx(daly_interval(2.0, 800.0))
+
+    def test_clamping(self):
+        tuner = IntervalTuner(40.0, prior_mtbf=1e9, smoothing=1.0, max_interval=120.0)
+        tuner.observe_checkpoint(10.0)
+        assert tuner.recommended_interval() == 120.0
+        tuner2 = IntervalTuner(40.0, prior_mtbf=1.0, smoothing=1.0, min_interval=5.0)
+        tuner2.observe_checkpoint(10.0)
+        assert tuner2.recommended_interval() == 5.0
+
+    def test_more_failures_shorter_interval(self):
+        calm = IntervalTuner(40.0, prior_mtbf=3600.0, smoothing=1.0)
+        calm.observe_checkpoint(2.0)
+        calm.observe_progress(4000.0)
+        frantic = IntervalTuner(40.0, prior_mtbf=3600.0, smoothing=1.0)
+        frantic.observe_checkpoint(2.0)
+        for i in range(1, 41):
+            frantic.observe_failure(i * 100.0)
+        assert frantic.recommended_interval() < calm.recommended_interval()
+
+    def test_checkpoint_cost_smoothing(self):
+        tuner = IntervalTuner(40.0, smoothing=0.5)
+        tuner.observe_checkpoint(4.0)
+        tuner.observe_checkpoint(2.0)
+        assert tuner.checkpoint_cost == pytest.approx(3.0)
+        tuner.observe_checkpoint(0.0)  # ignored
+        assert tuner.checkpoint_cost == pytest.approx(3.0)
+
+    def test_smoothed_application_avoids_thrash(self):
+        tuner = IntervalTuner(40.0, prior_mtbf=3600.0, smoothing=0.3)
+        tuner.observe_checkpoint(0.5)
+        first = tuner.recommended_interval()
+        # one recommendation moves only 30% toward the target
+        assert abs(first - 40.0) < abs(
+            IntervalTuner(40.0, prior_mtbf=3600.0, smoothing=1.0)
+            .recommended_interval() - 40.0
+        ) or first != 40.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IntervalTuner(0.0)
+        with pytest.raises(ValueError):
+            IntervalTuner(40.0, smoothing=0.0)
+        with pytest.raises(ValueError):
+            IntervalTuner(40.0, min_interval=10.0, max_interval=5.0)

@@ -1,0 +1,76 @@
+"""Unit helpers: conversions, alignment, paging arithmetic."""
+
+import pytest
+
+from repro import units
+
+
+class TestSizes:
+    def test_kib_mib_gib_ladder(self):
+        assert units.MiB == 1024 * units.KiB
+        assert units.GiB == 1024 * units.MiB
+
+    def test_kb_mb_gb_constructors(self):
+        assert units.KB(1) == 1024
+        assert units.MB(2) == 2 * 1024 * 1024
+        assert units.GB(0.5) == 512 * 1024 * 1024
+
+    def test_fractional_sizes_truncate_to_int(self):
+        assert isinstance(units.MB(1.5), int)
+        assert units.MB(1.5) == int(1.5 * units.MiB)
+
+    def test_to_mb_roundtrip(self):
+        assert units.to_MB(units.MB(410)) == pytest.approx(410.0)
+
+    def test_to_gb_roundtrip(self):
+        assert units.to_GB(units.GB(48)) == pytest.approx(48.0)
+
+
+class TestTimes:
+    def test_usec_nsec_msec(self):
+        assert units.usec(1) == pytest.approx(1e-6)
+        assert units.nsec(50) == pytest.approx(50e-9)
+        assert units.msec(3) == pytest.approx(3e-3)
+
+    def test_minutes_hours(self):
+        assert units.minutes(2) == 120.0
+        assert units.hours(1.5) == 5400.0
+
+
+class TestRates:
+    def test_gb_per_sec(self):
+        assert units.GB_per_sec(2.0) == 2 * units.GiB
+
+    def test_gbit_per_sec_is_decimal(self):
+        # 40 Gb/s IB = 5e9 bytes/s line rate
+        assert units.Gbit_per_sec(40.0) == pytest.approx(5e9)
+
+    def test_mb_per_sec(self):
+        assert units.MB_per_sec(400) == 400 * units.MiB
+
+
+class TestPaging:
+    def test_pages_of_exact(self):
+        assert units.pages_of(units.PAGE_SIZE) == 1
+        assert units.pages_of(3 * units.PAGE_SIZE) == 3
+
+    def test_pages_of_partial_rounds_up(self):
+        assert units.pages_of(1) == 1
+        assert units.pages_of(units.PAGE_SIZE + 1) == 2
+
+    def test_pages_of_zero_and_negative(self):
+        assert units.pages_of(0) == 0
+        assert units.pages_of(-5) == 0
+
+    def test_align_up(self):
+        assert units.align_up(1) == units.PAGE_SIZE
+        assert units.align_up(units.PAGE_SIZE) == units.PAGE_SIZE
+        assert units.align_up(units.PAGE_SIZE + 1) == 2 * units.PAGE_SIZE
+
+    def test_align_up_custom_alignment(self):
+        assert units.align_up(10, 8) == 16
+        assert units.align_up(16, 8) == 16
+
+    def test_align_up_nonpositive(self):
+        assert units.align_up(0) == 0
+        assert units.align_up(-3) == 0
