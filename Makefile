@@ -1,0 +1,20 @@
+PYTHON ?= python
+PYTHONPATH := src
+
+.PHONY: test faults faults-matrix bench
+
+# tier-1: the full deterministic suite
+test:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
+
+# the crash-point fault-injection suite only
+faults:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -m faults -q
+
+# standalone matrix report: crash at every registered point with a
+# fixed seed and print the per-point outcome table
+faults-matrix:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.tools.faultmatrix --random 10
+
+bench:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks -q

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Crash-consistency demo: inject a crash mid-commit, check the NVM,
+restart, and prove nothing tore.
+
+Walks the fault-injection harness through its three headline cases:
+
+1. a crash *between* the data flush and the metadata flush of a local
+   checkpoint — the window the two-version shadow commit exists for;
+2. a crash in the middle of flushing a half-written chunk stage;
+3. bit-rot in a committed region, caught by the checksum and repaired
+   from the buddy's remote copy.
+
+Run:  PYTHONPATH=src python examples/crash_consistency_demo.py
+"""
+
+from repro.faults.harness import CrashConsistencyHarness, matrix_case
+from repro.faults.plan import FaultPlan
+from repro.metrics import CrashOutcomeCounter
+
+
+def show(title: str, result) -> None:
+    print(f"\n=== {title}")
+    print(f"  crashed at      : {result.crash_point}")
+    print(f"  checker verdict : "
+          f"{'consistent' if result.report and result.report.ok else 'VIOLATIONS'}")
+    if result.report is not None:
+        print(f"    {result.report.summary()}")
+    if result.restart_report is not None:
+        rr = result.restart_report
+        print(f"  restart         : {rr.chunks_local} chunks local, "
+              f"{rr.chunks_remote} remote, corrupted={rr.corrupted_chunks}")
+    print(f"  outcome         : {result.outcome}"
+          + (f" ({result.detail})" if result.detail else ""))
+
+
+def main() -> None:
+    counter = CrashOutcomeCounter()
+
+    # -- 1. the classic window: data durable, metadata flip not yet ----
+    # The in-progress version's bytes are flushed but the per-chunk
+    # committed pointer still names the old version.  Restart must
+    # come back with the *previous* checkpoint, bit for bit.
+    harness = CrashConsistencyHarness(n_steps=4)
+    plan = FaultPlan.crash_at("local.commit.before_meta_flush", hit=2)
+    result = harness.run(plan)
+    show("crash between data flush and metadata flush", result)
+    counter.record(result.crash_point, result.outcome)
+
+    # -- 2. torn chunk: power loss halfway through staging one chunk --
+    # The chunk's NVM region holds half old bytes, half new.  The
+    # commit pointer never flipped, so the checker must still find a
+    # clean committed version behind it.
+    harness, plan = matrix_case("chunk.stage.mid")
+    result = harness.run(plan)
+    show("crash mid-chunk with a half-staged write", result)
+    counter.record(result.crash_point, result.outcome)
+
+    # -- 3. bit-rot + buddy repair: the remote path earns its keep ----
+    # A committed byte rots after commit; the next crash-restart finds
+    # the checksum mismatch and silently-but-loudly repairs the chunk
+    # over RDMA from the buddy node's committed remote copy.
+    harness, plan = matrix_case("restart.fetch_remote")
+    result = harness.run(plan)
+    show("bit-rot in committed NVM, repaired from the buddy", result)
+    counter.record(result.crash_point, result.outcome)
+
+    print("\n=== outcome tally")
+    print(counter.table())
+    print("\nEvery path ends verified-consistent or loudly reported — "
+          "run `make faults` for all 27 crash points.")
+
+
+if __name__ == "__main__":
+    main()

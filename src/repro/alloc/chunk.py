@@ -29,6 +29,7 @@ from typing import Any, Callable, List, Optional
 import numpy as np
 
 from ..errors import CheckpointError
+from ..faults.crashpoints import fire
 from ..memory.nvmm import NvmRegion
 from ..units import pages_of
 
@@ -248,11 +249,21 @@ class Chunk:
             # version anyway — materialize the working copy first
             self._migrate_to_dram()
         region = self.inprogress_region()
+        # two half-writes with a crash point between them: a crash at
+        # the midpoint leaves a *torn* in-progress version, which the
+        # two-version protocol must never expose (the committed version
+        # is untouched until the post-flush pointer flip)
+        half = self.nbytes // 2
         if self.phantom:
-            moved = region.write_phantom(0, self.nbytes)
+            moved = region.write_phantom(0, half)
+            fire("chunk.stage.mid", chunk=self)
+            moved += region.write_phantom(half, self.nbytes - half)
         else:
             assert self.dram is not None
-            moved = region.write(0, self.dram)
+            region.write(0, self.dram[:half])
+            fire("chunk.stage.mid", chunk=self)
+            region.write(half, self.dram[half:])
+            moved = self.nbytes
         self.staged_pending = True
         self.bytes_copied_local += moved
         return moved

@@ -44,13 +44,30 @@ class FailureInjector:
     def __init__(self, config: FailureConfig, n_nodes: int, rng: Optional[RngStreams] = None) -> None:
         if n_nodes < 1:
             raise ValueError("need at least one node")
+        if config.mtbf_local <= 0 or config.mtbf_remote <= 0:
+            raise ValueError(
+                f"MTBFs must be positive, got mtbf_local={config.mtbf_local} "
+                f"mtbf_remote={config.mtbf_remote}"
+            )
         self.config = config
         self.n_nodes = n_nodes
         self.rng = rng or RngStreams(config.seed)
         lam_soft = n_nodes / config.mtbf_local
         lam_hard = n_nodes / config.mtbf_remote
         self.lambda_total = lam_soft + lam_hard
-        self.p_soft = lam_soft / self.lambda_total
+        if not (self.lambda_total > 0.0) or self.lambda_total == float("inf"):
+            # both MTBFs infinite (no failures ever: 0/0) or either
+            # zero-like (inf rate): there is no valid failure schedule
+            raise ValueError(
+                "failure rates must be positive and finite "
+                f"(mtbf_local={config.mtbf_local}, mtbf_remote={config.mtbf_remote})"
+            )
+        # extreme mtbf ratios can round p_soft to exactly 0.0 or 1.0;
+        # clamping keeps it a probability, and next_failure() treats the
+        # degenerate endpoints explicitly so rng.random() == 0.0 (which
+        # `< p_soft` would misclassify at p_soft == 0) cannot emit the
+        # wrong failure kind
+        self.p_soft = min(1.0, max(0.0, lam_soft / self.lambda_total))
         self._clock = 0.0
         self._pending: Optional[FailureEvent] = None
         self.injected: List[FailureEvent] = []
@@ -63,7 +80,18 @@ class FailureInjector:
             gap = self.rng.exponential("failure.gap", 1.0 / self.lambda_total)
             self._clock += gap
             node = int(self.rng.stream("failure.node").integers(0, self.n_nodes))
-            kind = SOFT if self.rng.stream("failure.kind").random() < self.p_soft else HARD
+            # the kind stream is always consumed (schedule determinism
+            # does not depend on the soft/hard mix), but the degenerate
+            # endpoints are decided without it: numpy's random() can
+            # return exactly 0.0, which `< p_soft` would turn into a
+            # hard failure even when hard failures are impossible
+            draw = self.rng.stream("failure.kind").random()
+            if self.p_soft >= 1.0:
+                kind = SOFT
+            elif self.p_soft <= 0.0:
+                kind = HARD
+            else:
+                kind = SOFT if draw < self.p_soft else HARD
             ev = FailureEvent(time=self._clock, node=node, kind=kind)
         self.injected.append(ev)
         return ev

@@ -27,6 +27,7 @@ from ..alloc.chunk import Chunk, ChunkState
 from ..alloc.nvmalloc import NVAllocator
 from ..config import PrecopyPolicy
 from ..errors import CheckpointError
+from ..faults.crashpoints import fire
 from ..metrics import timeline as tl
 from ..metrics.timeline import Timeline
 from .context import NodeContext
@@ -159,6 +160,12 @@ class LocalCheckpointer:
         if self.timeline is not None:
             self.timeline.begin(self.rank, tl.LOCAL_CKPT, engine.now)
         try:
+            fire(
+                "local.begin",
+                allocator=self.allocator,
+                store=self.ctx.nvmm.store,
+                rank=self.rank,
+            )
             all_persistent = list(
                 only if only is not None else self.allocator.persistent_chunks()
             )
@@ -169,6 +176,7 @@ class LocalCheckpointer:
                     raise CheckpointError(
                         f"chunk {chunk.name!r} busy ({chunk.state_local}) during coordinated step"
                     )
+                fire("local.copy.before", chunk=chunk, rank=self.rank)
                 chunk.state_local = ChunkState.CHECKPOINTING
                 try:
                     if self._transfer_fn is not None:
@@ -177,8 +185,10 @@ class LocalCheckpointer:
                         yield self.ctx.copy_to_nvm(chunk.nbytes, tag=f"{self.tag}:lckpt")
                 finally:
                     chunk.state_local = ChunkState.IDLE
+                fire("local.copy.after", chunk=chunk, rank=self.rank)
                 if self._stage_to_nvm:
                     chunk.stage_to_nvm()
+                    fire("local.stage.after", chunk=chunk, rank=self.rank)
                 stats.bytes_copied += chunk.nbytes
                 stats.chunks_copied += 1
                 if self.tracks_dirty:
@@ -191,16 +201,26 @@ class LocalCheckpointer:
             # engine staged during the interval ('All chunks are marked
             # as committed after the library ensures that data is
             # flushed to NVM', §V).
+            fire("local.commit.before_data_flush", rank=self.rank)
             flush_cost = self.ctx.nvmm.cache_flush()
             yield engine.timeout(flush_cost)
+            fire("local.commit.after_data_flush", rank=self.rank)
             if self._stage_to_nvm:
                 for chunk in all_persistent:
                     if chunk.staged_pending:
                         chunk.commit(with_checksum=self.with_checksums)
+                        fire("local.commit.after_flip", chunk=chunk, rank=self.rank)
             self.allocator._persist_metadata()
+            fire("local.commit.before_meta_flush", rank=self.rank)
             flush_cost2 = self.ctx.nvmm.cache_flush()
             yield engine.timeout(flush_cost2)
             stats.flush_cost = flush_cost + flush_cost2
+            fire(
+                "local.commit.done",
+                allocator=self.allocator,
+                store=self.ctx.nvmm.store,
+                rank=self.rank,
+            )
         finally:
             if self.timeline is not None:
                 self.timeline.end(self.rank, tl.LOCAL_CKPT, engine.now)

@@ -26,6 +26,7 @@ from typing import Callable, Dict, Iterable, List, Optional
 from ..alloc.chunk import Chunk, ChunkState
 from ..config import PrecopyPolicy
 from ..errors import SimulationError, TransferCancelled
+from ..faults.crashpoints import fire
 from ..sim.events import Event
 from .context import NodeContext
 from .prediction import PredictionTable
@@ -282,6 +283,7 @@ class PrecopyEngine:
         return self.stats
 
     def _copy_one(self, chunk: Chunk):
+        fire("precopy.copy.before", chunk=chunk, stream=self.stream)
         mods_before = chunk.total_mods
         chunk.set_state(self.stream, ChunkState.PRECOPYING)
         self._inflight_chunk = chunk
@@ -301,6 +303,7 @@ class PrecopyEngine:
         if cancelled:
             self.stats.stale_copies += 1
             return
+        fire("precopy.copy.after", chunk=chunk, stream=self.stream)
         self.stats.copies += 1
         self.stats.bytes_copied += chunk.nbytes
         if chunk.total_mods != mods_before:
@@ -312,3 +315,4 @@ class PrecopyEngine:
         self._finalize_fn(chunk)
         chunk.mark_precopied(self.stream)
         self._pending_clean[chunk.chunk_id] = chunk
+        fire("precopy.finalize.after", chunk=chunk, stream=self.stream)

@@ -38,6 +38,7 @@ from ..alloc.chunk import Chunk
 from ..alloc.nvmalloc import NVAllocator
 from ..config import CheckpointConfig
 from ..errors import CheckpointError, TransferCancelled
+from ..faults.crashpoints import fire
 from ..metrics import timeline as tl
 from ..metrics.timeline import Timeline
 from ..net.interconnect import Fabric
@@ -140,14 +141,22 @@ class RemoteTarget:
         """Commit all staged chunks: flush the buddy store, flip the
         committed pointers, persist them.  Returns the flush cost."""
         cost = self.dst_ctx.nvmm.cache_flush()
+        fire("remote.commit.before_flip", target=self, pid=self.src_pid)
         for name, v in self._staged.items():
             self.committed[name] = v
         self._staged.clear()
+        fire("remote.commit.before_meta", target=self, pid=self.src_pid)
         self.dst_ctx.nvmm.store.put_meta(
             f"remote/proc:{self.src_pid}",
             {"committed": dict(self.committed), "sizes": dict(self.sizes)},
         )
         cost += self.dst_ctx.nvmm.cache_flush()
+        fire(
+            "remote.commit.done",
+            target=self,
+            pid=self.src_pid,
+            store=self.dst_ctx.nvmm.store,
+        )
         return cost
 
     # -- restart fetch ----------------------------------------------------------
@@ -383,6 +392,7 @@ class RemoteHelper:
             pid, chunk = item
             t0 = engine.now
             self._charge_cpu(chunk.nbytes, streamed=True)
+            fire("remote.stream.before_send", chunk=chunk, pid=pid)
             try:
                 yield self._send(pid, chunk, "rprecopy")
             except TransferCancelled:
@@ -391,6 +401,12 @@ class RemoteHelper:
                 self._queue.setdefault((pid, chunk.chunk_id), chunk)
                 continue
             self.targets[pid].stage(chunk)
+            fire(
+                "remote.stream.after_stage",
+                chunk=chunk,
+                pid=pid,
+                target=self.targets[pid],
+            )
             chunk.dirty_remote = False
             self.stream_bytes += chunk.nbytes
             self.stream_chunks += 1
@@ -428,6 +444,7 @@ class RemoteHelper:
         if self.timeline is not None:
             self.timeline.begin(self.owner, tl.REMOTE_CKPT, engine.now)
         try:
+            fire("remote.round.begin", node=self.node_id)
             for alloc in self.ranks:
                 target = self.targets[alloc.pid]
                 chunks = self._chunks_for_round(alloc)
@@ -435,6 +452,7 @@ class RemoteHelper:
                 aborted = False
                 for chunk in chunks:
                     self._charge_cpu(chunk.nbytes, streamed=False)
+                    fire("remote.round.before_send", chunk=chunk, pid=alloc.pid)
                     try:
                         yield self._send(alloc.pid, chunk, "rckpt")
                     except TransferCancelled:
@@ -443,6 +461,12 @@ class RemoteHelper:
                         aborted = True
                         break
                     target.stage(chunk)
+                    fire(
+                        "remote.round.after_stage",
+                        chunk=chunk,
+                        pid=alloc.pid,
+                        target=target,
+                    )
                     chunk.dirty_remote = False
                     self._queue.pop((alloc.pid, chunk.chunk_id), None)
                     stats.bytes_moved += chunk.nbytes

@@ -24,6 +24,7 @@ import numpy as np
 
 from ..alloc.nvmalloc import NVAllocator
 from ..errors import ChecksumMismatch, NoCheckpointAvailable
+from ..faults.crashpoints import fire
 from ..metrics import timeline as tl
 from ..metrics.timeline import Timeline
 from ..net.interconnect import Fabric
@@ -112,6 +113,12 @@ class RestartManager:
                 clock=clock or (lambda: engine.now),
                 load_data=False,
             )
+            fire(
+                "restart.begin",
+                pid=pid,
+                allocator=alloc,
+                store=self.ctx.nvmm.store,
+            )
             for chunk in alloc.persistent_chunks():
                 ok = chunk.committed_version >= 0 and chunk.verify_checksum()
                 if ok:
@@ -137,11 +144,13 @@ class RestartManager:
                         chunk.protected = True
                         report.bytes_local += chunk.nbytes
                     report.chunks_local += 1
+                    fire("restart.chunk.verified", chunk=chunk, pid=pid)
                     continue
                 if chunk.committed_version >= 0:
                     report.corrupted_chunks.append(chunk.name)
                 yield from self._fetch_remote(chunk, pid, remote_target, remote_node, report)
             report.allocator = alloc
+            fire("restart.done", pid=pid, allocator=alloc)
         finally:
             if self.timeline is not None:
                 self.timeline.end(pid, tl.RESTART, engine.now)
@@ -158,6 +167,7 @@ class RestartManager:
             raise NoCheckpointAvailable(
                 f"chunk {chunk.name!r} of {pid!r} is not committed on the buddy either"
             )
+        fire("restart.fetch_remote", chunk=chunk, pid=pid)
         yield rdma_get(
             self.fabric,
             remote_node,
@@ -219,9 +229,16 @@ class RestartManager:
                 phantom=phantom,
                 clock=clock or (lambda: engine.now),
             )
+            fire(
+                "restart.begin",
+                pid=pid,
+                allocator=alloc,
+                store=self.ctx.nvmm.store,
+            )
             for name in names:
                 size = remote_target.sizes[name]
                 chunk = alloc.nvalloc(name, size, pflag=True)
+                fire("restart.fetch_remote", chunk=chunk, pid=pid)
                 yield rdma_get(
                     self.fabric,
                     remote_node,
@@ -238,6 +255,7 @@ class RestartManager:
                 report.chunks_remote += 1
                 report.bytes_remote += size
             report.allocator = alloc
+            fire("restart.done", pid=pid, allocator=alloc)
         finally:
             if self.timeline is not None:
                 self.timeline.end(pid, tl.RESTART, engine.now)

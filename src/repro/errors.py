@@ -68,6 +68,31 @@ class PersistenceError(MemoryError_):
 
 
 # ---------------------------------------------------------------------------
+# Fault-injection errors.
+# ---------------------------------------------------------------------------
+
+
+class FaultInjectionError(ReproError):
+    """Misuse of the crash-point fault-injection harness (unknown crash
+    point, bit-rot at a point that carries no store context...)."""
+
+
+class CrashInjected(ReproError):
+    """Raised by an installed :class:`repro.faults.FaultPlan` when a
+    scripted/random fault fires at a named crash point.
+
+    Deliberately *not* a :class:`SimulationError` or
+    :class:`CheckpointError` subclass: background engines catch those
+    families to keep running, but an injected crash must unwind the
+    whole process like a real power loss.
+    """
+
+    def __init__(self, message: str, point: str | None = None) -> None:
+        super().__init__(message)
+        self.point = point
+
+
+# ---------------------------------------------------------------------------
 # Allocator errors.
 # ---------------------------------------------------------------------------
 

@@ -1,0 +1,262 @@
+"""Post-crash checkpoint-consistency checking.
+
+After any injected crash the durable store contents are all that
+survives.  :class:`ConsistencyChecker` walks the per-process NVM
+metadata exactly the way restart would and asserts the invariants the
+two-version protocol promises:
+
+* the chunk table parses and every record is internally sane (committed
+  version index in range, checksum arity matches the version count);
+* every NVM shadow region the metadata references exists with the
+  recorded size (no dangling pointers into reclaimed NVM);
+* every committed version's checksum matches its durable payload —
+  failures are *reported* (``checksum_failures``), not violations: a
+  detected-corrupt chunk is what the remote fallback exists for;
+* optionally, each committed payload is byte-identical to a snapshot
+  the application actually produced (the harness's oracle) — anything
+  else is **torn data**, the one thing that must never happen.
+
+A report with no violations means restart will either succeed or fail
+*loudly* (checksum mismatch -> buddy fetch -> ``NoCheckpointAvailable``);
+a violation means silent corruption and fails the whole matrix.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set
+
+from ..alloc.nvmalloc import NVAllocator
+from ..config import NodeConfig
+from ..core.context import make_standalone_context
+from ..errors import ReproError
+from ..memory.persistence import PersistentStore
+
+__all__ = ["payload_digest", "Violation", "ConsistencyReport", "ConsistencyChecker"]
+
+
+def payload_digest(data: Any) -> str:
+    """Stable short digest of a payload (numpy array or bytes)."""
+    buf = data.tobytes() if hasattr(data, "tobytes") else bytes(data)
+    return hashlib.blake2b(buf, digest_size=16).hexdigest()
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken invariant — silent-corruption territory."""
+
+    invariant: str
+    chunk: Optional[str]
+    detail: str
+
+
+@dataclass
+class ConsistencyReport:
+    """Outcome of one consistency walk."""
+
+    pid: str
+    violations: List[Violation] = field(default_factory=list)
+    #: chunks whose committed checksum does NOT match the durable bytes
+    #: (detected corruption: recoverable via the buddy, never silent).
+    checksum_failures: List[str] = field(default_factory=list)
+    chunks_checked: int = 0
+    committed_chunks: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def add(self, invariant: str, chunk: Optional[str], detail: str) -> None:
+        self.violations.append(Violation(invariant, chunk, detail))
+
+    def summary(self) -> str:
+        if self.ok and not self.checksum_failures:
+            return (
+                f"{self.pid}: consistent "
+                f"({self.committed_chunks}/{self.chunks_checked} chunks committed)"
+            )
+        parts = [f"{self.pid}:"]
+        if self.violations:
+            parts.append(
+                "VIOLATIONS " + "; ".join(f"{v.invariant}[{v.chunk}]: {v.detail}" for v in self.violations)
+            )
+        if self.checksum_failures:
+            parts.append("checksum failures: " + ", ".join(self.checksum_failures))
+        return " ".join(parts)
+
+
+class ConsistencyChecker:
+    """Walks durable per-process NVM state and checks the invariants."""
+
+    _ALLOC_PREFIX = "alloc/proc:"
+    _NVMM_PREFIX = "nvmm/proc:"
+    _REMOTE_PREFIX = "remote/proc:"
+
+    def __init__(self, store: PersistentStore, node_config: Optional[NodeConfig] = None) -> None:
+        self.store = store
+        self.node_config = node_config
+
+    # ------------------------------------------------------------------
+    # Local (per-process) invariants.
+    # ------------------------------------------------------------------
+
+    def check_process(
+        self,
+        pid: str,
+        expected: Optional[Dict[str, Set[str]]] = None,
+    ) -> ConsistencyReport:
+        """Check one process's durable chunk state.
+
+        *expected* maps chunk name -> set of acceptable committed
+        payload digests (the oracle of every snapshot the application
+        actually staged); a committed payload outside the set is a
+        ``torn-data`` violation.
+        """
+        report = ConsistencyReport(pid=pid)
+        meta = self.store.get_meta(f"{self._ALLOC_PREFIX}{pid}")
+        if meta is None:
+            report.add("metadata-missing", None, f"no allocator metadata for {pid!r}")
+            return report
+        nvmm_meta = self.store.get_meta(f"{self._NVMM_PREFIX}{pid}", {"regions": {}})
+        regions = nvmm_meta.get("regions", {})
+        for name, rec in sorted(meta.get("chunks", {}).items()):
+            report.chunks_checked += 1
+            self._check_record(report, pid, name, rec, regions)
+        self._check_payloads(report, pid, expected)
+        return report
+
+    def _check_record(
+        self,
+        report: ConsistencyReport,
+        pid: str,
+        name: str,
+        rec: Dict[str, Any],
+        regions: Dict[str, Any],
+    ) -> None:
+        n_versions = int(rec.get("n_versions", 0))
+        committed = int(rec.get("committed", -1))
+        size = int(rec.get("size", -1))
+        if size <= 0:
+            report.add("size-range", name, f"recorded size {size}")
+        if not (-1 <= committed < max(1, n_versions)):
+            report.add(
+                "committed-range", name,
+                f"committed version {committed} outside [-1, {n_versions})",
+            )
+            return
+        checksums = rec.get("checksums", [])
+        if len(checksums) != max(1, n_versions):
+            report.add(
+                "checksum-arity", name,
+                f"{len(checksums)} checksums for {n_versions} versions",
+            )
+        for i in range(n_versions):
+            rname = f"{name}#v{i}"
+            info = regions.get(rname)
+            if info is None:
+                report.add("region-missing", name, f"metadata references missing region {rname!r}")
+                continue
+            if int(info.get("size", -1)) != size:
+                report.add(
+                    "region-size", name,
+                    f"region {rname!r} has {info.get('size')} bytes, chunk says {size}",
+                )
+            if not info.get("phantom") and not self.store.exists(f"{pid}/{rname}"):
+                report.add("region-data-missing", name, f"store holds no data for {rname!r}")
+        if committed >= 0:
+            report.committed_chunks += 1
+
+    def _check_payloads(
+        self,
+        report: ConsistencyReport,
+        pid: str,
+        expected: Optional[Dict[str, Set[str]]],
+    ) -> None:
+        """Rebuild the allocator the way restart does and verify each
+        committed chunk's checksum + oracle membership."""
+        if report.violations:
+            return  # structure already broken; a rebuild would just cascade
+        ctx = make_standalone_context(config=self.node_config, store=self.store, name="checker")
+        try:
+            alloc = NVAllocator.restart(pid, ctx.nvmm, ctx.dram, load_data=False)
+        except ReproError as err:
+            report.add("rebuild-failed", None, str(err))
+            return
+        for chunk in alloc.persistent_chunks():
+            if chunk.committed_version < 0:
+                continue
+            if not chunk.verify_checksum():
+                report.checksum_failures.append(chunk.name)
+                continue
+            if expected is None or chunk.phantom:
+                continue
+            allowed = expected.get(chunk.name)
+            if allowed is None:
+                continue
+            d = payload_digest(chunk.committed_region().read(0, chunk.nbytes))
+            if d not in allowed:
+                report.add(
+                    "torn-data", chunk.name,
+                    f"committed payload digest {d} matches no snapshot the "
+                    f"application ever staged ({len(allowed)} candidates)",
+                )
+
+    # ------------------------------------------------------------------
+    # Buddy-side (remote target) invariants.
+    # ------------------------------------------------------------------
+
+    def check_remote_target(
+        self,
+        src_pid: str,
+        expected: Optional[Dict[str, Set[str]]] = None,
+    ) -> ConsistencyReport:
+        """Check the buddy's durable remote copies of *src_pid* (call
+        against the *buddy's* store)."""
+        rpid = f"rmt:{src_pid}"
+        report = ConsistencyReport(pid=rpid)
+        meta = self.store.get_meta(f"{self._REMOTE_PREFIX}{src_pid}")
+        if meta is None:
+            report.add("metadata-missing", None, f"buddy holds no remote metadata for {src_pid!r}")
+            return report
+        nvmm_meta = self.store.get_meta(f"{self._NVMM_PREFIX}{rpid}", {"regions": {}})
+        regions = nvmm_meta.get("regions", {})
+        sizes = meta.get("sizes", {})
+        for name, version in sorted(meta.get("committed", {}).items()):
+            report.chunks_checked += 1
+            version = int(version)
+            if version < 0:
+                continue
+            report.committed_chunks += 1
+            size = int(sizes.get(name, -1))
+            if size <= 0:
+                report.add("size-range", name, f"remote size record {size}")
+                continue
+            rname = f"{name}#v{version}"
+            info = regions.get(rname)
+            if info is None:
+                report.add("region-missing", name, f"committed pointer references {rname!r}")
+                continue
+            if int(info.get("size", -1)) != size:
+                report.add(
+                    "region-size", name,
+                    f"region {rname!r} has {info.get('size')} bytes, record says {size}",
+                )
+                continue
+            if info.get("phantom"):
+                continue
+            region_id = f"{rpid}/{rname}"
+            if not self.store.exists(region_id):
+                report.add("region-data-missing", name, f"store holds no data for {rname!r}")
+                continue
+            if expected is not None:
+                allowed = expected.get(name)
+                if allowed is None:
+                    continue
+                d = payload_digest(self.store.read(region_id, 0, size))
+                if d not in allowed:
+                    report.add(
+                        "torn-data", name,
+                        f"buddy payload digest {d} matches no snapshot ever staged",
+                    )
+        return report

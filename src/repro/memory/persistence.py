@@ -29,6 +29,7 @@ from typing import Any, Dict, List, Optional
 import numpy as np
 
 from ..errors import InvalidAddress, PersistenceError
+from ..faults.crashpoints import fire
 
 __all__ = ["PersistentStore", "InMemoryStore", "FileStore"]
 
@@ -86,6 +87,12 @@ class PersistentStore(ABC):
     def crash(self) -> None:
         """Simulate power/process loss: discard unflushed writes,
         keeping the last flushed state."""
+
+    @abstractmethod
+    def corrupt(self, region_id: str, offset: int) -> None:
+        """Flip one *durable* byte of a region (media bit-rot on the
+        emulated DIMM).  Used by fault injection; the corruption
+        survives :meth:`crash` and must be caught by checksums."""
 
     # -- metadata (small JSON-able records, durable at flush) ---------------
 
@@ -187,14 +194,19 @@ class InMemoryStore(PersistentStore):
 
     def flush(self) -> int:
         flushed = 0
-        for region_id in self._dirty:
+        # sorted: the flush order must be deterministic so a crash
+        # injected mid-flush lands on the same region every run
+        for region_id in sorted(self._dirty):
             if region_id in self._working:
                 self._durable[region_id] = self._working[region_id].copy()
                 flushed += len(self._working[region_id])
+                self._dirty.discard(region_id)
+                fire("store.flush.mid", store=self, region_id=region_id)
         self._dirty.clear()
+        fire("store.flush.before_meta", store=self)
         # metadata: snapshot only the keys written since the last flush
         # (a whole-table deep copy per flush dominates simulation time)
-        for key in self._meta_dirty_keys:
+        for key in sorted(self._meta_dirty_keys):
             if key in self._meta_working:
                 self._meta_durable[key] = json.loads(json.dumps(self._meta_working[key]))
             else:
@@ -209,6 +221,17 @@ class InMemoryStore(PersistentStore):
             k: json.loads(json.dumps(v)) for k, v in self._meta_durable.items()
         }
         self._meta_dirty_keys.clear()
+
+    def corrupt(self, region_id: str, offset: int) -> None:
+        region = self._region(region_id)
+        self._check_range(len(region), offset, 1, region_id)
+        # rot the durable copy (the working copy too, if materialized
+        # separately): reading it back after any crash sees the flip
+        durable = self._durable.get(region_id)
+        if durable is not None and offset < len(durable):
+            durable[offset] ^= 0xFF
+        if durable is None or region is not durable:
+            region[offset] ^= 0xFF
 
     # -- metadata ---------------------------------------------------------------------
 
@@ -364,3 +387,13 @@ class FileStore(PersistentStore):
     def crash(self) -> None:
         self._inner.crash()
         self._deleted.clear()
+
+    def corrupt(self, region_id: str, offset: int) -> None:
+        self._inner.corrupt(region_id, offset)
+        path = self._region_path(region_id)
+        if os.path.exists(path) and offset < os.path.getsize(path):
+            with open(path, "r+b") as fh:
+                fh.seek(offset)
+                byte = fh.read(1)
+                fh.seek(offset)
+                fh.write(bytes([byte[0] ^ 0xFF]))

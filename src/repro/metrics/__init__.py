@@ -4,7 +4,7 @@ harness.
 """
 
 from .timeline import Phase, Timeline
-from .collectors import InterconnectUsage, CpuUtilization, DataVolume
+from .collectors import InterconnectUsage, CpuUtilization, DataVolume, CrashOutcomeCounter
 from .report import Table, Series, render_table, render_series
 
 __all__ = [
@@ -13,6 +13,7 @@ __all__ = [
     "InterconnectUsage",
     "CpuUtilization",
     "DataVolume",
+    "CrashOutcomeCounter",
     "Table",
     "Series",
     "render_table",

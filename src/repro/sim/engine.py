@@ -67,6 +67,26 @@ class Process(Event):
             exc = ProcessKilled(f"process {self.name} killed")
         self.engine._queue_callback(lambda: self._resume(None, exc, forced=True))
 
+    def abort(self) -> None:
+        """Instantly mark the process dead, *synchronously*.
+
+        Unlike :meth:`kill` (which schedules an exception delivery and
+        lets already-queued same-tick events resume the generator one
+        more time), ``abort`` guarantees the generator never runs
+        another instruction — power-loss semantics for crash-point
+        fault injection.  The Process event never triggers.
+        """
+        if not self._alive:
+            return
+        self._alive = False
+        self._waiting_on = None
+        try:
+            self._gen.close()
+        except Exception:
+            # the generator is mid-frame (the crash originated inside
+            # it); the propagating exception is its teardown
+            pass
+
     # -- internals ------------------------------------------------------------
 
     def _on_event(self, ev: Event) -> None:

@@ -1,0 +1,323 @@
+"""The crash-point fault-injection matrix.
+
+Every named crash point in the registry gets one parametrized case:
+run the deterministic checkpoint workload, crash at exactly that
+persistence-ordering point (after at least one committed checkpoint),
+then assert the ConsistencyChecker finds no broken invariants and a
+full restart through the real recovery path round-trips a legal
+application state — committed, legally in-flight, or buddy-recovered.
+Silent corruption (torn restored data) fails the matrix.
+
+Also here: registry/plan API contracts, checker detection tests, the
+synchronous power-loss semantics of Process.abort, and the
+FailureInjector degenerate-MTBF regression tests.
+"""
+
+import math
+
+import pytest
+
+from repro.cluster.failures import HARD, SOFT, FailureInjector
+from repro.config import FailureConfig
+from repro.errors import CrashInjected, FaultInjectionError
+from repro.faults.checker import ConsistencyChecker
+from repro.faults.crashpoints import (
+    REGISTRY,
+    FaultInjector as InjectorBase,
+    all_points,
+    fire,
+    install,
+)
+from repro.faults.harness import (
+    CONSISTENT_OUTCOMES,
+    OUTCOME_REMOTE,
+    CrashConsistencyHarness,
+    matrix_case,
+    matrix_points,
+)
+from repro.faults.plan import KIND_BITROT, FaultPlan, ScriptedFault
+from repro.metrics.collectors import CrashOutcomeCounter
+from repro.sim.engine import Engine
+
+pytestmark = pytest.mark.faults
+
+
+# ---------------------------------------------------------------------------
+# Registry contracts.
+# ---------------------------------------------------------------------------
+
+
+def test_registry_has_enough_distinct_points():
+    assert len(REGISTRY) >= 15
+    assert len(set(REGISTRY)) == len(REGISTRY)
+
+
+def test_registry_covers_all_commit_critical_layers():
+    layers = {cp.layer for cp in all_points()}
+    assert {"local", "precopy", "remote", "restart", "chunk", "store"} <= layers
+
+
+def test_fire_is_noop_without_injector():
+    # would raise if the registry were consulted on the fast path
+    fire("local.begin")
+    fire("definitely-not-registered")
+
+
+def test_fire_rejects_unregistered_point_when_installed():
+    class Recorder(InjectorBase):
+        def on_fire(self, name, info):
+            pass
+
+    with install(Recorder()):
+        fire("local.begin")
+        with pytest.raises(FaultInjectionError):
+            fire("definitely-not-registered")
+
+
+def test_scripted_fault_validation():
+    with pytest.raises(FaultInjectionError):
+        ScriptedFault("no.such.point")
+    with pytest.raises(FaultInjectionError):
+        ScriptedFault("local.begin", hit=0)
+    with pytest.raises(FaultInjectionError):
+        ScriptedFault("local.begin", kind="meteor")
+    with pytest.raises(FaultInjectionError):
+        # bit-rot needs allocator/store context in fire() info
+        ScriptedFault("chunk.stage.mid", kind=KIND_BITROT)
+
+
+def test_random_plan_is_seed_deterministic():
+    a, b = FaultPlan.random(1234), FaultPlan.random(1234)
+    assert [(f.point, f.hit, f.kind) for f in a.faults] == [
+        (f.point, f.hit, f.kind) for f in b.faults
+    ]
+    c = FaultPlan.random(1235)
+    assert [(f.point, f.hit) for f in a.faults] != [(f.point, f.hit) for f in c.faults]
+
+
+# ---------------------------------------------------------------------------
+# The matrix: one case per registered crash point.
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("point_name", matrix_points())
+def test_crash_point_matrix(point_name):
+    harness, plan = matrix_case(point_name)
+    result = harness.run(plan)
+    # the scripted fault at the target point must actually have fired
+    assert all(f.consumed for f in plan.faults), (
+        f"{point_name}: plan never reached its crash point "
+        f"(hits seen: {plan.hits})"
+    )
+    assert result.crash_point is not None
+    # the durable state passed every consistency invariant...
+    assert result.report is not None and result.report.ok, (
+        f"{point_name}: {result.report.summary() if result.report else 'no report'}"
+    )
+    # ...and restart round-tripped a legal state (never torn data)
+    assert result.outcome in CONSISTENT_OUTCOMES, (
+        f"{point_name}: outcome {result.outcome!r} ({result.detail})"
+    )
+    assert result.restored, f"{point_name}: nothing restored"
+
+
+def test_matrix_covers_required_recovery_paths():
+    """The bitrot case must exercise the remote fallback, and the
+    restart-path points must survive a double crash."""
+    harness, plan = matrix_case("restart.fetch_remote")
+    result = harness.run(plan)
+    assert result.outcome == OUTCOME_REMOTE
+    assert result.double_crash
+    assert plan.bitrot_injected, "bit-rot fault never landed"
+    assert result.restart_report is not None
+    assert result.restart_report.chunks_remote >= 1
+
+    harness2, plan2 = matrix_case("restart.begin")
+    result2 = harness2.run(plan2)
+    assert result2.double_crash
+    assert result2.outcome in CONSISTENT_OUTCOMES
+
+
+def test_matrix_outcomes_feed_counter():
+    counter = CrashOutcomeCounter()
+    for point_name in ("local.begin", "local.commit.done", "chunk.stage.mid"):
+        harness, plan = matrix_case(point_name)
+        result = harness.run(plan)
+        counter.record(result.crash_point, result.outcome)
+    assert counter.total == 3
+    assert counter.count("unrecoverable") == 0
+    table = counter.table()
+    assert "local.begin" in table and "TOTAL" in table
+
+
+# ---------------------------------------------------------------------------
+# Checker detection: deliberate corruption must be caught, never silent.
+# ---------------------------------------------------------------------------
+
+
+def _committed_world():
+    harness = CrashConsistencyHarness(n_steps=2)
+    plan = FaultPlan.crash_at("local.begin", hit=2)
+    world = harness._build()
+    plan.on_crash = lambda pt: (
+        [p.abort() for p in world.procs],
+        world.store.crash(),
+    )
+    with install(plan):
+        proc = world.engine.process(harness._workload(world), name="w")
+        world.procs.append(proc)
+        world.engine.run()
+    assert plan.crashed_at == "local.begin"
+    return harness, world
+
+
+def test_checker_passes_clean_committed_state():
+    harness, world = _committed_world()
+    report = ConsistencyChecker(world.store).check_process(harness.PID)
+    assert report.ok and not report.checksum_failures
+    assert report.committed_chunks == harness.n_chunks
+
+
+def test_checker_flags_bitrot_as_checksum_failure_not_violation():
+    harness, world = _committed_world()
+    # rot one durable byte of a committed region
+    meta = world.store.get_meta(f"alloc/proc:{harness.PID}")
+    name, rec = sorted(meta["chunks"].items())[0]
+    region_id = f"{harness.PID}/{name}#v{rec['committed']}"
+    world.store.corrupt(region_id, 7)
+    report = ConsistencyChecker(world.store).check_process(harness.PID)
+    # detected corruption is recoverable (buddy fallback), not silent
+    assert report.ok
+    assert report.checksum_failures == [name]
+
+
+def test_checker_flags_torn_data_against_oracle():
+    harness, world = _committed_world()
+    meta = world.store.get_meta(f"alloc/proc:{harness.PID}")
+    expected = {name: {"not-a-real-digest"} for name in meta["chunks"]}
+    report = ConsistencyChecker(world.store).check_process(
+        harness.PID, expected=expected
+    )
+    assert not report.ok
+    assert any(v.invariant == "torn-data" for v in report.violations)
+
+
+def test_checker_flags_missing_metadata():
+    from repro.memory.persistence import InMemoryStore
+
+    report = ConsistencyChecker(InMemoryStore()).check_process("ghost")
+    assert not report.ok
+    assert report.violations[0].invariant == "metadata-missing"
+
+
+def test_checker_flags_dangling_region_reference():
+    harness, world = _committed_world()
+    meta = world.store.get_meta(f"alloc/proc:{harness.PID}")
+    name = sorted(meta["chunks"])[0]
+    nvmm_key = f"nvmm/proc:{harness.PID}"
+    nvmm_meta = world.store.get_meta(nvmm_key)
+    del nvmm_meta["regions"][f"{name}#v0"]
+    world.store.put_meta(nvmm_key, nvmm_meta)
+    report = ConsistencyChecker(world.store).check_process(harness.PID)
+    assert not report.ok
+    assert any(v.invariant == "region-missing" for v in report.violations)
+
+
+# ---------------------------------------------------------------------------
+# Power-loss semantics: abort() freezes a process synchronously.
+# ---------------------------------------------------------------------------
+
+
+def test_process_abort_is_synchronous():
+    engine = Engine()
+    steps = []
+
+    def worker():
+        steps.append("a")
+        yield engine.timeout(1.0)
+        steps.append("b")
+        yield engine.timeout(1.0)
+        steps.append("c")
+
+    proc = engine.process(worker())
+
+    def killer():
+        yield engine.timeout(1.5)
+        proc.abort()
+
+    engine.process(killer())
+    engine.run()
+    # 'b' ran at t=1.0; the abort at t=1.5 must prevent 'c' forever
+    assert steps == ["a", "b"]
+    assert not proc.alive
+    assert not proc.triggered  # the process event never fires
+
+
+def test_crash_injected_unwinds_synchronous_checkpoint():
+    harness = CrashConsistencyHarness(n_steps=2)
+    world = harness._build()
+    plan = FaultPlan.crash_at("local.commit.before_data_flush", hit=1)
+    with install(plan):
+        proc = world.engine.process(harness._workload(world), name="w")
+        world.engine.run()
+    assert not proc.ok
+    assert isinstance(proc.exception, CrashInjected)
+    assert proc.exception.point == "local.commit.before_data_flush"
+
+
+# ---------------------------------------------------------------------------
+# FailureInjector degenerate-MTBF regression (satellite fix).
+# ---------------------------------------------------------------------------
+
+
+def test_failure_injector_soft_only_when_remote_mtbf_infinite():
+    inj = FailureInjector(FailureConfig(mtbf_remote=math.inf), n_nodes=4)
+    assert inj.p_soft == 1.0
+    kinds = {inj.next_failure().kind for _ in range(50)}
+    assert kinds == {SOFT}
+
+
+def test_failure_injector_hard_only_when_local_mtbf_infinite():
+    inj = FailureInjector(FailureConfig(mtbf_local=math.inf), n_nodes=4)
+    assert inj.p_soft == 0.0
+    kinds = {inj.next_failure().kind for _ in range(50)}
+    assert kinds == {HARD}
+
+
+def test_failure_injector_rejects_no_failure_model():
+    # both rates zero used to die with ZeroDivisionError (0.0/0.0)
+    with pytest.raises(ValueError):
+        FailureInjector(
+            FailureConfig(mtbf_local=math.inf, mtbf_remote=math.inf), n_nodes=2
+        )
+
+
+def test_failure_injector_rejects_nonpositive_mtbf():
+    with pytest.raises(ValueError):
+        FailureInjector(FailureConfig(mtbf_local=0.0), n_nodes=2)
+    with pytest.raises(ValueError):
+        FailureInjector(FailureConfig(mtbf_remote=-1.0), n_nodes=2)
+    # denormal-small MTBF overflows the rate to inf: also rejected
+    with pytest.raises(ValueError):
+        FailureInjector(FailureConfig(mtbf_local=5e-324), n_nodes=2)
+
+
+def test_failure_injector_extreme_ratio_rounds_to_valid_probability():
+    # the soft rate utterly dominates: p_soft rounds to exactly 1.0,
+    # which used to be indistinguishable from a broken mix — now it is
+    # clamped and the endpoint is decided deterministically
+    inj = FailureInjector(
+        FailureConfig(mtbf_local=1.0, mtbf_remote=1e308), n_nodes=1
+    )
+    assert 0.0 <= inj.p_soft <= 1.0
+    kinds = {inj.next_failure().kind for _ in range(20)}
+    assert kinds == {SOFT}
+
+
+def test_failure_injector_normal_schedule_unchanged_by_fix():
+    a = FailureInjector(FailureConfig(seed=99), n_nodes=8)
+    b = FailureInjector(FailureConfig(seed=99), n_nodes=8)
+    evs_a = [a.next_failure() for _ in range(20)]
+    evs_b = [b.next_failure() for _ in range(20)]
+    assert evs_a == evs_b
+    assert {e.kind for e in evs_a} == {SOFT, HARD}
