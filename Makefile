@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test faults faults-matrix bench
+.PHONY: test faults faults-matrix bench bench-json exec-smoke
 
 # tier-1: the full deterministic suite
 test:
@@ -18,3 +18,13 @@ faults-matrix:
 
 bench:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks -q
+
+# perf trajectory: run the pinned benchmark subset on the parallel
+# cached execution engine and emit the machine-readable baseline
+bench-json:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.tools.bench --out BENCH_baseline.json
+
+# smallest end-to-end proof of the execution engine: one sweep cell,
+# cold then warm, warm run must execute nothing
+exec-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.tools.bench --smoke

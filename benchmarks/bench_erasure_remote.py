@@ -32,7 +32,7 @@ def build_group(k, engine, seed0=0):
         d = np.random.default_rng(seed0 + i).integers(0, 256, CHUNK).astype(np.uint8)
         ch.write(0, d)
         ck = LocalCheckpointer(ctx, a, PrecopyPolicy(mode="none"))
-        p = engine.process(ck.checkpoint())
+        p = engine.process(ck.checkpoint(blocking=False))
         engine.run()
         assert p.ok
         allocs.append(a)

@@ -29,7 +29,7 @@ def test_fig6_prediction_state_machine(benchmark, report):
         def driver():
             for it in range(5):
                 yield from app.compute_iteration(binding, it)
-                yield from ck.checkpoint()
+                yield from ck.checkpoint(blocking=False)
             ck.stop_background()
 
         ctx.engine.process(driver())

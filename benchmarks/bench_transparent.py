@@ -41,7 +41,7 @@ def test_transparent_vs_application_initiated(benchmark, report):
         def drive_app():
             for it in range(INTERVALS):
                 yield from app.compute_iteration(binding, it)
-                yield from ck.checkpoint()
+                yield from ck.checkpoint(blocking=False)
             ck.stop_background()
 
         ctx.engine.process(drive_app())
@@ -70,7 +70,7 @@ def test_transparent_vs_application_initiated(benchmark, report):
                     fault_time += cost
                     if cost:
                         yield ctx2.engine.timeout(cost)
-                    yield from t.checkpoint()
+                    yield from t.checkpoint(blocking=False)
 
             ctx2.engine.process(drive())
             ctx2.engine.run()

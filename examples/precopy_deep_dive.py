@@ -30,7 +30,7 @@ def run_variant(mode: str, intervals: int = 5):
     def driver():
         for it in range(intervals):
             yield from app.compute_iteration(binding, it)
-            yield from ck.checkpoint()
+            yield from ck.checkpoint(blocking=False)
         ck.stop_background()
 
     ctx.engine.process(driver())

@@ -45,7 +45,7 @@ def scrubbing_demo() -> None:
     field.write(0, data)
 
     def checkpoint_and_replicate():
-        yield from ck.checkpoint()
+        yield from ck.checkpoint(blocking=False)
         yield from helper.remote_checkpoint()
 
     proc = engine.process(checkpoint_and_replicate())
@@ -87,7 +87,7 @@ def erasure_demo() -> None:
         payload = np.random.default_rng(i).integers(0, 256, MB(2)).astype(np.uint8)
         chunk.write(0, payload)
         ck = LocalCheckpointer(ctx, a, PrecopyPolicy(mode="none"))
-        proc = engine.process(ck.checkpoint())
+        proc = engine.process(ck.checkpoint(blocking=False))
         engine.run()
         assert proc.ok
         allocs.append(a)

@@ -47,6 +47,8 @@ from .alloc import Chunk, NVAllocator, genid
 from .memory import FileStore, InMemoryStore, NVMKernelManager
 from .cluster import Cluster, ClusterRunner, RunResult
 from .models import ModelParams, MultilevelModel
+# the execution engine imports the tools layer, so it must come last
+from .exec import ParallelExecutor, ResultCache, run_grid
 
 __all__ = [
     "__version__",
@@ -78,6 +80,10 @@ __all__ = [
     "Cluster",
     "ClusterRunner",
     "RunResult",
+    # execution engine
+    "ParallelExecutor",
+    "ResultCache",
+    "run_grid",
     # analytic model
     "ModelParams",
     "MultilevelModel",

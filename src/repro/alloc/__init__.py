@@ -2,13 +2,14 @@
 Table-III allocation API (nvalloc / nvattach / nvrealloc / nvdelete).
 """
 
-from .chunk import Chunk, ChunkState
+from .chunk import Chunk, ChunkState, batch_commit
 from .arena import Arena, Allocation, SIZE_CLASSES
 from .nvmalloc import NVAllocator, genid
 
 __all__ = [
     "Chunk",
     "ChunkState",
+    "batch_commit",
     "Arena",
     "Allocation",
     "SIZE_CLASSES",

@@ -33,7 +33,7 @@ from ..faults.crashpoints import fire
 from ..memory.nvmm import NvmRegion
 from ..units import pages_of
 
-__all__ = ["Chunk", "ChunkState"]
+__all__ = ["Chunk", "ChunkState", "batch_commit"]
 
 
 class ChunkState(Enum):
@@ -268,14 +268,20 @@ class Chunk:
         self.bytes_copied_local += moved
         return moved
 
+    def payload_checksum(self) -> int:
+        """CRC32 of the DRAM working copy, computed directly over the
+        numpy view (the uint8 buffer satisfies the buffer protocol, so
+        no intermediate ``tobytes`` copy is made)."""
+        if self.phantom or self.dram is None:
+            return 0  # phantom payloads are all-zero
+        return zlib.crc32(self.dram)
+
     def commit(self, with_checksum: bool = True) -> None:
         """Mark the in-progress version committed (call only after the
         store was flushed)."""
         idx = self.inprogress_index()
-        if with_checksum and not self.phantom and self.dram is not None:
-            self.checksums[idx] = zlib.crc32(self.dram.tobytes())
-        elif with_checksum:
-            self.checksums[idx] = 0  # phantom payloads are all-zero
+        if with_checksum:
+            self.checksums[idx] = self.payload_checksum()
         self.committed_version = idx
         self.staged_pending = False
 
@@ -288,8 +294,8 @@ class Chunk:
             return True  # checksums disabled at commit time
         if self.phantom:
             return stored == 0
-        data = self.committed_region().read(0, self.nbytes)
-        return zlib.crc32(data.tobytes()) == stored
+        data = np.ascontiguousarray(self.committed_region().read(0, self.nbytes))
+        return zlib.crc32(data) == stored
 
     def restore_from_committed(self) -> int:
         """Load the committed NVM version back into the DRAM working
@@ -375,3 +381,38 @@ class Chunk:
             f"<Chunk #{self.chunk_id} {self.name!r} {self.nbytes}B "
             f"v{self.committed_version} {''.join(flags) or '-'}>"
         )
+
+
+def batch_commit(
+    chunks: List["Chunk"],
+    with_checksum: bool = True,
+    on_commit: Optional[Callable[["Chunk"], None]] = None,
+) -> List["Chunk"]:
+    """Commit every chunk in *chunks* with staged data, in one pass.
+
+    This is the coordinated step's commit hot path: for large rank
+    counts the per-chunk ``tobytes`` copy the naive loop paid per
+    checksum dominated profile time, so checksums are computed directly
+    over each chunk's numpy working-copy view (zero-copy buffer
+    protocol) before any version pointer flips.  Phantom chunks short
+    out to the constant all-zero checksum.  ``on_commit`` is invoked
+    per committed chunk (the crash-point hook), after that chunk's
+    flip.  Returns the chunks committed.
+    """
+    staged = [c for c in chunks if c.staged_pending]
+    if with_checksum:
+        # checksum phase first: pure reads over the DRAM views, no
+        # metadata mutated yet, so a crash here is indistinguishable
+        # from one before the commit loop
+        checksums = [c.payload_checksum() for c in staged]
+    committed: List["Chunk"] = []
+    for i, chunk in enumerate(staged):
+        idx = chunk.inprogress_index()
+        if with_checksum:
+            chunk.checksums[idx] = checksums[i]
+        chunk.committed_version = idx
+        chunk.staged_pending = False
+        committed.append(chunk)
+        if on_commit is not None:
+            on_commit(chunk)
+    return committed

@@ -112,6 +112,47 @@ class RunResult:
             return 0.0
         return (self.total_time - ideal) / ideal
 
+    def to_dict(self) -> dict:
+        """JSON-friendly summary of the run — the canonical record the
+        execution engine caches, shards and flattens into sweep CSVs."""
+        from ..units import to_GB, to_MB
+
+        return {
+            "app": self.app_name,
+            "policy": self.policy_mode,
+            "remote_precopy": self.remote_precopy,
+            "n_nodes": self.n_nodes,
+            "n_ranks": self.n_ranks,
+            "iterations": self.iterations,
+            "total_time_s": self.total_time,
+            "ideal_time_s": self.ideal_time,
+            "overhead_fraction": self.checkpoint_overhead_fraction,
+            "local": {
+                "checkpoints": self.local_checkpoints,
+                "avg_blocking_s": self.local_ckpt_time_avg,
+                "coordinated_gb": to_GB(self.coordinated_bytes),
+                "precopy_gb": to_GB(self.local_precopy_bytes),
+                "fault_time_s": self.fault_time_total,
+            },
+            "remote": {
+                "rounds": self.remote_rounds,
+                "round_gb": to_GB(self.remote_round_bytes),
+                "stream_gb": to_GB(self.remote_precopy_bytes),
+                "helper_utilization": self.helper_utilization,
+            },
+            "fabric": {
+                "ckpt_peak_1s_mb": to_MB(self.fabric_ckpt_peak_window_bytes),
+                "app_gb": to_GB(self.fabric_app_bytes),
+                "ckpt_gb": to_GB(self.fabric_ckpt_bytes),
+            },
+            "failures": {
+                "soft": self.soft_failures,
+                "hard": self.hard_failures,
+                "recovery_s": self.recovery_time,
+                "iterations_recomputed": self.iterations_recomputed,
+            },
+        }
+
 
 class ClusterRunner:
     """Drives one cluster through one experiment."""
@@ -252,7 +293,7 @@ class ClusterRunner:
         )
         yield self.barrier.wait()
         if self.local_checkpoints:
-            yield from state.checkpointer.checkpoint()
+            yield from state.checkpointer.checkpoint(blocking=False)
 
     # ------------------------------------------------------------------
     # Failure handling.

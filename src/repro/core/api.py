@@ -13,12 +13,19 @@ Methods mirror Table III:
 ``genid(varname)``        stable id from a variable name
 ``nvalloc(name, size)``   allocate an NVM-shadowed chunk (``pflg`` supported)
 ``nv2dalloc(d1, d2)``     2-D convenience wrapper
-``nvattach(name, arr)``   shadow an existing DRAM array
-``nvrealloc(name, size)`` grow/shrink
-``nvdelete(name)``        drop chunk + metadata
+``nvattach(key, arr)``    shadow an existing DRAM array (re-attach by key)
+``nvrealloc(key, size)``  grow/shrink
+``nvdelete(key)``         drop chunk + metadata
 ``nvchkptall()``          coordinated local checkpoint of all chunks
-``nvchkptid(id)``         checkpoint one chunk
+``nvchkptid(key)``        checkpoint one chunk
 ========================  ====================================================
+
+Every ``key`` is a :data:`ChunkKey` — either the integer chunk id
+(``genid``) or the variable name — resolved through one shared
+``_resolve_key`` helper, so all Table-III methods share a uniform
+:class:`KeyError` on unknown keys.  The unified ``checkpoint()`` verb
+(``checkpoint(key=None, *, blocking=True)``) backs both checkpoint
+entries.
 """
 
 from __future__ import annotations
@@ -30,6 +37,7 @@ import numpy as np
 from ..alloc.chunk import Chunk
 from ..alloc.nvmalloc import NVAllocator, genid
 from ..config import CheckpointConfig, NodeConfig, PrecopyPolicy
+from ..errors import UnknownChunkId
 from ..memory.persistence import PersistentStore
 from ..metrics.timeline import Timeline
 from .context import NodeContext, make_standalone_context
@@ -75,6 +83,28 @@ class NVMCheckpoint:
         )
 
     # ------------------------------------------------------------------
+    # Key resolution: every Table-III method that names an existing
+    # chunk funnels through here, so ``int | str`` keys behave the same
+    # everywhere and unknown keys fail with one uniform KeyError.
+    # ------------------------------------------------------------------
+
+    def _resolve_key(self, key: ChunkKey) -> Chunk:
+        """Resolve an ``int`` chunk id or ``str`` variable name to its
+        :class:`Chunk`, raising a uniform :class:`KeyError`
+        (:class:`~repro.errors.UnknownChunkId`) when absent."""
+        if not isinstance(key, (int, str)) or isinstance(key, bool):
+            raise TypeError(
+                f"chunk key must be an int id or str name, got {type(key).__name__}"
+            )
+        try:
+            return self.allocator.chunk(key)
+        except UnknownChunkId:
+            raise UnknownChunkId(
+                f"no chunk with key {key!r} in process {self.pid!r} "
+                "(pass the genid() integer or the variable name)"
+            ) from None
+
+    # ------------------------------------------------------------------
     # Table III: allocation.
     # ------------------------------------------------------------------
 
@@ -88,25 +118,61 @@ class NVMCheckpoint:
     def nv2dalloc(self, name: str, dim1: int, dim2: int, dtype=np.float64) -> Chunk:
         return self.allocator.nv2dalloc(name, dim1, dim2, dtype=dtype)
 
-    def nvattach(self, name: str, src: np.ndarray) -> Chunk:
-        return self.allocator.nvattach(name, src)
+    def nvattach(self, key: ChunkKey, src: np.ndarray) -> Chunk:
+        """Shadow an existing DRAM array under *key*.
+
+        A ``str`` key that is not yet allocated creates the chunk (the
+        §V path for dynamically-sized checkpoints).  A key naming an
+        existing chunk *re-attaches*: the chunk is resized to fit and
+        its working copy overwritten from *src* — the restart-time
+        idiom for rebinding live arrays.  An ``int`` key must already
+        exist (ids cannot allocate; they are one-way hashes of names).
+        """
+        if self.allocator.has_chunk(key):
+            chunk = self._resolve_key(key)
+            flat = np.ascontiguousarray(src).view(np.uint8).reshape(-1)
+            if chunk.nbytes != flat.nbytes:
+                chunk = self.allocator.nvrealloc(chunk.chunk_id, flat.nbytes)
+            if chunk.phantom:
+                chunk.touch()
+            else:
+                chunk.write(0, flat)
+            return chunk
+        if isinstance(key, int):
+            # creating by id alone is impossible — surface the same
+            # uniform KeyError as every other unknown-key lookup
+            self._resolve_key(key)
+        return self.allocator.nvattach(key, src)
 
     def nvrealloc(self, key: ChunkKey, nbytes: int) -> Chunk:
-        return self.allocator.nvrealloc(key, nbytes)
+        return self.allocator.nvrealloc(self._resolve_key(key).chunk_id, nbytes)
 
     def nvdelete(self, key: ChunkKey) -> None:
-        self.allocator.nvdelete(key)
+        self.allocator.nvdelete(self._resolve_key(key).chunk_id)
 
     def chunk(self, key: ChunkKey) -> Chunk:
-        return self.allocator.chunk(key)
+        return self._resolve_key(key)
 
     # ------------------------------------------------------------------
     # Table III: checkpoint.
     # ------------------------------------------------------------------
 
+    def checkpoint(self, key: Optional[ChunkKey] = None, *, blocking: bool = True):
+        """The unified checkpoint verb.
+
+        ``checkpoint()`` is a coordinated local checkpoint of every
+        persistent chunk (``nvchkptall``); ``checkpoint(key)`` limits
+        it to one chunk (``nvchkptid``).  ``blocking=True`` (default)
+        returns the completed :class:`CheckpointStats`;
+        ``blocking=False`` returns the DES generator for advanced
+        embedding in an external simulation loop.
+        """
+        only = None if key is None else [self._resolve_key(key)]
+        return self.checkpointer.checkpoint(only, blocking=blocking)
+
     def nvchkptall(self) -> CheckpointStats:
         """Coordinated local checkpoint of every persistent chunk."""
-        return self.checkpointer.checkpoint_sync()
+        return self.checkpoint()
 
     # ------------------------------------------------------------------
     # Background pre-copy (the paper's CPC/DCPC/DCPCP) for direct
@@ -133,7 +199,7 @@ class NVMCheckpoint:
 
     def nvchkptid(self, key: ChunkKey) -> CheckpointStats:
         """Checkpoint a single chunk/variable."""
-        return self.checkpointer.checkpoint_sync(only=[self.allocator.chunk(key)])
+        return self.checkpoint(key)
 
     # ------------------------------------------------------------------
     # Crash / restart.

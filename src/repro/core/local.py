@@ -20,10 +20,11 @@ every persistent chunk is copied each checkpoint — the paper's
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional
 
-from ..alloc.chunk import Chunk, ChunkState
+from ..alloc.chunk import Chunk, ChunkState, batch_commit
 from ..alloc.nvmalloc import NVAllocator
 from ..config import PrecopyPolicy
 from ..errors import CheckpointError
@@ -147,11 +148,32 @@ class LocalCheckpointer:
             return [c for c in chunks if c.dirty_local]
         return chunks
 
-    def checkpoint(self, only: Optional[Iterable[Chunk]] = None):
-        """Generator process: one coordinated local checkpoint.
-        Returns :class:`CheckpointStats`.  ``only`` restricts the set
-        (``nvchkptid``); the commit still covers only what was staged.
+    def checkpoint(
+        self, only: Optional[Iterable[Chunk]] = None, *, blocking: bool = True
+    ):
+        """One coordinated local checkpoint (``nvchkptall``).
+
+        With ``blocking=True`` (the default) the checkpoint runs to
+        completion on this context's own engine and the
+        :class:`CheckpointStats` is returned — the synchronous facade
+        path, valid only from *outside* the simulation.  With
+        ``blocking=False`` the call returns the checkpoint *generator*
+        for DES embedding (``yield from ck.checkpoint(blocking=False)``
+        inside a simulated process, or ``engine.process(...)``).
+
+        ``only`` restricts the chunk set (``nvchkptid``); the commit
+        still covers only what was staged.
         """
+        if blocking:
+            proc = self.ctx.engine.process(
+                self._checkpoint_proc(only), name=f"{self.tag}:ckpt"
+            )
+            self.ctx.engine.run()
+            return proc.value
+        return self._checkpoint_proc(only)
+
+    def _checkpoint_proc(self, only: Optional[Iterable[Chunk]] = None):
+        """The checkpoint generator body behind :meth:`checkpoint`."""
         engine = self.ctx.engine
         stats = CheckpointStats(start=engine.now)
         if self.precopy is not None:
@@ -206,10 +228,13 @@ class LocalCheckpointer:
             yield engine.timeout(flush_cost)
             fire("local.commit.after_data_flush", rank=self.rank)
             if self._stage_to_nvm:
-                for chunk in all_persistent:
-                    if chunk.staged_pending:
-                        chunk.commit(with_checksum=self.with_checksums)
-                        fire("local.commit.after_flip", chunk=chunk, rank=self.rank)
+                batch_commit(
+                    all_persistent,
+                    with_checksum=self.with_checksums,
+                    on_commit=lambda chunk: fire(
+                        "local.commit.after_flip", chunk=chunk, rank=self.rank
+                    ),
+                )
             self.allocator._persist_metadata()
             fire("local.commit.before_meta_flush", rank=self.rank)
             flush_cost2 = self.ctx.nvmm.cache_flush()
@@ -229,12 +254,15 @@ class LocalCheckpointer:
         return stats
 
     def checkpoint_sync(self, only: Optional[Iterable[Chunk]] = None) -> CheckpointStats:
-        """Run :meth:`checkpoint` to completion on this context's own
-        engine (synchronous facade use only — not from inside a larger
-        simulation)."""
-        proc = self.ctx.engine.process(self.checkpoint(only), name=f"{self.tag}:ckpt")
-        self.ctx.engine.run()
-        return proc.value
+        """Deprecated alias for :meth:`checkpoint` (``blocking=True``)."""
+        warnings.warn(
+            "LocalCheckpointer.checkpoint_sync() is deprecated; use "
+            "checkpoint() (blocking by default) or "
+            "checkpoint(blocking=False) for the DES generator form",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.checkpoint(only)
 
     # ------------------------------------------------------------------
     # Interval bookkeeping.

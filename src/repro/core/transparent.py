@@ -21,6 +21,7 @@ application-initiated path.
 
 from __future__ import annotations
 
+import warnings
 from typing import List, Optional
 
 from ..alloc.nvmalloc import NVAllocator
@@ -123,12 +124,22 @@ class TransparentCheckpointer:
             remaining -= n
         return faults
 
-    def checkpoint(self):
-        """Generator process: snapshot the full address space."""
-        return self._ck.checkpoint()
+    def checkpoint(self, *, blocking: bool = True):
+        """Snapshot the full address space.  ``blocking=True`` (the
+        default) runs to completion on the context's engine and returns
+        :class:`CheckpointStats`; ``blocking=False`` returns the DES
+        generator for embedding in a larger simulation."""
+        return self._ck.checkpoint(blocking=blocking)
 
     def checkpoint_sync(self) -> CheckpointStats:
-        return self._ck.checkpoint_sync()
+        """Deprecated alias for :meth:`checkpoint` (``blocking=True``)."""
+        warnings.warn(
+            "TransparentCheckpointer.checkpoint_sync() is deprecated; "
+            "use checkpoint() (blocking by default)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.checkpoint()
 
     # ------------------------------------------------------------------
     # Introspection.

@@ -105,8 +105,17 @@ class DuplicateChunkId(AllocationError):
     """A chunk id was allocated twice without an intervening delete."""
 
 
-class UnknownChunkId(AllocationError):
-    """Lookup of a chunk id that was never allocated (or was deleted)."""
+class UnknownChunkId(AllocationError, KeyError):
+    """Lookup of a chunk id that was never allocated (or was deleted).
+
+    Also a :class:`KeyError` so the Table-III facade's uniform
+    key-resolution contract (``int | str`` chunk keys) can be caught
+    with ``except KeyError`` by applications that treat the chunk
+    registry as a mapping.
+    """
+
+    def __str__(self) -> str:  # KeyError repr-quotes its message
+        return Exception.__str__(self)
 
 
 # ---------------------------------------------------------------------------

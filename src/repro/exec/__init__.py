@@ -1,0 +1,44 @@
+"""The parallel, cached experiment-execution engine.
+
+The paper's evaluation (Figs. 5–10) is a grid of *independent*
+simulations — the classic parameter-study shape.  This package turns
+that shape into wall-clock wins:
+
+* :mod:`~repro.exec.executor` — :class:`ParallelExecutor` shards cells
+  across ``multiprocessing`` workers; results come back in submission
+  order, so ``workers=N`` is byte-identical to serial;
+* :mod:`~repro.exec.cache` — :class:`ResultCache`, a content-addressed
+  store keyed by the resolved cell config + ``repro.__version__``;
+  re-running a sweep executes only changed cells;
+* :mod:`~repro.exec.grid` — sweep-grid expansion with deterministic
+  per-cell RNG seed derivation, bridging the
+  ``repro.tools.experiment`` CLI surface onto the executor.
+
+``repro.tools.sweep`` and ``repro.tools.bench`` are the user-facing
+entry points.
+"""
+
+from .cache import ResultCache, cache_key
+from .executor import ExecutionReport, ParallelExecutor, resolve_workers
+from .grid import (
+    GridCell,
+    GridReport,
+    derive_cell_seed,
+    expand_grid,
+    flatten_record,
+    run_grid,
+)
+
+__all__ = [
+    "ResultCache",
+    "cache_key",
+    "ParallelExecutor",
+    "ExecutionReport",
+    "resolve_workers",
+    "GridCell",
+    "GridReport",
+    "derive_cell_seed",
+    "expand_grid",
+    "flatten_record",
+    "run_grid",
+]

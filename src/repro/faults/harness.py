@@ -267,7 +267,7 @@ class CrashConsistencyHarness:
             for idx, chunk in enumerate(world.chunks):
                 chunk.write(0, self._pattern(rng, step, idx, chunk.nbytes))
             yield engine.timeout(self.local_interval * 0.6)
-            yield from world.checkpointer.checkpoint()
+            yield from world.checkpointer.checkpoint(blocking=False)
             yield engine.timeout(self.local_interval * 0.4)
         world.checkpointer.stop_background()
         if world.helper is not None:

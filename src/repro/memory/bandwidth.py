@@ -43,18 +43,33 @@ class CoreContentionModel:
         self.model = model
         self.peak = device.write_bandwidth
         self.single_core_cap = model.single_core_fraction * self.peak
+        # the DES bus re-evaluates capacity/rate on *every* flow
+        # arrival and departure; the domain is tiny (flow counts), so
+        # memoizing the curves removes the hottest pure-function work
+        # from sweep profiles at zero behavioural cost
+        self._capacity_cache: Dict[int, float] = {}
+        self._rate_cache: Dict[int, float] = {}
+        self._curve_cache: Dict[tuple, List[float]] = {}
 
     def effective_capacity(self, n_flows: int) -> float:
         """Usable aggregate bandwidth with *n_flows* concurrent writers."""
         if n_flows <= 0:
             return self.peak
-        return self.peak / (1.0 + self.model.alpha * (n_flows - 1))
+        cached = self._capacity_cache.get(n_flows)
+        if cached is None:
+            cached = self.peak / (1.0 + self.model.alpha * (n_flows - 1))
+            self._capacity_cache[n_flows] = cached
+        return cached
 
     def per_core_rate(self, n_flows: int) -> float:
         """Effective bytes/s available to each of *n_flows* writers."""
         if n_flows <= 0:
             raise ValueError("n_flows must be >= 1")
-        return min(self.single_core_cap, self.effective_capacity(n_flows) / n_flows)
+        cached = self._rate_cache.get(n_flows)
+        if cached is None:
+            cached = min(self.single_core_cap, self.effective_capacity(n_flows) / n_flows)
+            self._rate_cache[n_flows] = cached
+        return cached
 
     def aggregate_rate(self, n_flows: int) -> float:
         if n_flows <= 0:
@@ -70,12 +85,17 @@ class CoreContentionModel:
 
     def percore_curve(self, max_procs: int, nbytes: int) -> List[float]:
         """Per-core achieved bandwidth (bytes/s) for 1..max_procs
-        concurrent copiers of *nbytes* each — the Figure 4 series."""
-        out = []
-        for n in range(1, max_procs + 1):
-            t = self.copy_time(nbytes, n)
-            out.append(nbytes / t if t > 0 else 0.0)
-        return out
+        concurrent copiers of *nbytes* each — the Figure 4 series.
+        Memoized: sweep drivers re-request identical curves per cell."""
+        key = (max_procs, nbytes)
+        cached = self._curve_cache.get(key)
+        if cached is None:
+            cached = []
+            for n in range(1, max_procs + 1):
+                t = self.copy_time(nbytes, n)
+                cached.append(nbytes / t if t > 0 else 0.0)
+            self._curve_cache[key] = cached
+        return list(cached)
 
 
 def make_device_bus(

@@ -1,0 +1,214 @@
+"""Perf-trajectory benchmark CLI: ``python -m repro.tools.bench``.
+
+Runs a pinned subset of the paper's evaluation grids through the
+:mod:`repro.exec` engine and emits a machine-readable JSON record
+(``BENCH_baseline.json`` via ``make bench-json``) seeding the repo's
+perf trajectory:
+
+* the pinned 16-cell sweep grid executed serially (the reference),
+  then parallel with a cold cache, then again with a warm cache;
+* cells/sec for each mode, the warm-run cache hit rate, and the
+  engine speedup over naive serial re-execution;
+* wall-clock per pinned figure grid (Figs. 7/8/9 miniatures).
+
+All grids are deterministic (per-cell derived seeds), so the records
+themselves are stable across runs — only the wall-clocks move with the
+host.  ``--smoke`` runs one cached sweep cell cold + warm and fails if
+the warm run executes anything: the CI-sized proof that sharding and
+caching work.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .. import __version__
+from ..exec.cache import ResultCache
+from ..exec.executor import resolve_workers
+from ..exec.grid import GridReport, run_grid
+from .sweep import parse_sweeps
+
+__all__ = ["PINNED_GRID", "FIGURE_GRIDS", "run_benchmark", "run_smoke", "main"]
+
+#: the headline grid: 16 cells of the paper's LAMMPS testbed with the
+#: remote (buddy) tier on — the heaviest per-cell configuration the
+#: evaluation sweeps, crossed over device bandwidth and pre-copy policy
+PINNED_GRID: Tuple[List[str], List[str]] = (
+    [
+        "--app", "lammps", "--nodes", "2", "--ranks-per-node", "4",
+        "--iterations", "3", "--local-interval", "20", "--remote-interval", "60",
+    ],
+    ["nvm-gbps=0.5,1.0,2.0,4.0", "mode=none,cpc,dcpc,dcpcp"],
+)
+
+#: miniature per-figure grids (same shape as the full benchmarks/
+#: figures, pinned small so the whole bench stays interactive)
+FIGURE_GRIDS: Dict[str, Tuple[List[str], List[str]]] = {
+    "fig7_lammps_local": (
+        ["--app", "lammps", "--nodes", "2", "--ranks-per-node", "4",
+         "--iterations", "3", "--local-interval", "20",
+         "--remote-interval", "60", "--no-remote"],
+        ["nvm-gbps=0.5,1.0,2.0,4.0", "mode=none,dcpcp"],
+    ),
+    "fig8_gtc_local": (
+        ["--app", "gtc", "--nodes", "2", "--ranks-per-node", "4",
+         "--iterations", "3", "--local-interval", "20",
+         "--remote-interval", "60", "--no-remote"],
+        ["mode=none,cpc,dcpc,dcpcp"],
+    ),
+    "fig9_efficiency": (
+        ["--app", "synthetic", "--nodes", "2", "--ranks-per-node", "4",
+         "--iterations", "4", "--local-interval", "15",
+         "--remote-interval", "45", "--checkpoint-mb", "80",
+         "--chunk-mb", "10", "--mtbf-local", "600", "--mtbf-remote", "2400"],
+        ["mode=none,dcpcp", "nvm-gbps=1.0,2.0"],
+    ),
+}
+
+
+def _grid_cells(axes_specs: Sequence[str]) -> int:
+    n = 1
+    for _, vals in parse_sweeps(list(axes_specs)):
+        n *= len(vals)
+    return n
+
+
+def _mode_record(report: GridReport) -> dict:
+    ex = report.execution
+    return {
+        "wall_s": round(ex.wall_s, 4),
+        "cells": ex.cells_total,
+        "cells_executed": ex.cells_executed,
+        "cache_hits": ex.cache_hits,
+        "cache_hit_rate": round(ex.cache_hit_rate, 4),
+        "cells_per_sec": round(ex.cells_per_sec, 3),
+        "workers": ex.workers,
+    }
+
+
+def run_benchmark(workers: int, cache_dir: Optional[str] = None) -> dict:
+    """Run the full pinned benchmark; returns the JSON-ready record."""
+    base, axes_specs = PINNED_GRID
+    axes = parse_sweeps(axes_specs)
+    owns_tmp = cache_dir is None
+    tmp = tempfile.mkdtemp(prefix="repro-bench-") if owns_tmp else cache_dir
+
+    # 1. reference: naive serial, no cache — what every sweep paid
+    # before the engine existed
+    serial = run_grid(base, axes, workers=1, cache=None)
+
+    # 2. engine, cold cache: sharded execution, results stored
+    cold = run_grid(base, axes, workers=workers, cache=ResultCache(tmp))
+
+    # 3. engine, warm cache: the re-run path — must execute nothing
+    warm = run_grid(base, axes, workers=workers, cache=ResultCache(tmp))
+
+    deterministic = serial.records == cold.records == warm.records
+
+    figures: Dict[str, dict] = {}
+    for name, (fig_base, fig_axes_specs) in FIGURE_GRIDS.items():
+        fig_axes = parse_sweeps(fig_axes_specs)
+        fig = run_grid(fig_base, fig_axes, workers=workers, cache=ResultCache(tmp))
+        figures[name] = _mode_record(fig)
+
+    serial_s = serial.execution.wall_s
+    record = {
+        "schema": "repro-bench/1",
+        "version": __version__,
+        "host_cpus": os.cpu_count(),
+        "grid": {
+            "app": "lammps",
+            "axes": list(axes_specs),
+            "cells": _grid_cells(axes_specs),
+        },
+        "serial": _mode_record(serial),
+        "parallel_cold": {
+            **_mode_record(cold),
+            "speedup_vs_serial": round(serial_s / cold.execution.wall_s, 3)
+            if cold.execution.wall_s > 0 else 0.0,
+        },
+        "cached_rerun": {
+            **_mode_record(warm),
+            "speedup_vs_serial": round(serial_s / warm.execution.wall_s, 3)
+            if warm.execution.wall_s > 0 else 0.0,
+        },
+        # the engine's wall-clock win over naive serial re-execution:
+        # best of sharding (multi-core hosts) and caching (re-runs)
+        "speedup": round(
+            serial_s / min(cold.execution.wall_s, warm.execution.wall_s), 3
+        ),
+        "deterministic": deterministic,
+        "figures": figures,
+    }
+    return record
+
+
+def run_smoke(workers: int) -> int:
+    """One cached sweep cell under the executor, cold then warm."""
+    base, _ = PINNED_GRID
+    axes = parse_sweeps(["nvm-gbps=2.0"])
+    with tempfile.TemporaryDirectory(prefix="repro-smoke-") as tmp:
+        cold = run_grid(base, axes, workers=workers, cache=ResultCache(tmp))
+        warm = run_grid(base, axes, workers=workers, cache=ResultCache(tmp))
+    ok = (
+        cold.execution.cells_executed == 1
+        and warm.execution.cells_executed == 0
+        and warm.execution.cache_hits == 1
+        and cold.records == warm.records
+    )
+    print(
+        f"exec smoke: cold executed={cold.execution.cells_executed} "
+        f"warm executed={warm.execution.cells_executed} "
+        f"hits={warm.execution.cache_hits} -> {'OK' if ok else 'FAIL'}"
+    )
+    return 0 if ok else 1
+
+
+def main(argv=None) -> int:
+    p = argparse.ArgumentParser(
+        prog="repro.tools.bench",
+        description="Pinned benchmark subset; emits the perf-trajectory JSON.",
+    )
+    p.add_argument("--out", default="BENCH_baseline.json",
+                   help="JSON output path ('-' for stdout)")
+    p.add_argument("--workers", default="auto",
+                   help="parallel worker processes ('auto' = one per CPU, "
+                        "minimum 4 so sharding is exercised everywhere)")
+    p.add_argument("--cache-dir", default=None,
+                   help="reuse a persistent cache dir (default: fresh temp dir)")
+    p.add_argument("--smoke", action="store_true",
+                   help="run one cached sweep cell cold+warm and exit")
+    args = p.parse_args(argv)
+    workers = resolve_workers(args.workers)
+    if args.workers == "auto":
+        workers = max(workers, 4)
+    if args.smoke:
+        return run_smoke(workers)
+
+    t0 = time.perf_counter()
+    record = run_benchmark(workers, cache_dir=args.cache_dir)
+    record["total_wall_s"] = round(time.perf_counter() - t0, 3)
+    payload = json.dumps(record, indent=2) + "\n"
+    if args.out == "-":
+        sys.stdout.write(payload)
+    else:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(payload)
+        print(
+            f"wrote {args.out}: {record['grid']['cells']} cells, "
+            f"serial {record['serial']['wall_s']}s, "
+            f"engine speedup {record['speedup']}x "
+            f"(parallel {record['parallel_cold']['speedup_vs_serial']}x, "
+            f"cached {record['cached_rerun']['speedup_vs_serial']}x)"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -33,9 +33,20 @@ from ..config import (
     FailureConfig,
     PrecopyPolicy,
 )
-from ..units import GB_per_sec, to_GB, to_MB
+from ..units import GB_per_sec
 
-__all__ = ["build_parser", "run_experiment", "result_to_dict", "main"]
+__all__ = [
+    "build_parser",
+    "resolve_config",
+    "run_cell",
+    "run_experiment",
+    "result_to_dict",
+    "main",
+]
+
+#: options that shape *output*, not the experiment itself — excluded
+#: from the resolved config so they never perturb cache keys
+NON_SEMANTIC_OPTIONS = frozenset({"json", "timeline"})
 
 APPS = {
     "gtc": lambda args: GTCModel(small_chunks=args.small_chunks),
@@ -99,6 +110,29 @@ def build_parser() -> argparse.ArgumentParser:
     return p
 
 
+def resolve_config(args: argparse.Namespace) -> dict:
+    """The canonical resolved configuration of one experiment cell:
+    every semantic option after argparse defaulting, sorted by name.
+    This dict is the cache-key input and the worker payload of the
+    execution engine (JSON-serializable and picklable by design)."""
+    return {
+        k: v for k, v in sorted(vars(args).items()) if k not in NON_SEMANTIC_OPTIONS
+    }
+
+
+def run_cell(config: dict) -> dict:
+    """Execute one resolved cell and return its summary dict.
+
+    Module-level and dict-in/dict-out so
+    :class:`repro.exec.ParallelExecutor` can ship it across process
+    boundaries; the input is copied, so a cell can never leak mutations
+    into its siblings.
+    """
+    args = argparse.Namespace(**dict(config))
+    result = run_experiment(args)
+    return result_to_dict(result)
+
+
 def run_experiment(args: argparse.Namespace) -> RunResult:
     if args.small_chunks == 0:
         args.small_chunks = None  # faithful layouts
@@ -144,42 +178,8 @@ def run_experiment(args: argparse.Namespace) -> RunResult:
 
 
 def result_to_dict(result: RunResult) -> dict:
-    """JSON-friendly summary of a run."""
-    return {
-        "app": result.app_name,
-        "policy": result.policy_mode,
-        "remote_precopy": result.remote_precopy,
-        "n_nodes": result.n_nodes,
-        "n_ranks": result.n_ranks,
-        "iterations": result.iterations,
-        "total_time_s": result.total_time,
-        "ideal_time_s": result.ideal_time,
-        "overhead_fraction": result.checkpoint_overhead_fraction,
-        "local": {
-            "checkpoints": result.local_checkpoints,
-            "avg_blocking_s": result.local_ckpt_time_avg,
-            "coordinated_gb": to_GB(result.coordinated_bytes),
-            "precopy_gb": to_GB(result.local_precopy_bytes),
-            "fault_time_s": result.fault_time_total,
-        },
-        "remote": {
-            "rounds": result.remote_rounds,
-            "round_gb": to_GB(result.remote_round_bytes),
-            "stream_gb": to_GB(result.remote_precopy_bytes),
-            "helper_utilization": result.helper_utilization,
-        },
-        "fabric": {
-            "ckpt_peak_1s_mb": to_MB(result.fabric_ckpt_peak_window_bytes),
-            "app_gb": to_GB(result.fabric_app_bytes),
-            "ckpt_gb": to_GB(result.fabric_ckpt_bytes),
-        },
-        "failures": {
-            "soft": result.soft_failures,
-            "hard": result.hard_failures,
-            "recovery_s": result.recovery_time,
-            "iterations_recomputed": result.iterations_recomputed,
-        },
-    }
+    """JSON-friendly summary of a run (see :meth:`RunResult.to_dict`)."""
+    return result.to_dict()
 
 
 def main(argv=None) -> int:

@@ -1,29 +1,43 @@
 """Parameter-sweep CLI: run a grid of experiments, emit CSV.
 
-Example — Fig. 7 as a CSV::
+Example — Fig. 7 as a CSV, sharded over 4 workers with a warm cache::
 
     python -m repro.tools.sweep --app lammps --sweep nvm-gbps=0.5,1.0,2.0 \
-        --sweep mode=none,dcpcp --iterations 6 --out fig7.csv
+        --sweep mode=none,dcpcp --iterations 6 --workers 4 \
+        --cache-dir .repro-cache --out fig7.csv
 
 Any scalar option of ``repro.tools.experiment`` can be swept; the
-cross product of all ``--sweep`` axes runs deterministically and one
-CSV row is written per cell.
+cross product of all ``--sweep`` axes runs on the
+:mod:`repro.exec` engine — parallel execution is byte-identical to
+serial, a populated ``--cache-dir`` re-executes only changed cells —
+and one CSV row is written per cell.
+
+CSV columns are derived from the union of all result keys (stable,
+first-seen order after the preferred prefix below), so new metrics
+surface in sweeps without editing this file.
 """
 
 from __future__ import annotations
 
 import argparse
 import csv
-import itertools
 import sys
 from typing import Dict, List, Sequence, Tuple
 
-from .experiment import build_parser as build_experiment_parser
-from .experiment import result_to_dict, run_experiment
+from ..exec.cache import ResultCache
+from ..exec.grid import GridReport, run_grid
 
-__all__ = ["parse_sweeps", "run_sweep", "main"]
+__all__ = [
+    "parse_sweeps",
+    "run_sweep",
+    "collect_fields",
+    "write_csv",
+    "main",
+]
 
-#: flat CSV columns pulled from result_to_dict
+#: preferred CSV column ordering; columns present in the results are
+#: emitted in this order first, every other key follows in the stable
+#: first-seen order of the records (nothing is ever dropped)
 CSV_FIELDS = [
     "app", "policy", "remote_precopy", "n_nodes", "n_ranks", "iterations",
     "total_time_s", "ideal_time_s", "overhead_fraction",
@@ -34,17 +48,6 @@ CSV_FIELDS = [
     "fabric.ckpt_peak_1s_mb", "fabric.app_gb", "fabric.ckpt_gb",
     "failures.soft", "failures.hard", "failures.recovery_s",
 ]
-
-
-def _flatten(d: dict, prefix: str = "") -> dict:
-    out = {}
-    for key, value in d.items():
-        name = f"{prefix}{key}"
-        if isinstance(value, dict):
-            out.update(_flatten(value, prefix=f"{name}."))
-        else:
-            out[name] = value
-    return out
 
 
 def parse_sweeps(specs: Sequence[str]) -> List[Tuple[str, List[str]]]:
@@ -61,22 +64,41 @@ def parse_sweeps(specs: Sequence[str]) -> List[Tuple[str, List[str]]]:
     return axes
 
 
-def run_sweep(base_args: List[str], axes: List[Tuple[str, List[str]]]) -> List[dict]:
+def run_sweep(
+    base_args: List[str],
+    axes: List[Tuple[str, List[str]]],
+    *,
+    workers: int | str | None = 1,
+    cache: ResultCache | None = None,
+    derive_seeds: bool = True,
+) -> List[dict]:
     """Run the cross product; returns one flat record per cell."""
-    parser = build_experiment_parser()
-    records: List[dict] = []
-    names = [name for name, _ in axes]
-    for combo in itertools.product(*(vals for _, vals in axes)):
-        argv = list(base_args)
-        for name, value in zip(names, combo):
-            argv += [f"--{name}", value]
-        args = parser.parse_args(argv)
-        result = run_experiment(args)
-        record = _flatten(result_to_dict(result))
-        for name, value in zip(names, combo):
-            record[f"sweep.{name}"] = value
-        records.append(record)
-    return records
+    return run_grid(
+        base_args, axes, workers=workers, cache=cache, derive_seeds=derive_seeds
+    ).records
+
+
+def collect_fields(records: Sequence[dict], axes) -> List[str]:
+    """The CSV column set: sweep coordinates, then the preferred
+    ordering, then every remaining key in stable first-seen order —
+    the union over *all* records, so no metric is silently dropped."""
+    sweep_cols = [f"sweep.{name}" for name, _ in axes]
+    seen: Dict[str, None] = {}
+    for record in records:
+        for key in record:
+            if key not in seen:
+                seen[key] = None
+    preferred = [f for f in CSV_FIELDS if f in seen]
+    rest = [k for k in seen if k not in preferred and k not in sweep_cols]
+    return sweep_cols + preferred + rest
+
+
+def write_csv(records: Sequence[dict], axes, stream) -> None:
+    """Write the sweep records as CSV to an open text *stream*."""
+    writer = csv.DictWriter(stream, fieldnames=collect_fields(records, axes))
+    writer.writeheader()
+    for record in records:
+        writer.writerow(record)
 
 
 def main(argv=None) -> int:
@@ -87,24 +109,40 @@ def main(argv=None) -> int:
     p.add_argument("--sweep", action="append", default=[], metavar="NAME=V1,V2",
                    help="axis to sweep (repeatable; cross product)")
     p.add_argument("--out", default="-", help="CSV path ('-' for stdout)")
+    p.add_argument("--workers", default="1", metavar="N",
+                   help="parallel worker processes ('auto' = one per CPU)")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="content-addressed result cache; reruns execute "
+                        "only changed cells")
+    p.add_argument("--no-cell-seeds", action="store_true",
+                   help="do not derive per-cell RNG seeds; every cell "
+                        "uses the base --seed verbatim")
     args, passthrough = p.parse_known_args(argv)
     if not args.sweep:
         p.error("at least one --sweep axis is required")
     axes = parse_sweeps(args.sweep)
-    records = run_sweep(passthrough, axes)
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    report: GridReport = run_grid(
+        passthrough,
+        axes,
+        workers=args.workers,
+        cache=cache,
+        derive_seeds=not args.no_cell_seeds,
+    )
+    records = report.records
 
-    sweep_cols = [f"sweep.{name}" for name, _ in axes]
-    fields = sweep_cols + [f for f in CSV_FIELDS if records and f in records[0]]
     out = sys.stdout if args.out == "-" else open(args.out, "w", newline="", encoding="utf-8")
     try:
-        writer = csv.DictWriter(out, fieldnames=fields, extrasaction="ignore")
-        writer.writeheader()
-        for record in records:
-            writer.writerow(record)
+        write_csv(records, axes, out)
     finally:
         if out is not sys.stdout:
             out.close()
-            print(f"wrote {len(records)} rows to {args.out}")
+            ex = report.execution
+            print(
+                f"wrote {len(records)} rows to {args.out} "
+                f"({ex.cells_executed} executed, {ex.cache_hits} cached, "
+                f"{ex.workers} worker{'s' if ex.workers != 1 else ''})"
+            )
     return 0
 
 

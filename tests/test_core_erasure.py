@@ -26,7 +26,7 @@ def make_group(k=3, chunk_size=4096, phantom=False, seed0=0):
             ch.write(0, d)
             datas.append(d)
         ck = LocalCheckpointer(ctx, a, PrecopyPolicy(mode="none"))
-        p = engine.process(ck.checkpoint())
+        p = engine.process(ck.checkpoint(blocking=False))
         engine.run()
         assert p.ok
         allocs.append(a)
@@ -90,7 +90,7 @@ class TestReconstruction:
         # member 1 writes new data and re-checkpoints
         new = np.full(4096, 0x5A, dtype=np.uint8)
         allocs[1].chunk("grid").write(0, new)
-        p = engine.process(cks[1].checkpoint())
+        p = engine.process(cks[1].checkpoint(blocking=False))
         engine.run()
         assert p.ok
         group.update_parity()

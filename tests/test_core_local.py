@@ -23,7 +23,7 @@ class TestCoordinatedStep:
         ctx, alloc, ck = make_rig()
         alloc.nvalloc("a", MB(10))
         alloc.nvalloc("b", MB(20))
-        stats = ck.checkpoint_sync()
+        stats = ck.checkpoint()
         assert stats.chunks_copied == 2
         assert stats.bytes_copied == MB(30)
         assert stats.duration > 0
@@ -31,41 +31,41 @@ class TestCoordinatedStep:
     def test_clean_chunks_skipped_with_tracking(self):
         ctx, alloc, ck = make_rig(mode="dcpcp")
         a = alloc.nvalloc("a", MB(10))
-        ck.checkpoint_sync()
-        stats = ck.checkpoint_sync()  # nothing written since
+        ck.checkpoint()
+        stats = ck.checkpoint()  # nothing written since
         assert stats.chunks_copied == 0
         assert stats.chunks_skipped == 1
 
     def test_no_precopy_baseline_copies_everything_every_time(self):
         ctx, alloc, ck = make_rig(mode="none")
         alloc.nvalloc("a", MB(10))
-        ck.checkpoint_sync()
-        stats = ck.checkpoint_sync()
+        ck.checkpoint()
+        stats = ck.checkpoint()
         assert stats.chunks_copied == 1  # no dirty tracking
         assert not ck.tracks_dirty
 
     def test_redirtied_chunk_recopied(self):
         ctx, alloc, ck = make_rig()
         a = alloc.nvalloc("a", MB(10))
-        ck.checkpoint_sync()
+        ck.checkpoint()
         a.touch()
-        stats = ck.checkpoint_sync()
+        stats = ck.checkpoint()
         assert stats.chunks_copied == 1
 
     def test_commit_advances_versions(self):
         ctx, alloc, ck = make_rig()
         a = alloc.nvalloc("a", MB(1))
-        ck.checkpoint_sync()
+        ck.checkpoint()
         assert a.committed_version == 0
         a.touch()
-        ck.checkpoint_sync()
+        ck.checkpoint()
         assert a.committed_version == 1
 
     def test_nvchkptid_subset(self):
         ctx, alloc, ck = make_rig()
         a = alloc.nvalloc("a", MB(1))
         b = alloc.nvalloc("b", MB(1))
-        stats = ck.checkpoint_sync(only=[a])
+        stats = ck.checkpoint(only=[a])
         assert stats.chunks_copied == 1
         assert a.committed_version == 0
         assert b.committed_version == -1
@@ -73,7 +73,7 @@ class TestCoordinatedStep:
     def test_flush_cost_included(self):
         ctx, alloc, ck = make_rig()
         alloc.nvalloc("a", MB(1))
-        stats = ck.checkpoint_sync()
+        stats = ck.checkpoint()
         assert stats.flush_cost > 0
 
     def test_checkpoint_time_scales_with_bandwidth(self):
@@ -84,7 +84,7 @@ class TestCoordinatedStep:
             alloc = NVAllocator("p0", ctx.nvmm, ctx.dram, phantom=True)
             ck = LocalCheckpointer(ctx, alloc, PrecopyPolicy(mode="none"))
             alloc.nvalloc("a", MB(100))
-            return ck.checkpoint_sync().duration
+            return ck.checkpoint().duration
 
         assert run_at(GB_per_sec(0.5)) > 2 * run_at(GB_per_sec(2.0))
 
@@ -93,7 +93,7 @@ class TestCoordinatedStep:
         a = alloc.nvalloc("a", 4096)
         data = np.arange(512, dtype=np.float64)
         a.write(0, data)
-        ck.checkpoint_sync()
+        ck.checkpoint()
         a.write(0, np.zeros(512))
         a.restore_from_committed()
         assert np.array_equal(a.view(np.float64), data)
@@ -108,7 +108,7 @@ class TestPrecopyIntegration:
         def app():
             a.touch()
             yield ctx.engine.timeout(10.0)  # precopy catches up
-            stats = yield from ck.checkpoint()
+            stats = yield from ck.checkpoint(blocking=False)
             return stats
 
         proc = ctx.engine.process(app())
@@ -131,7 +131,7 @@ class TestPrecopyIntegration:
             for _ in range(2):
                 a.touch()
                 yield ctx.engine.timeout(10.0)
-                yield from ck.checkpoint()
+                yield from ck.checkpoint(blocking=False)
             ck.stop_background()
 
         ctx.engine.process(app())
@@ -162,9 +162,9 @@ class TestIntervalBookkeeping:
         alloc.nvalloc("a", MB(50))
 
         def app():
-            yield from ck.checkpoint()
+            yield from ck.checkpoint(blocking=False)
             yield ctx.engine.timeout(10.0)  # compute
-            yield from ck.checkpoint()
+            yield from ck.checkpoint(blocking=False)
 
         ctx.engine.process(app())
         ctx.engine.run()
@@ -176,8 +176,8 @@ class TestIntervalBookkeeping:
     def test_history_and_counters(self):
         ctx, alloc, ck = make_rig()
         alloc.nvalloc("a", MB(1))
-        ck.checkpoint_sync()
-        ck.checkpoint_sync()
+        ck.checkpoint()
+        ck.checkpoint()
         assert ck.checkpoints_done == 2
         assert len(ck.history) == 2
         assert ck.total_checkpoint_time == pytest.approx(
@@ -189,13 +189,13 @@ class TestIntervalBookkeeping:
         alloc.nvalloc("a", MB(1))
         seen = []
         ck.on_complete.append(lambda stats: seen.append(stats.chunks_copied))
-        ck.checkpoint_sync()
+        ck.checkpoint()
         assert seen == [1]
 
     def test_timeline_records_phase(self):
         tl = Timeline()
         ctx, alloc, ck = make_rig(timeline=tl)
         alloc.nvalloc("a", MB(10))
-        ck.checkpoint_sync()
+        ck.checkpoint()
         assert tl.count(LOCAL_CKPT, actor="p0") == 1
         assert tl.total(LOCAL_CKPT) > 0

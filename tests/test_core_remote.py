@@ -127,7 +127,7 @@ class TestStream:
                 for c in alloc.persistent_chunks():
                     c.touch()
                 yield engine.timeout(interval)
-                yield from ck.checkpoint()
+                yield from ck.checkpoint(blocking=False)
 
         return engine.process(app())
 

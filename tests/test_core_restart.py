@@ -36,7 +36,7 @@ def make_world(phantom=False):
 def checkpoint_and_replicate(engine, alloc, ck, helper):
     """One local checkpoint + one remote round, synchronously."""
     def proc():
-        yield from ck.checkpoint()
+        yield from ck.checkpoint(blocking=False)
         yield from helper.remote_checkpoint()
 
     p = engine.process(proc())

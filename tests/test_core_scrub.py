@@ -31,7 +31,7 @@ def make_world():
 
 def replicate(engine, ck, helper):
     def proc():
-        yield from ck.checkpoint()
+        yield from ck.checkpoint(blocking=False)
         yield from helper.remote_checkpoint()
 
     p = engine.process(proc())

@@ -1,0 +1,207 @@
+"""The parallel cached execution engine (repro.exec)."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro import __version__
+from repro.exec import (
+    ExecutionReport,
+    ParallelExecutor,
+    ResultCache,
+    cache_key,
+    derive_cell_seed,
+    expand_grid,
+    flatten_record,
+    resolve_workers,
+    run_grid,
+)
+from repro.tools.sweep import collect_fields, parse_sweeps, write_csv
+
+#: a fast, fully deterministic base cell (no remote tier, tiny sizes)
+BASE = [
+    "--app", "synthetic", "--nodes", "2", "--ranks-per-node", "2",
+    "--iterations", "2", "--local-interval", "10", "--remote-interval", "30",
+    "--checkpoint-mb", "40", "--chunk-mb", "10", "--no-remote",
+]
+THREE_AXES = ["nvm-gbps=1.0,2.0", "mode=none,dcpcp", "ranks-per-node=1,2"]
+
+
+def _square(payload):
+    """Module-level so the fork/spawn pool can pickle it."""
+    return {"value": payload["x"] ** 2}
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key({"a": 1}, __version__)
+        assert cache.get(key) is None
+        cache.put(key, {"out": 2.5}, config={"a": 1})
+        assert cache.get(key) == {"out": 2.5}
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["misses"] == 1
+        assert len(cache) == 1
+
+    def test_key_is_content_addressed(self):
+        k1 = cache_key({"a": 1, "b": 2}, "1.0.0")
+        k2 = cache_key({"b": 2, "a": 1}, "1.0.0")  # order-independent
+        k3 = cache_key({"a": 1, "b": 3}, "1.0.0")
+        k4 = cache_key({"a": 1, "b": 2}, "1.0.1")  # version busts
+        assert k1 == k2
+        assert k1 != k3
+        assert k1 != k4
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key({"a": 1}, __version__)
+        cache.put(key, {"out": 1})
+        path = tmp_path / key[:2] / f"{key}.json"
+        path.write_text("{not json")
+        assert cache.get(key) is None
+
+
+class TestParallelExecutor:
+    def test_results_in_submission_order(self):
+        ex = ParallelExecutor(workers=4)
+        report = ex.run(_square, [{"x": i} for i in range(10)])
+        assert [r["value"] for r in report.results] == [i * i for i in range(10)]
+        assert report.cells_executed == 10
+
+    def test_serial_equals_parallel(self):
+        payloads = [{"x": i} for i in range(8)]
+        serial = ParallelExecutor(workers=1).run(_square, payloads)
+        parallel = ParallelExecutor(workers=4).run(_square, payloads)
+        assert serial.results == parallel.results
+
+    def test_cache_short_circuits(self, tmp_path):
+        payloads = [{"x": i} for i in range(4)]
+        keys = [cache_key(p, __version__) for p in payloads]
+        cache = ResultCache(tmp_path)
+        first = ParallelExecutor(workers=2, cache=cache).run(_square, payloads, keys=keys)
+        assert first.cells_executed == 4 and first.cache_hits == 0
+        second = ParallelExecutor(workers=2, cache=cache).run(_square, payloads, keys=keys)
+        assert second.cells_executed == 0
+        assert second.cache_hits == 4
+        assert second.cache_hit_rate == 1.0
+        assert second.results == first.results
+
+    def test_resolve_workers(self):
+        assert resolve_workers(3) == 3
+        assert resolve_workers("auto") >= 1
+        assert resolve_workers(None) >= 1
+        with pytest.raises(ValueError):
+            resolve_workers(-1)
+
+
+class TestGrid:
+    def test_expand_grid_cross_product(self):
+        cells = expand_grid(BASE, parse_sweeps(THREE_AXES))
+        assert len(cells) == 8
+        assert cells[0].overrides == (
+            ("nvm-gbps", "1.0"), ("mode", "none"), ("ranks-per-node", "1"),
+        )
+        # every cell resolved to a full picklable/JSON-able config
+        json.dumps(cells[0].config)
+
+    def test_cell_seeds_are_derived_and_stable(self):
+        cells = expand_grid(BASE, parse_sweeps(THREE_AXES))
+        again = expand_grid(BASE, parse_sweeps(THREE_AXES))
+        assert [c.config["seed"] for c in cells] == [c.config["seed"] for c in again]
+        assert len({c.config["seed"] for c in cells}) == len(cells)  # decorrelated
+
+    def test_seed_derivation_is_axis_order_independent(self):
+        assert derive_cell_seed(1, [("a", "1"), ("b", "2")]) == derive_cell_seed(
+            1, [("b", "2"), ("a", "1")]
+        )
+        assert derive_cell_seed(1, [("a", "1")]) != derive_cell_seed(2, [("a", "1")])
+
+    def test_swept_seed_axis_wins_over_derivation(self):
+        cells = expand_grid(BASE, parse_sweeps(["seed=7,8"]))
+        assert [c.config["seed"] for c in cells] == [7, 8]
+
+    def test_flatten_record(self):
+        assert flatten_record({"a": {"b": 1, "c": {"d": 2}}, "e": 3}) == {
+            "a.b": 1, "a.c.d": 2, "e": 3,
+        }
+
+
+class TestGridDeterminism:
+    """The tentpole acceptance tests."""
+
+    def test_parallel_equals_serial_three_axis_grid(self):
+        axes = parse_sweeps(THREE_AXES)
+        serial = run_grid(BASE, axes, workers=1)
+        parallel = run_grid(BASE, axes, workers=4)
+        assert serial.records == parallel.records
+        # and the CSVs are byte-identical, not merely equal as dicts
+        a, b = io.StringIO(), io.StringIO()
+        write_csv(serial.records, axes, a)
+        write_csv(parallel.records, axes, b)
+        assert a.getvalue() == b.getvalue()
+
+    def test_warm_cache_executes_zero_cells(self, tmp_path):
+        axes = parse_sweeps(["nvm-gbps=1.0,2.0", "mode=none,dcpcp"])
+        cold = run_grid(BASE, axes, workers=2, cache=ResultCache(tmp_path))
+        assert cold.execution.cells_executed == 4
+        warm = run_grid(BASE, axes, workers=2, cache=ResultCache(tmp_path))
+        assert warm.execution.cells_executed == 0
+        assert warm.execution.cache_hits == 4
+        assert warm.records == cold.records
+
+    def test_cache_keyed_by_config_executes_only_changed_cells(self, tmp_path):
+        axes = parse_sweeps(["nvm-gbps=1.0,2.0"])
+        run_grid(BASE, axes, workers=1, cache=ResultCache(tmp_path))
+        grown = parse_sweeps(["nvm-gbps=1.0,2.0,4.0"])
+        second = run_grid(BASE, grown, workers=1, cache=ResultCache(tmp_path))
+        assert second.execution.cache_hits == 2
+        assert second.execution.cells_executed == 1  # only the new cell
+
+
+class TestDynamicCsvColumns:
+    def test_union_of_keys_no_silent_drops(self):
+        axes = [("x", ["1", "2"])]
+        records = [
+            {"sweep.x": "1", "total_time_s": 1.0, "novel.metric": 42},
+            {"sweep.x": "2", "total_time_s": 2.0, "other.metric": 7},
+        ]
+        fields = collect_fields(records, axes)
+        assert fields[0] == "sweep.x"
+        assert "novel.metric" in fields and "other.metric" in fields
+        out = io.StringIO()
+        write_csv(records, axes, out)
+        header = out.getvalue().splitlines()[0]
+        assert "novel.metric" in header
+
+    def test_preferred_ordering_respected(self):
+        axes = [("x", ["1"])]
+        records = [{"sweep.x": "1", "overhead_fraction": 0.1, "app": "a",
+                    "zz.extra": 1}]
+        fields = collect_fields(records, axes)
+        assert fields.index("app") < fields.index("overhead_fraction") < fields.index("zz.extra")
+
+    def test_sweep_records_carry_new_metrics_end_to_end(self):
+        axes = parse_sweeps(["mode=none"])
+        records = run_grid(BASE, axes, workers=1).records
+        fields = collect_fields(records, axes)
+        # failures.iterations_recomputed is absent from the legacy
+        # hardcoded list; the dynamic union must surface it
+        assert "failures.iterations_recomputed" in fields
+
+
+@pytest.mark.bench
+class TestEngineThroughput:
+    """Slow-ish engine checks; kept under the bench marker."""
+
+    def test_bench_smoke(self):
+        from repro.tools.bench import run_smoke
+
+        assert run_smoke(workers=2) == 0
+
+    def test_execution_report_rates(self):
+        report = ExecutionReport(cells_total=10, cache_hits=5, wall_s=2.0)
+        assert report.cache_hit_rate == 0.5
+        assert report.cells_per_sec == 5.0

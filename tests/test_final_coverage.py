@@ -175,7 +175,7 @@ class TestFaithfulLayouts:
         def drive():
             for it in range(2):
                 yield from app.compute_iteration(binding, it)
-                yield from ck.checkpoint()
+                yield from ck.checkpoint(blocking=False)
             ck.stop_background()
 
         ctx.engine.process(drive())

@@ -140,7 +140,7 @@ class TestLazyRestartAccounting:
         alloc = NVAllocator("r0", ctx.nvmm, ctx.dram, phantom=True)
         c = alloc.nvalloc("ph", MB(4))
         ck = LocalCheckpointer(ctx, alloc, PrecopyPolicy(mode="none"))
-        ck.checkpoint_sync()
+        ck.checkpoint()
         c.restore_lazy()
         assert c.nvm_resident
         c.touch()

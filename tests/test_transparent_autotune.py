@@ -24,11 +24,11 @@ class TestTransparent:
 
     def test_checkpoint_copies_everything(self, ctx):
         t = TransparentCheckpointer(ctx, "p0", MB(256))
-        stats = t.checkpoint_sync()
+        stats = t.checkpoint()
         assert stats.bytes_copied == MB(256)
         # and again: no dirty tracking without application knowledge
         t.mark_activity()
-        stats2 = t.checkpoint_sync()
+        stats2 = t.checkpoint()
         assert stats2.bytes_copied == MB(256)
 
     def test_transparent_bigger_than_declared(self, ctx):
@@ -41,10 +41,10 @@ class TestTransparent:
         declared = NVAllocator("app", ctx.nvmm, ctx.dram, phantom=True)
         declared.nvalloc("state", MB(100))
         app_ck = LocalCheckpointer(ctx, declared, PrecopyPolicy(mode="none"))
-        app_stats = app_ck.checkpoint_sync()
+        app_stats = app_ck.checkpoint()
 
         t = TransparentCheckpointer(ctx, "app2", MB(300))
-        t_stats = t.checkpoint_sync()
+        t_stats = t.checkpoint()
         assert t_stats.bytes_copied == 3 * app_stats.bytes_copied
         assert t_stats.duration > app_stats.duration
 
@@ -52,21 +52,21 @@ class TestTransparent:
         from repro.units import PAGE_SIZE
 
         t = TransparentCheckpointer(ctx, "p0", MB(1), page_tracking=True)
-        t.checkpoint_sync()  # protects segments
+        t.checkpoint()  # protects segments
         faults = t.mark_activity(MB(1))
         assert faults == MB(1) // PAGE_SIZE
 
     def test_mark_activity_partial(self, ctx):
         t = TransparentCheckpointer(ctx, "p0", MB(256))
-        t.checkpoint_sync()
+        t.checkpoint()
         t.mark_activity(MB(64))  # dirties only the first segment
-        stats = t.checkpoint_sync()
+        stats = t.checkpoint()
         assert stats.bytes_copied == MB(256)  # policy NONE: full copy anyway
 
     def test_history_accumulates(self, ctx):
         t = TransparentCheckpointer(ctx, "p0", MB(64))
-        t.checkpoint_sync()
-        t.checkpoint_sync()
+        t.checkpoint()
+        t.checkpoint()
         assert len(t.history) == 2
         assert t.total_bytes_to_nvm == 2 * MB(64)
 
