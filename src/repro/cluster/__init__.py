@@ -4,7 +4,7 @@ injection and the end-to-end experiment runner.
 """
 
 from .mpi import Barrier
-from .failures import FailureEvent, FailureInjector
+from .failures import FailureEvent, FailureInjector, ScriptedInjector
 from .node import ClusterNode, RankState
 from .cluster import Cluster
 from .runner import ClusterRunner, RunResult
@@ -13,6 +13,7 @@ __all__ = [
     "Barrier",
     "FailureEvent",
     "FailureInjector",
+    "ScriptedInjector",
     "ClusterNode",
     "RankState",
     "Cluster",

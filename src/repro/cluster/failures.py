@@ -2,27 +2,34 @@
 
 Failures arrive as a merged Poisson process: per-node soft failures at
 rate ``1/mtbf_local`` (process/OS crash — node-local NVM survives, the
-application recovers from its local checkpoint) and hard failures at
-rate ``1/mtbf_remote`` (node unusable — recovery needs the buddy's
-remote copy).  The ASCI-Q statistic the paper cites (~64% of failures
-soft) corresponds to the default rate ratio.
+application recovers from its local checkpoint), hard failures at rate
+``1/mtbf_remote`` (node unusable — recovery needs the buddy's remote
+copy), and optionally *transient* failures at rate ``1/mtbf_transient``
+(link flaps: the node's checkpoint-path connectivity drops for a random
+outage window, then heals on its own — no state is lost, but in-flight
+remote transfers tear down and the resilience layer must retry).
 
-Draws come from a named RNG stream, so a run's failure schedule is a
-pure function of the seed.
+Draws come from named RNG streams, so a run's failure schedule is a
+pure function of the seed.  The transient kind consumes its extra
+streams ("failure.outage") only when a transient event actually fires,
+and the soft/hard split is scaled so that disabling transients (the
+default, ``mtbf_transient = inf``) reproduces the pre-transient
+schedule bit-for-bit.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Optional
+from typing import List, Optional, Sequence
 
 from ..config import FailureConfig
 from ..sim.rng import RngStreams
 
-__all__ = ["FailureEvent", "FailureInjector"]
+__all__ = ["FailureEvent", "FailureInjector", "ScriptedInjector"]
 
 SOFT = "soft"
 HARD = "hard"
+TRANSIENT = "transient"
 
 
 @dataclass(frozen=True)
@@ -31,11 +38,17 @@ class FailureEvent:
 
     time: float
     node: int
-    kind: str  # "soft" | "hard"
+    kind: str  # "soft" | "hard" | "transient"
+    #: outage window for transient failures (0 for soft/hard).
+    duration: float = 0.0
 
     @property
     def is_hard(self) -> bool:
         return self.kind == HARD
+
+    @property
+    def is_transient(self) -> bool:
+        return self.kind == TRANSIENT
 
 
 class FailureInjector:
@@ -49,12 +62,21 @@ class FailureInjector:
                 f"MTBFs must be positive, got mtbf_local={config.mtbf_local} "
                 f"mtbf_remote={config.mtbf_remote}"
             )
+        if config.mtbf_transient <= 0:
+            raise ValueError(
+                f"mtbf_transient must be positive (inf disables), got {config.mtbf_transient}"
+            )
+        if config.transient_outage_mean <= 0:
+            raise ValueError("transient_outage_mean must be positive")
         self.config = config
         self.n_nodes = n_nodes
         self.rng = rng or RngStreams(config.seed)
         lam_soft = n_nodes / config.mtbf_local
         lam_hard = n_nodes / config.mtbf_remote
-        self.lambda_total = lam_soft + lam_hard
+        lam_transient = (
+            0.0 if config.mtbf_transient == float("inf") else n_nodes / config.mtbf_transient
+        )
+        self.lambda_total = lam_soft + lam_hard + lam_transient
         if not (self.lambda_total > 0.0) or self.lambda_total == float("inf"):
             # both MTBFs infinite (no failures ever: 0/0) or either
             # zero-like (inf rate): there is no valid failure schedule
@@ -62,12 +84,17 @@ class FailureInjector:
                 "failure rates must be positive and finite "
                 f"(mtbf_local={config.mtbf_local}, mtbf_remote={config.mtbf_remote})"
             )
-        # extreme mtbf ratios can round p_soft to exactly 0.0 or 1.0;
-        # clamping keeps it a probability, and next_failure() treats the
-        # degenerate endpoints explicitly so rng.random() == 0.0 (which
-        # `< p_soft` would misclassify at p_soft == 0) cannot emit the
-        # wrong failure kind
-        self.p_soft = min(1.0, max(0.0, lam_soft / self.lambda_total))
+        # extreme mtbf ratios can round the probabilities to exactly
+        # 0.0 or 1.0; clamping keeps them probabilities, and
+        # next_failure() treats the degenerate endpoints explicitly so
+        # rng.random() == 0.0 (which `< p_soft` would misclassify at
+        # p_soft == 0) cannot emit the wrong failure kind
+        self.p_transient = min(1.0, max(0.0, lam_transient / self.lambda_total))
+        # soft share *among soft+hard*: kept relative (as before the
+        # transient kind existed) so that p_transient == 0 reproduces
+        # the historical schedule exactly
+        perm = lam_soft + lam_hard
+        self.p_soft = min(1.0, max(0.0, lam_soft / perm)) if perm > 0 else 0.0
         self._clock = 0.0
         self._pending: Optional[FailureEvent] = None
         self.injected: List[FailureEvent] = []
@@ -81,18 +108,34 @@ class FailureInjector:
             self._clock += gap
             node = int(self.rng.stream("failure.node").integers(0, self.n_nodes))
             # the kind stream is always consumed (schedule determinism
-            # does not depend on the soft/hard mix), but the degenerate
+            # does not depend on the kind mix), but the degenerate
             # endpoints are decided without it: numpy's random() can
             # return exactly 0.0, which `< p_soft` would turn into a
             # hard failure even when hard failures are impossible
             draw = self.rng.stream("failure.kind").random()
-            if self.p_soft >= 1.0:
-                kind = SOFT
-            elif self.p_soft <= 0.0:
-                kind = HARD
+            duration = 0.0
+            if self.p_transient >= 1.0 or (
+                self.p_transient > 0.0 and draw >= 1.0 - self.p_transient
+            ):
+                kind = TRANSIENT
+                # the outage stream is touched only on transient events,
+                # so enabling them never perturbs soft/hard schedules
+                duration = self.rng.exponential(
+                    "failure.outage", self.config.transient_outage_mean
+                )
             else:
-                kind = SOFT if draw < self.p_soft else HARD
-            ev = FailureEvent(time=self._clock, node=node, kind=kind)
+                # draw is uniform on [0, 1 - p_transient) here; scale
+                # the soft threshold so P(soft | permanent) stays
+                # lam_soft/(lam_soft+lam_hard) and the p_transient == 0
+                # case matches the historical classification exactly
+                scale = 1.0 - self.p_transient
+                if self.p_soft >= 1.0:
+                    kind = SOFT
+                elif self.p_soft <= 0.0:
+                    kind = HARD
+                else:
+                    kind = SOFT if draw < self.p_soft * scale else HARD
+            ev = FailureEvent(time=self._clock, node=node, kind=kind, duration=duration)
         self.injected.append(ev)
         return ev
 
@@ -120,3 +163,55 @@ class FailureInjector:
     @property
     def hard_count(self) -> int:
         return sum(1 for e in self.injected if e.kind == HARD)
+
+    @property
+    def transient_count(self) -> int:
+        return sum(1 for e in self.injected if e.kind == TRANSIENT)
+
+
+class ScriptedInjector:
+    """A drop-in :class:`FailureInjector` stand-in replaying a fixed
+    event list — the deterministic way to script "kill this buddy at
+    t=60" scenarios in tests and demos.
+
+    Exposes the same ``peek``/``next_failure``/``injected`` surface the
+    cluster runner consumes.  After the script is exhausted it reports
+    one final event at ``t = inf`` that never fires.
+    """
+
+    _SENTINEL = FailureEvent(time=float("inf"), node=0, kind=SOFT)
+
+    def __init__(self, events: Sequence[FailureEvent]) -> None:
+        ordered = sorted(events, key=lambda e: e.time)
+        for ev in ordered:
+            if ev.kind not in (SOFT, HARD, TRANSIENT):
+                raise ValueError(f"unknown failure kind {ev.kind!r}")
+            if ev.kind == TRANSIENT and ev.duration <= 0:
+                raise ValueError("transient events need a positive duration")
+        self._script: List[FailureEvent] = ordered
+        self._cursor = 0
+        self.injected: List[FailureEvent] = []
+
+    def peek(self) -> FailureEvent:
+        if self._cursor < len(self._script):
+            return self._script[self._cursor]
+        return self._SENTINEL
+
+    def next_failure(self) -> FailureEvent:
+        ev = self.peek()
+        if self._cursor < len(self._script):
+            self._cursor += 1
+        self.injected.append(ev)
+        return ev
+
+    @property
+    def soft_count(self) -> int:
+        return sum(1 for e in self.injected if e.kind == SOFT)
+
+    @property
+    def hard_count(self) -> int:
+        return sum(1 for e in self.injected if e.kind == HARD)
+
+    @property
+    def transient_count(self) -> int:
+        return sum(1 for e in self.injected if e.kind == TRANSIENT)

@@ -13,7 +13,22 @@ recovery:
   ranks' state is fetched from the buddy's committed remote copies
   over the fabric, survivors reload locally, and the run rolls back to
   the last *remotely*-captured iteration (the K(I+t_lcl)/2 recompute
-  term of §III).
+  term of §III);
+* **transient failure** — a link flap: the node's checkpoint-path
+  connectivity drops for the event's outage window and heals on its
+  own.  No state is lost and the application keeps computing, but
+  in-flight remote transfers tear down and the resilience layer
+  (:mod:`repro.resilience`) must retry them.
+
+When the checkpoint config's :class:`~repro.config.ResilienceConfig`
+is enabled *and* failures are injected, the runner wires the
+resilience layer in: per-node retrying transports around the helpers'
+RDMA sends, buddy heartbeat monitors, a live
+:class:`~repro.resilience.directory.BuddyDirectory` that re-pairs
+orphaned nodes, paced background re-sync of committed chunks to the
+new buddy, and per-node degraded-mode controllers that drop to
+local-only checkpointing (with a model-re-solved interval) while a
+node has no healthy remote target.
 
 Simulation-scale note: in cluster runs chunks are *phantom* (sizes and
 dirty state, no payloads) and soft restart reuses the in-memory rank
@@ -25,7 +40,8 @@ evaluation measures — are fully simulated here.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import math
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
 from ..config import FailureConfig, PrecopyPolicy
@@ -88,8 +104,26 @@ class RunResult:
     # -- failures --
     soft_failures: int = 0
     hard_failures: int = 0
+    transient_failures: int = 0
     recovery_time: float = 0.0
     iterations_recomputed: int = 0
+
+    # -- resilience layer --
+    #: retried transfer attempts across all node transports
+    transfer_retries: int = 0
+    #: transfers that exhausted their retry budget
+    transfers_abandoned: int = 0
+    #: per-attempt stall timeouts that cancelled and re-issued a flow
+    transfer_timeouts: int = 0
+    heartbeats_sent: int = 0
+    #: buddy down-transitions observed by the health monitors
+    buddy_down_detections: int = 0
+    #: orphan re-pairings performed by the buddy directory
+    buddy_repairs: int = 0
+    resyncs_completed: int = 0
+    resync_bytes: int = 0
+    degraded_entries: int = 0
+    degraded_time_total: float = 0.0
 
     timeline: object = None
 
@@ -148,8 +182,21 @@ class RunResult:
             "failures": {
                 "soft": self.soft_failures,
                 "hard": self.hard_failures,
+                "transient": self.transient_failures,
                 "recovery_s": self.recovery_time,
                 "iterations_recomputed": self.iterations_recomputed,
+            },
+            "resilience": {
+                "transfer_retries": self.transfer_retries,
+                "transfer_timeouts": self.transfer_timeouts,
+                "transfers_abandoned": self.transfers_abandoned,
+                "heartbeats": self.heartbeats_sent,
+                "buddy_down_detections": self.buddy_down_detections,
+                "buddy_repairs": self.buddy_repairs,
+                "resyncs_completed": self.resyncs_completed,
+                "resync_gb": to_GB(self.resync_bytes),
+                "degraded_entries": self.degraded_entries,
+                "degraded_time_s": self.degraded_time_total,
             },
         }
 
@@ -165,6 +212,7 @@ class ClusterRunner:
         failure_config: Optional[FailureConfig] = None,
         fail_until_iteration: Optional[int] = None,
         archive=None,
+        injector=None,
     ) -> None:
         if cluster.app is None or cluster.ckpt_config is None:
             raise ClusterError("cluster must be built before running")
@@ -176,8 +224,11 @@ class ClusterRunner:
         self.fail_until_iteration = fail_until_iteration
         #: optional third-tier archiver (repro.core.archive.ArchiveTier)
         self.archive = archive
-        self.injector: Optional[FailureInjector] = None
-        if failure_config is not None:
+        #: ``injector`` accepts any object with the FailureInjector
+        #: surface (peek/next_failure/injected) — e.g. a
+        #: :class:`~repro.cluster.failures.ScriptedInjector`
+        self.injector = injector
+        if self.injector is None and failure_config is not None:
             self.injector = FailureInjector(
                 failure_config,
                 len(cluster.active_nodes),
@@ -190,8 +241,32 @@ class ClusterRunner:
         self.iterations_recomputed = 0
         self.soft_failures = 0
         self.hard_failures = 0
+        self.transient_failures = 0
         self._end_time = None
         self._bg_procs = []
+        # -- resilience layer (wired in _start_background when enabled) --
+        self.directory = None
+        self.transports: Dict[int, object] = {}
+        self.monitors: Dict[int, object] = {}
+        self.controllers: Dict[int, object] = {}
+        self._resyncing: Dict[int, object] = {}
+        self._deferred_orphans: List[int] = []
+        #: cached peeked failure so interleaved segment restarts never
+        #: skip or duplicate an injector event
+        self._pending_failure: Optional[FailureEvent] = None
+        self.resyncs_completed = 0
+        self.resync_bytes = 0
+
+    @property
+    def resilience_active(self) -> bool:
+        """The resilience layer only activates for runs that inject
+        failures: without an injector there is nothing to survive and
+        the run stays byte-identical to the pre-resilience runner."""
+        return (
+            self.injector is not None
+            and self.ckpt_config.resilience.enabled
+            and any(n.helper is not None for n in self.cluster.active_nodes)
+        )
 
     # ------------------------------------------------------------------
     # Public entry point.
@@ -229,8 +304,142 @@ class ClusterRunner:
                 self._bg_procs.append(
                     engine.process(node.helper.run(), name=f"{node.helper.owner}:rounds")
                 )
+        if self.resilience_active:
+            self._start_resilience()
         if self.archive is not None:
             self._bg_procs.append(engine.process(self.archive.run(), name="archive"))
+
+    def _start_resilience(self) -> None:
+        from ..resilience import (
+            BuddyDirectory,
+            DegradedModeController,
+            HealthMonitor,
+            ResilientTransport,
+            RetryPolicy,
+        )
+
+        engine = self.cluster.engine
+        rcfg = self.ckpt_config.resilience
+        policy = RetryPolicy.from_config(rcfg)
+        participants = [
+            n.node_id for n in self.cluster.active_nodes if n.helper is not None
+        ]
+        self.directory = BuddyDirectory(self.cluster.topology, participants)
+        for node in self.cluster.active_nodes:
+            if node.helper is None:
+                continue
+            nid = node.node_id
+            # the directory mirrors the pairing the cluster actually
+            # built (Cluster.build and BuddyDirectory share the same
+            # fallback rule, but the helper is the source of truth)
+            self.directory._buddy[nid] = node.helper.buddy_id
+            transport = ResilientTransport(nid, self.cluster.rng, policy)
+            self.transports[nid] = transport
+            node.helper.resilience = transport
+            self.controllers[nid] = DegradedModeController(
+                nid,
+                clock=lambda: engine.now,
+                normal_interval=self.ckpt_config.local_interval,
+                solve_interval=self._make_degraded_solver(nid),
+                timeline=self.cluster.timeline,
+                on_enter=self._make_interval_hook(nid),
+                on_exit=self._make_interval_hook(nid),
+            )
+            monitor = HealthMonitor(
+                nid,
+                node.helper.buddy_id,
+                self.cluster.fabric,
+                interval=rcfg.heartbeat_interval,
+                timeout=rcfg.heartbeat_timeout,
+                miss_threshold=rcfg.heartbeat_miss_threshold,
+                payload_bytes=rcfg.heartbeat_bytes,
+                on_down=self._make_on_down(nid),
+                on_up=self._make_on_up(nid),
+            )
+            self.monitors[nid] = monitor
+            self._bg_procs.append(engine.process(monitor.run(), name=f"n{nid}:hb"))
+
+    def _make_interval_hook(self, node_id: int):
+        """Apply a (degraded or restored) local interval to the node's
+        checkpoint machinery — the helper's pacing config follows it."""
+
+        def apply(interval: float) -> None:
+            node = self.cluster.nodes[node_id]
+            if node.helper is not None:
+                node.helper.config = replace(
+                    node.helper.config, local_interval=interval
+                )
+
+        return apply
+
+    def _make_degraded_solver(self, node_id: int):
+        """Re-solve the local interval for local-only operation from
+        the §III model with this run's actual parameters."""
+
+        def solve() -> float:
+            normal = self.ckpt_config.local_interval
+            rcfg = self.ckpt_config.resilience
+            node = self.cluster.nodes[node_id]
+            try:
+                from ..models.notation import ModelParams
+                from ..resilience.degraded import degraded_local_interval
+
+                fc = self.failure_config
+                ckpt_bytes = max(
+                    (s.allocator.checkpoint_bytes for s in node.ranks), default=0
+                )
+                nvm_bw = (
+                    node.nvm_write_bandwidth
+                    or self.cluster.config.node.nvm.write_bandwidth
+                )
+                params = ModelParams(
+                    compute_time=max(1.0, self.app.iteration_compute_time) * 100.0,
+                    checkpoint_bytes=max(1.0, float(ckpt_bytes)),
+                    nvm_bw_per_core=nvm_bw,
+                    remote_bw=self.cluster.config.interconnect.effective_bandwidth,
+                    local_interval=normal,
+                    remote_interval=self.ckpt_config.remote_interval,
+                    mtbf_local=fc.mtbf_local if fc is not None else 3600.0,
+                    mtbf_remote=fc.mtbf_remote if fc is not None else 14400.0,
+                )
+                return degraded_local_interval(
+                    params, min_interval=rcfg.degraded_min_interval
+                )
+            except (ValueError, ZeroDivisionError):
+                return max(rcfg.degraded_min_interval, normal / 2.0)
+
+        return solve
+
+    def _make_on_down(self, node_id: int):
+        """Heartbeat monitor declared the buddy unreachable: drop to
+        local-only checkpointing until it comes back or a re-pair +
+        re-sync completes.  Idempotent vs. the runner's own (omniscient)
+        hard-failure handling."""
+
+        def on_down(buddy_id: int) -> None:
+            ctrl = self.controllers.get(node_id)
+            if ctrl is not None:
+                ctrl.enter("buddy-unreachable")
+            helper = self.cluster.nodes[node_id].helper
+            if helper is not None:
+                helper.pause_rounds()
+
+        return on_down
+
+    def _make_on_up(self, node_id: int):
+        def on_up(buddy_id: int) -> None:
+            if node_id in self._resyncing:
+                # a re-sync owns the recovery; it exits degraded mode
+                # itself when the chunks are re-covered
+                return
+            ctrl = self.controllers.get(node_id)
+            if ctrl is not None:
+                ctrl.exit()
+            helper = self.cluster.nodes[node_id].helper
+            if helper is not None:
+                helper.resume_rounds()
+
+        return on_up
 
     def _stop_background(self) -> None:
         for state in self.cluster.all_ranks():
@@ -238,6 +447,8 @@ class ClusterRunner:
         for node in self.cluster.active_nodes:
             if node.helper is not None:
                 node.helper.stop()
+        for monitor in self.monitors.values():
+            monitor.stop()
         if self.archive is not None:
             self.archive.stop()
 
@@ -254,28 +465,48 @@ class ClusterRunner:
                 for state in self.cluster.all_ranks()
             ]
             seg_done = engine.all_of(procs)
-            waits = [seg_done]
-            next_fail: Optional[FailureEvent] = None
-            if self.injector is not None and (
-                self.fail_until_iteration is None or it < self.fail_until_iteration
-            ):
-                next_fail = self.injector.peek()
-                if next_fail.time > engine.now:
-                    waits.append(engine.timeout(next_fail.time - engine.now))
-                # a failure "due" in the past fires immediately
-                else:
-                    waits.append(engine.timeout(0.0))
-            idx, _ = yield engine.any_of(waits)
-            if idx == 0:
-                it += 1
-                if self.local_checkpoints:
-                    self.committed_iteration = it
-                    self._committed_log.append((engine.now, it))
-            else:
+            restart_segment = False
+            while not restart_segment:
+                waits = [seg_done]
+                next_fail: Optional[FailureEvent] = None
+                if self.injector is not None and (
+                    self.fail_until_iteration is None or it < self.fail_until_iteration
+                ):
+                    # cache the peeked event: segment restarts and
+                    # transient handling must neither skip nor
+                    # duplicate injector draws
+                    if self._pending_failure is None:
+                        self._pending_failure = self.injector.peek()
+                    next_fail = self._pending_failure
+                    if not math.isfinite(next_fail.time):
+                        # ScriptedInjector exhausted: never arm a timer
+                        # at t=inf (it would drag the engine clock out)
+                        next_fail = None
+                    elif next_fail.time > engine.now:
+                        waits.append(engine.timeout(next_fail.time - engine.now))
+                    # a failure "due" in the past fires immediately
+                    else:
+                        waits.append(engine.timeout(0.0))
+                idx, _ = yield engine.any_of(waits)
+                if idx == 0:
+                    it += 1
+                    if self.local_checkpoints:
+                        self.committed_iteration = it
+                        self._committed_log.append((engine.now, it))
+                    break
                 assert next_fail is not None
                 self.injector.next_failure()  # consume the event
+                self._pending_failure = None
+                if next_fail.is_transient:
+                    # the application keeps computing through a link
+                    # flap; only the checkpoint path is affected
+                    self._apply_transient(next_fail)
+                    continue
                 yield from self._handle_failure(next_fail, procs)
                 it = self.committed_iteration
+                restart_segment = True
+        for ctrl in self.controllers.values():
+            ctrl.finalize()
         # record the finish line *before* winding background timers
         # down (their final timer ticks advance virtual time past the
         # application's end otherwise)
@@ -298,6 +529,19 @@ class ClusterRunner:
     # ------------------------------------------------------------------
     # Failure handling.
     # ------------------------------------------------------------------
+
+    def _apply_transient(self, ev: FailureEvent) -> None:
+        """A link flap on one node's checkpoint path: fail its in-flight
+        checkpoint transfers, fail-fast new ones, and schedule the heal."""
+        engine = self.cluster.engine
+        fabric = self.cluster.fabric
+        self.transient_failures += 1
+        node_id = ev.node
+        fabric.begin_outage(node_id)
+        end = engine.now + ev.duration
+        engine.call_at(end, lambda: fabric.end_outage(node_id))
+        if self.cluster.timeline is not None:
+            self.cluster.timeline.record(f"n{node_id}", tl.OUTAGE, engine.now, end)
 
     def _handle_failure(self, ev: FailureEvent, procs):
         engine = self.cluster.engine
@@ -322,6 +566,12 @@ class ClusterRunner:
             rollback = self.committed_iteration
         else:
             self.hard_failures += 1
+            if self.directory is not None:
+                self.directory.mark_failed(node.node_id)
+                # until the replacement boots, the node is unreachable
+                # on the checkpoint path (heartbeats to it fail fast)
+                self.cluster.fabric.begin_outage(node.node_id)
+                self._orphan_failover(node)
             rollback = yield from self._recover_hard(node)
         self.iterations_recomputed += max(0, self.committed_iteration - rollback)
         self.committed_iteration = rollback
@@ -337,9 +587,89 @@ class ClusterRunner:
                 state.checkpointer.precopy.begin_interval()
                 state.checkpointer.precopy.resume()
             state.checkpointer.last_checkpoint_end = engine.now
+        # the dirty-state reset above re-dirtied every chunk; nodes
+        # mid-re-sync must re-cover them through the same drain
+        for nid in self._resyncing:
+            h = self.cluster.nodes[nid].helper
+            if h is not None:
+                h.enqueue_all()
         self.recovery_time += engine.now - t0
         if self.cluster.timeline is not None:
             self.cluster.timeline.record(f"n{ev.node}", tl.RESTART, t0, engine.now)
+
+    def _buddy_capacity_ok(self, orphan_id: int, candidate_id: int) -> bool:
+        """Can the candidate's NVM hold the orphan's remote copies on
+        top of what it already hosts?  Re-pairing doubles the buddy
+        load, and on capacity-tight configs the only viable host is the
+        (empty) replacement hardware — the deferred-repair path."""
+        helper = self.cluster.nodes[orphan_id].helper
+        if helper is None:
+            return True
+        n_versions = 2 if self.ckpt_config.two_versions else 1
+        needed = n_versions * sum(
+            sum(c.nbytes for c in a.persistent_chunks()) for a in helper.ranks
+        )
+        return self.cluster.nodes[candidate_id].ctx.nvmm.device.free >= needed
+
+    def _orphan_failover(self, dead: ClusterNode) -> None:
+        """Nodes whose buddy just died hard: enter degraded mode, then
+        re-pair to a healthy neighbor where one exists (a re-sync
+        rebuilds protection in the background).  With no healthy
+        candidate (2-node cluster) the repair waits for the
+        replacement hardware."""
+        for n in self.cluster.active_nodes:
+            h = n.helper
+            if n is dead or h is None or h.buddy_id != dead.node_id:
+                continue
+            ctrl = self.controllers.get(n.node_id)
+            if ctrl is not None:
+                ctrl.enter("buddy-failed")
+            h.pause_rounds()
+            new_buddy = self.directory.repair(n.node_id, fits=self._buddy_capacity_ok)
+            if new_buddy is None:
+                self._deferred_orphans.append(n.node_id)
+            else:
+                self._repair_orphan(n.node_id, new_buddy)
+
+    def _repair_orphan(self, orphan_id: int, new_buddy: int) -> None:
+        """Re-point an orphan's helper (and monitor) at its new buddy
+        and start the background re-sync of committed chunks."""
+        from ..resilience import ResyncTask
+
+        engine = self.cluster.engine
+        node = self.cluster.nodes[orphan_id]
+        helper = node.helper
+        if helper is None:
+            return
+        helper.retarget(new_buddy, self.cluster.nodes[new_buddy].ctx)
+        monitor = self.monitors.get(orphan_id)
+        if monitor is not None:
+            monitor.retarget(new_buddy)
+        rcfg = self.ckpt_config.resilience
+        task = ResyncTask(
+            helper,
+            timeline=self.cluster.timeline,
+            failure_limit=rcfg.resync_failure_limit,
+        )
+        self._resyncing[orphan_id] = task
+        self._bg_procs.append(
+            engine.process(
+                self._resync_proc(orphan_id, task), name=f"n{orphan_id}:resync"
+            )
+        )
+
+    def _resync_proc(self, node_id: int, task):
+        try:
+            yield from task.run()
+        finally:
+            if self._resyncing.get(node_id) is task:
+                del self._resyncing[node_id]
+        if task.completed:
+            self.resyncs_completed += 1
+            self.resync_bytes += task.bytes_sent
+            ctrl = self.controllers.get(node_id)
+            if ctrl is not None:
+                ctrl.exit()
 
     def _recover_soft(self, node: ClusterNode):
         """Reboot + all ranks reload their committed local checkpoint."""
@@ -359,6 +689,29 @@ class ClusterRunner:
         if fetches:
             yield engine.all_of(fetches)
 
+    def _fetch_source_for(self, node: ClusterNode, old_helper) -> int:
+        """Which node holds the dead node's remote copies (and becomes
+        the replacement's buddy)?  The live directory when resilience is
+        on; otherwise the helper's own pairing, falling back to the
+        topology — never an index into ``active_nodes`` (which can
+        self-pair or point at a dead slot)."""
+        if self.directory is not None:
+            repaired = self.directory.repair(node.node_id, fits=self._buddy_capacity_ok)
+            if repaired is not None:
+                return repaired
+        if old_helper is not None:
+            return old_helper.buddy_id
+        buddy_id = self.cluster.topology.buddy_of(node.node_id)
+        if buddy_id != node.node_id and self.cluster.nodes[buddy_id].ranks:
+            return buddy_id
+        others = [
+            n.node_id for n in self.cluster.active_nodes if n.node_id != node.node_id
+        ]
+        if not others:
+            return node.node_id
+        n_nodes = self.cluster.topology.n_nodes
+        return min(others, key=lambda m: (m - node.node_id) % n_nodes)
+
     def _recover_hard(self, node: ClusterNode):
         """Replace the node, refetch its ranks' state from the buddy,
         survivors reload locally; roll back to the remote capture."""
@@ -374,9 +727,7 @@ class ClusterRunner:
                     rollback = it
         old_helper = node.helper
         old_rank_indices = [s.rank_index for s in node.ranks]
-        buddy_id = old_helper.buddy_id if old_helper is not None else (node.node_id + 1) % len(
-            self.cluster.active_nodes
-        )
+        buddy_id = self._fetch_source_for(node, old_helper)
         # stop machinery owned by the dead node
         for state in node.ranks:
             state.checkpointer.stop_background()
@@ -385,6 +736,9 @@ class ClusterRunner:
         # replacement hardware
         yield engine.timeout(HARD_REPLACE_DELAY)
         node.replace_hardware()
+        if self.directory is not None:
+            self.directory.mark_recovered(node.node_id)
+            self.cluster.fabric.end_outage(node.node_id)
         # rebuild ranks on the fresh node
         for rank_index in old_rank_indices:
             neighbors = [
@@ -434,6 +788,7 @@ class ClusterRunner:
                 [s.allocator for s in node.ranks],
                 self.ckpt_config,
                 timeline=self.cluster.timeline,
+                resilience=self.transports.get(node.node_id),
             )
             node.helper.start_background()
             self._bg_procs.append(
@@ -445,24 +800,49 @@ class ClusterRunner:
                 state.checkpointer.on_complete.append(
                     self.cluster._make_local_ckpt_hook(node, state.rank)
                 )
+            if self.directory is not None:
+                self.directory._buddy[node.node_id] = buddy_id
+                monitor = self.monitors.get(node.node_id)
+                if monitor is not None:
+                    # retarget resets health silently (no up-transition
+                    # fires), so leave degraded mode explicitly: the
+                    # replacement has a healthy buddy again
+                    monitor.retarget(buddy_id)
+                ctrl = self.controllers.get(node.node_id)
+                if ctrl is not None:
+                    ctrl.exit()
         if self.local_checkpoints:
             for state in node.ranks:
                 state.checkpointer.start_background()
-        # helpers that used the dead node as their buddy lost their
-        # remote copies: re-point them at the replacement hardware
-        for n in self.cluster.active_nodes:
-            h = n.helper
-            if h is not None and h.buddy_id == node.node_id and n is not node:
-                from ..core.remote import RemoteTarget
+        if self.directory is not None:
+            # orphans that had no healthy re-pair candidate wait for
+            # the replacement: repair them now (typically back onto the
+            # replacement hardware)
+            deferred, self._deferred_orphans = self._deferred_orphans, []
+            for orphan_id in deferred:
+                new_buddy = self.directory.repair(
+                    orphan_id, fits=self._buddy_capacity_ok
+                )
+                if new_buddy is not None:
+                    self._repair_orphan(orphan_id, new_buddy)
+                else:
+                    self._deferred_orphans.append(orphan_id)
+        else:
+            # helpers that used the dead node as their buddy lost their
+            # remote copies: re-point them at the replacement hardware
+            for n in self.cluster.active_nodes:
+                h = n.helper
+                if h is not None and h.buddy_id == node.node_id and n is not node:
+                    from ..core.remote import RemoteTarget
 
-                h.buddy_ctx = node.ctx
-                h.targets = {
-                    a.pid: RemoteTarget(a.pid, node.ctx, two_versions=self.ckpt_config.two_versions)
-                    for a in h.ranks
-                }
-                # every remote copy on the dead buddy is gone:
-                # everything must be re-sent
-                h.enqueue_all()
+                    h.buddy_ctx = node.ctx
+                    h.targets = {
+                        a.pid: RemoteTarget(a.pid, node.ctx, two_versions=self.ckpt_config.two_versions)
+                        for a in h.ranks
+                    }
+                    # every remote copy on the dead buddy is gone:
+                    # everything must be re-sent
+                    h.enqueue_all()
         return rollback
 
     # ------------------------------------------------------------------
@@ -509,7 +889,7 @@ class ClusterRunner:
                 h.helper_utilization(t_end) for h in helpers
             ) / len(helpers)
         # fabric
-        CKPT_KINDS = ["rckpt", "rprecopy", "rfetch"]
+        CKPT_KINDS = ["rckpt", "rprecopy", "rfetch", "resync"]
         res.fabric_peak_window_bytes = cluster.fabric.peak_window_usage(1.0, t_end)
         res.fabric_ckpt_peak_window_bytes = cluster.fabric.peak_window_usage(
             1.0, t_end, kinds=CKPT_KINDS
@@ -524,6 +904,22 @@ class ClusterRunner:
         # failures
         res.soft_failures = self.soft_failures
         res.hard_failures = self.hard_failures
+        res.transient_failures = self.transient_failures
         res.recovery_time = self.recovery_time
         res.iterations_recomputed = self.iterations_recomputed
+        # resilience
+        for transport in self.transports.values():
+            res.transfer_retries += transport.stats.retries
+            res.transfer_timeouts += transport.stats.timeouts
+            res.transfers_abandoned += transport.stats.abandoned
+        for monitor in self.monitors.values():
+            res.heartbeats_sent += monitor.stats.beats
+            res.buddy_down_detections += monitor.stats.detections
+        for ctrl in self.controllers.values():
+            res.degraded_entries += ctrl.entries
+            res.degraded_time_total += ctrl.degraded_time
+        if self.directory is not None:
+            res.buddy_repairs = len(self.directory.repairs)
+        res.resyncs_completed = self.resyncs_completed
+        res.resync_bytes = self.resync_bytes
         return res

@@ -36,6 +36,7 @@ __all__ = [
     "InterconnectConfig",
     "ClusterConfig",
     "PrecopyPolicy",
+    "ResilienceConfig",
     "CheckpointConfig",
     "FailureConfig",
 ]
@@ -262,6 +263,46 @@ class PrecopyPolicy:
 
 
 @dataclass(frozen=True)
+class ResilienceConfig:
+    """Knobs for the resilience layer (:mod:`repro.resilience`): retry
+    policy around remote transfers, buddy heartbeats, and degraded-mode
+    behaviour while a node has no healthy remote target.
+
+    Defaults keep the success path byte-identical to a run without the
+    layer: a transfer that completes on its first attempt consumes no
+    extra RNG draws and finishes at the same virtual time.
+    """
+
+    enabled: bool = True
+    # -- retry/backoff around rdma_put/rdma_get --
+    #: attempts per transfer before giving up with TransferFailed.
+    retry_max_attempts: int = 8
+    #: first backoff delay (seconds); grows by ``retry_backoff``x.
+    retry_base_delay: float = 0.5
+    #: cap on a single backoff delay.
+    retry_max_delay: float = 8.0
+    retry_backoff: float = 2.0
+    #: +/- fraction of each delay drawn from a named RNG stream.
+    retry_jitter: float = 0.25
+    #: per-attempt stall timeout: cancel and re-issue the flow.
+    transfer_timeout: float = 60.0
+    #: total wall (virtual) budget per transfer before TransferFailed.
+    transfer_deadline: float = 300.0
+    # -- buddy heartbeats --
+    heartbeat_interval: float = 2.0
+    heartbeat_timeout: float = 1.0
+    #: consecutive missed beats before the buddy is declared down.
+    heartbeat_miss_threshold: int = 2
+    heartbeat_bytes: int = 64
+    # -- degraded mode --
+    #: floor for the re-solved local-only checkpoint interval.
+    degraded_min_interval: float = 5.0
+    #: give up on a re-sync after this many consecutive send failures
+    #: (the node then stays degraded until the next repair attempt).
+    resync_failure_limit: int = 25
+
+
+@dataclass(frozen=True)
 class CheckpointConfig:
     """Intervals, versioning and remote policy for a run."""
 
@@ -279,6 +320,8 @@ class CheckpointConfig:
     checksums: bool = True
     #: dedicated helper core for the asynchronous remote process.
     helper_core: bool = True
+    #: retry/heartbeat/degraded-mode behaviour (repro.resilience).
+    resilience: ResilienceConfig = ResilienceConfig()
 
 
 # ---------------------------------------------------------------------------
@@ -297,6 +340,13 @@ class FailureConfig:
 
     mtbf_local: float = 3600.0
     mtbf_remote: float = 14400.0
+    #: per-node MTBF of *transient* link flaps (NIC resets, switch
+    #: reroutes): the node's checkpoint-path connectivity drops for a
+    #: random outage window, then heals on its own.  ``inf`` (the
+    #: default) disables them, leaving existing schedules bit-identical.
+    mtbf_transient: float = float("inf")
+    #: mean of the exponential outage window for transient failures.
+    transient_outage_mean: float = 10.0
     #: restart fetch times are proportional to checkpoint times (§III);
     #: these multipliers express that proportionality.
     local_restart_factor: float = 1.0

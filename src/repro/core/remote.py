@@ -37,7 +37,7 @@ from typing import Dict, List, Optional, Tuple
 from ..alloc.chunk import Chunk
 from ..alloc.nvmalloc import NVAllocator
 from ..config import CheckpointConfig
-from ..errors import CheckpointError, TransferCancelled
+from ..errors import CheckpointError, TransferCancelled, TransferFailed
 from ..faults.crashpoints import fire
 from ..metrics import timeline as tl
 from ..metrics.timeline import Timeline
@@ -94,6 +94,11 @@ class RemoteTarget:
         #: chunk name -> size, for restart sizing
         self.sizes: Dict[str, int] = {}
         self._staged: Dict[str, int] = {}
+        #: chunk name -> payload crc32 of the *committed* copy (None for
+        #: phantom chunks — their zeros are not a real payload).  Lets
+        #: the scrubber detect a corrupted buddy copy before trusting it.
+        self.checksums: Dict[str, Optional[int]] = {}
+        self._staged_crc: Dict[str, Optional[int]] = {}
 
     # -- region plumbing ------------------------------------------------------
 
@@ -135,6 +140,9 @@ class RemoteTarget:
             region.write(0, chunk.dram)
         chunk.bytes_copied_remote += chunk.nbytes
         self._staged[chunk.name] = v
+        self._staged_crc[chunk.name] = (
+            None if chunk.phantom else chunk.payload_checksum()
+        )
         return chunk.nbytes
 
     def commit(self) -> float:
@@ -144,11 +152,17 @@ class RemoteTarget:
         fire("remote.commit.before_flip", target=self, pid=self.src_pid)
         for name, v in self._staged.items():
             self.committed[name] = v
+            self.checksums[name] = self._staged_crc.get(name)
         self._staged.clear()
+        self._staged_crc.clear()
         fire("remote.commit.before_meta", target=self, pid=self.src_pid)
         self.dst_ctx.nvmm.store.put_meta(
             f"remote/proc:{self.src_pid}",
-            {"committed": dict(self.committed), "sizes": dict(self.sizes)},
+            {
+                "committed": dict(self.committed),
+                "sizes": dict(self.sizes),
+                "checksums": dict(self.checksums),
+            },
         )
         cost += self.dst_ctx.nvmm.cache_flush()
         fire(
@@ -175,6 +189,22 @@ class RemoteTarget:
         region = self.dst_ctx.nvmm.region(self.pid, self._region_name(chunk_name, v))
         return region.read(0, region.nbytes)
 
+    def verify(self, chunk_name: str) -> bool:
+        """Does the committed buddy copy still match its recorded
+        checksum?  True when no checksum was recorded (phantom chunks,
+        pre-checksum metadata)."""
+        import zlib
+
+        v = self.committed.get(chunk_name, -1)
+        if v < 0:
+            return False
+        expect = self.checksums.get(chunk_name)
+        if expect is None:
+            return True
+        region = self.dst_ctx.nvmm.region(self.pid, self._region_name(chunk_name, v))
+        payload = region.read(0, region.nbytes)
+        return (zlib.crc32(payload) & 0xFFFFFFFF) == expect
+
     @classmethod
     def reattach(cls, src_pid: str, dst_ctx: NodeContext, two_versions: bool = True) -> "RemoteTarget":
         """Rebuild a target from the buddy's persisted metadata (used
@@ -185,6 +215,10 @@ class RemoteTarget:
             raise CheckpointError(f"buddy holds no remote checkpoint for {src_pid!r}")
         target.committed = {k: int(v) for k, v in meta["committed"].items()}
         target.sizes = {k: int(v) for k, v in meta["sizes"].items()}
+        target.checksums = {
+            k: (None if v is None else int(v))
+            for k, v in meta.get("checksums", {}).items()
+        }
         dst_ctx.nvmm.load_process(target.pid)
         return target
 
@@ -204,6 +238,7 @@ class RemoteHelper:
         *,
         timeline: Optional[Timeline] = None,
         compression=None,
+        resilience=None,
     ) -> None:
         self.node_id = node_id
         self.ctx = ctx
@@ -216,6 +251,10 @@ class RemoteHelper:
         #: optional CompressionModel: payloads are compressed before
         #: crossing the fabric (mcrengine-style volume/CPU trade)
         self.compression = compression
+        #: optional ResilientTransport: sends go through retry/backoff
+        #: instead of one-shot RDMA (duck-typed to avoid an import
+        #: cycle with repro.resilience)
+        self.resilience = resilience
         self.owner = f"n{node_id}:helper"
         self.targets: Dict[str, RemoteTarget] = {
             a.pid: RemoteTarget(a.pid, buddy_ctx, two_versions=self.config.two_versions)
@@ -224,6 +263,10 @@ class RemoteHelper:
         self.history: List[RemoteCheckpointStats] = []
         self.rounds_behind = 0
         self._stop = False
+        self._paused = False
+        #: pairing generation: bumped by :meth:`retarget` so in-flight
+        #: re-sync tasks for the old buddy can detect they are stale
+        self.epoch = 0
         self._round_in_progress = False
         #: coalescing stream queue: (pid, chunk_id) -> Chunk, FIFO
         self._queue: Dict[Tuple[str, int], Chunk] = {}
@@ -335,9 +378,53 @@ class RemoteHelper:
             dst_nvm_bus=self.buddy_ctx.nvm_bus,
         )
 
+    def _deliver(self, pid: str, chunk: Chunk, kind: str):
+        """Send one chunk to the buddy, through the resilient transport
+        when one is attached (plain one-shot send otherwise, and always
+        for the compression path, whose two-resource send the transport
+        does not model)."""
+        if self.resilience is None or self.compression is not None:
+            yield self._send(pid, chunk, kind)
+            return
+        yield from self.resilience.put(
+            self.fabric,
+            self.node_id,
+            self.buddy_id,
+            chunk.nbytes,
+            tag=f"{pid}:{kind}",
+            dst_nvm_bus=self.buddy_ctx.nvm_bus,
+        )
+
     # ------------------------------------------------------------------
     # Lifecycle.
     # ------------------------------------------------------------------
+
+    def pause_rounds(self) -> None:
+        """Suspend streaming and coordinated rounds (degraded mode, or
+        a re-sync owning the queue).  Local checkpoints keep committing;
+        their chunks keep queueing for whoever drains next."""
+        self._paused = True
+        self._kick()
+
+    def resume_rounds(self) -> None:
+        self._paused = False
+        self._kick()
+
+    def retarget(self, new_buddy_id: int, new_buddy_ctx: NodeContext) -> None:
+        """Re-point this helper at a new buddy node (the old one died).
+
+        All remote copies on the old buddy are gone from this node's
+        point of view, so every committed chunk is re-queued; a
+        :class:`~repro.resilience.resync.ResyncTask` (or the next
+        rounds) will rebuild protection on the new target."""
+        self.epoch += 1
+        self.buddy_id = new_buddy_id
+        self.buddy_ctx = new_buddy_ctx
+        self.targets = {
+            a.pid: RemoteTarget(a.pid, new_buddy_ctx, two_versions=self.config.two_versions)
+            for a in self.ranks
+        }
+        self.enqueue_all()
 
     def start_background(self) -> None:
         """The stream runs inside :meth:`run`; nothing extra to spawn.
@@ -362,12 +449,20 @@ class RemoteHelper:
             # long round does not drift the schedule into the local
             # checkpoint rhythm
             deadline = (int(engine.now / interval + 1e-9) + 1) * interval
+            if self._paused:
+                # degraded / re-syncing: sleep out the interval; queued
+                # chunks wait for the re-sync or the next healthy round
+                if deadline > engine.now:
+                    yield engine.timeout(deadline - engine.now)
+                continue
             if self.config.remote_precopy and self.history:
                 yield from self._stream_until(deadline)
             elif deadline > engine.now:
                 yield engine.timeout(deadline - engine.now)
             if self._stop:
                 break
+            if self._paused:
+                continue
             yield from self.remote_checkpoint()
         return self.history
 
@@ -382,7 +477,7 @@ class RemoteHelper:
         start = deadline - self.stream_window
         if engine.now < start:
             yield engine.timeout(start - engine.now)
-        while not self._stop and engine.now < deadline - 1e-9:
+        while not self._stop and not self._paused and engine.now < deadline - 1e-9:
             item = self._pop()
             if item is None:
                 self._wake = engine.event("helper.wake")
@@ -394,10 +489,10 @@ class RemoteHelper:
             self._charge_cpu(chunk.nbytes, streamed=True)
             fire("remote.stream.before_send", chunk=chunk, pid=pid)
             try:
-                yield self._send(pid, chunk, "rprecopy")
-            except TransferCancelled:
-                # failure tore the flow down; requeue so the chunk is
-                # retried (or swept up by the next round)
+                yield from self._deliver(pid, chunk, "rprecopy")
+            except (TransferCancelled, TransferFailed):
+                # failure tore the flow down (or retries ran out);
+                # requeue so the chunk is retried or swept up later
                 self._queue.setdefault((pid, chunk.chunk_id), chunk)
                 continue
             self.targets[pid].stage(chunk)
@@ -454,10 +549,11 @@ class RemoteHelper:
                     self._charge_cpu(chunk.nbytes, streamed=False)
                     fire("remote.round.before_send", chunk=chunk, pid=alloc.pid)
                     try:
-                        yield self._send(alloc.pid, chunk, "rckpt")
-                    except TransferCancelled:
-                        # a failure interrupted the round: abandon it;
-                        # the previous committed remote version stands
+                        yield from self._deliver(alloc.pid, chunk, "rckpt")
+                    except (TransferCancelled, TransferFailed):
+                        # a failure interrupted the round (or retries
+                        # ran out): abandon it; the previous committed
+                        # remote version stands
                         aborted = True
                         break
                     target.stage(chunk)

@@ -23,7 +23,12 @@ from typing import List, Optional
 import numpy as np
 
 from ..alloc.nvmalloc import NVAllocator
-from ..errors import ChecksumMismatch, NoCheckpointAvailable
+from ..errors import (
+    AllReplicasLost,
+    ChecksumMismatch,
+    NoCheckpointAvailable,
+    TransferFailed,
+)
 from ..faults.crashpoints import fire
 from ..metrics import timeline as tl
 from ..metrics.timeline import Timeline
@@ -66,11 +71,36 @@ class RestartManager:
         fabric: Optional[Fabric] = None,
         node_id: Optional[int] = None,
         timeline: Optional[Timeline] = None,
+        resilience=None,
     ) -> None:
         self.ctx = ctx
         self.fabric = fabric
         self.node_id = node_id
         self.timeline = timeline
+        #: optional ResilientTransport: remote fetches retry/back off
+        #: instead of failing on the first cancelled flow
+        self.resilience = resilience
+
+    def _rfetch(self, remote_target, remote_node: int, nbytes: int, tag: str):
+        """One remote fetch, resilient when a transport is attached."""
+        if self.resilience is not None:
+            yield from self.resilience.get(
+                self.fabric,
+                remote_node,
+                self.node_id,
+                nbytes,
+                tag=tag,
+                src_nvm_bus=remote_target.dst_ctx.nvm_bus,
+            )
+            return
+        yield rdma_get(
+            self.fabric,
+            remote_node,
+            self.node_id,
+            nbytes,
+            tag=tag,
+            src_nvm_bus=remote_target.dst_ctx.nvm_bus,
+        )
 
     # ------------------------------------------------------------------
     # Soft failure: restart from local NVM, remote as fallback.
@@ -159,23 +189,33 @@ class RestartManager:
 
     def _fetch_remote(self, chunk, pid, remote_target, remote_node, report):
         if remote_target is None or self.fabric is None or remote_node is None or self.node_id is None:
-            raise NoCheckpointAvailable(
+            raise AllReplicasLost(
                 f"chunk {chunk.name!r} of {pid!r} has no usable local version and "
-                "no remote target was provided"
+                "no remote target was provided",
+                pid=pid,
+                chunk=chunk.name,
+                tried=("local",),
             )
         if chunk.name not in remote_target.committed or remote_target.committed[chunk.name] < 0:
-            raise NoCheckpointAvailable(
-                f"chunk {chunk.name!r} of {pid!r} is not committed on the buddy either"
+            raise AllReplicasLost(
+                f"chunk {chunk.name!r} of {pid!r} is not committed on the buddy either",
+                pid=pid,
+                chunk=chunk.name,
+                tried=("local", "buddy"),
             )
         fire("restart.fetch_remote", chunk=chunk, pid=pid)
-        yield rdma_get(
-            self.fabric,
-            remote_node,
-            self.node_id,
-            chunk.nbytes,
-            tag=f"{pid}:rfetch",
-            src_nvm_bus=remote_target.dst_ctx.nvm_bus,
-        )
+        try:
+            yield from self._rfetch(
+                remote_target, remote_node, chunk.nbytes, tag=f"{pid}:rfetch"
+            )
+        except TransferFailed as exc:
+            raise AllReplicasLost(
+                f"chunk {chunk.name!r} of {pid!r}: local copy unusable and the "
+                f"buddy fetch gave up after {exc.attempts} attempts",
+                pid=pid,
+                chunk=chunk.name,
+                tried=("local", "buddy"),
+            ) from exc
         payload = remote_target.fetch(chunk.name)
         if not chunk.phantom:
             if chunk.dram is None or len(chunk.dram) != chunk.nbytes:
@@ -220,7 +260,11 @@ class RestartManager:
         try:
             names = remote_target.committed_chunks()
             if not names:
-                raise NoCheckpointAvailable(f"buddy holds no committed chunks for {pid!r}")
+                raise AllReplicasLost(
+                    f"buddy holds no committed chunks for {pid!r}",
+                    pid=pid,
+                    tried=("buddy",),
+                )
             alloc = NVAllocator(
                 pid,
                 self.ctx.nvmm,
@@ -239,14 +283,18 @@ class RestartManager:
                 size = remote_target.sizes[name]
                 chunk = alloc.nvalloc(name, size, pflag=True)
                 fire("restart.fetch_remote", chunk=chunk, pid=pid)
-                yield rdma_get(
-                    self.fabric,
-                    remote_node,
-                    self.node_id,
-                    size,
-                    tag=f"{pid}:rfetch",
-                    src_nvm_bus=remote_target.dst_ctx.nvm_bus,
-                )
+                try:
+                    yield from self._rfetch(
+                        remote_target, remote_node, size, tag=f"{pid}:rfetch"
+                    )
+                except TransferFailed as exc:
+                    raise AllReplicasLost(
+                        f"chunk {name!r} of {pid!r}: node is dead and the buddy "
+                        f"fetch gave up after {exc.attempts} attempts",
+                        pid=pid,
+                        chunk=name,
+                        tried=("buddy",),
+                    ) from exc
                 payload = remote_target.fetch(name)
                 if not chunk.phantom:
                     chunk.write(0, payload)

@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from ..alloc.nvmalloc import NVAllocator
-from ..errors import NoCheckpointAvailable, TransferCancelled
+from ..errors import NoCheckpointAvailable, TransferCancelled, TransferFailed
 from ..net.interconnect import Fabric
 from ..net.rdma import rdma_get
 from .context import NodeContext
@@ -63,6 +63,7 @@ class Scrubber:
         remote_target: Optional[RemoteTarget] = None,
         remote_node: Optional[int] = None,
         interval: float = 300.0,
+        resilience=None,
     ) -> None:
         self.ctx = ctx
         self.allocator = allocator
@@ -71,6 +72,9 @@ class Scrubber:
         self.remote_target = remote_target
         self.remote_node = remote_node
         self.interval = interval
+        #: optional ResilientTransport: repair fetches retry through
+        #: transient outages instead of failing on the first cancel
+        self.resilience = resilience
         self.reports: List[ScrubReport] = []
         self._stop = False
 
@@ -118,16 +122,33 @@ class Scrubber:
             return False
         if self.remote_target.committed.get(chunk.name, -1) < 0:
             return False
+        # do not replace a corrupted local copy with a corrupted buddy
+        # copy: verify the buddy's stored checksum first
+        if not self.remote_target.verify(chunk.name):
+            return False
+        tag = f"{self.allocator.pid}:scrub-repair"
         try:
-            yield rdma_get(
-                self.fabric,
-                self.remote_node,
-                self.node_id,
-                chunk.nbytes,
-                tag=f"{self.allocator.pid}:scrub-repair",
-                src_nvm_bus=self.remote_target.dst_ctx.nvm_bus,
-            )
-        except TransferCancelled:
+            if self.resilience is not None:
+                yield from self.resilience.get(
+                    self.fabric,
+                    self.remote_node,
+                    self.node_id,
+                    chunk.nbytes,
+                    tag=tag,
+                    src_nvm_bus=self.remote_target.dst_ctx.nvm_bus,
+                )
+            else:
+                yield rdma_get(
+                    self.fabric,
+                    self.remote_node,
+                    self.node_id,
+                    chunk.nbytes,
+                    tag=tag,
+                    src_nvm_bus=self.remote_target.dst_ctx.nvm_bus,
+                )
+        except (TransferCancelled, TransferFailed):
+            # buddy unreachable (outage / dead node): leave the chunk
+            # for a later sweep rather than raising out of the scan
             return False
         payload = self.remote_target.fetch(chunk.name)
         if not chunk.phantom:

@@ -141,6 +141,28 @@ class NoCheckpointAvailable(CheckpointError):
     version exists for the chunk/process."""
 
 
+class AllReplicasLost(NoCheckpointAvailable):
+    """Restart escalation exhausted every replica: the local copy is
+    unusable *and* the buddy fetch failed (no buddy, nothing committed
+    there, or the resilient fetch gave up).  Subclasses
+    :class:`NoCheckpointAvailable` so existing handlers keep working,
+    but carries structured context for operators."""
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        pid: str | None = None,
+        chunk: str | None = None,
+        tried: tuple[str, ...] = (),
+    ) -> None:
+        super().__init__(message)
+        self.pid = pid
+        self.chunk = chunk
+        #: replica levels that were attempted, in order ("local", "buddy")
+        self.tried = tried
+
+
 class RestartError(CheckpointError):
     """Restart could not reconstruct process state."""
 
@@ -160,3 +182,27 @@ class NodeFailed(ClusterError):
 
 class NetworkError(ClusterError):
     """RDMA/fabric transfer failure."""
+
+
+class TransferFailed(NetworkError):
+    """A resilient transfer gave up: every retry attempt was cancelled
+    or timed out within the policy's attempt/deadline budget.  Unlike
+    :class:`TransferCancelled` (one torn flow) this is a terminal
+    verdict on the whole transfer."""
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        src: int | None = None,
+        dst: int | None = None,
+        tag: str = "",
+        attempts: int = 0,
+        elapsed: float = 0.0,
+    ) -> None:
+        super().__init__(message)
+        self.src = src
+        self.dst = dst
+        self.tag = tag
+        self.attempts = attempts
+        self.elapsed = elapsed

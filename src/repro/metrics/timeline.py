@@ -18,6 +18,12 @@ PRECOPY = "precopy"
 REMOTE_PRECOPY = "remote_precopy"
 RESTART = "restart"
 BLOCKED = "blocked"
+#: resilience layer: no healthy remote target (local-only operation)
+DEGRADED = "degraded"
+#: resilience layer: paced re-send of committed chunks to a new buddy
+RESYNC = "resync"
+#: transient link flap window on a node's checkpoint path
+OUTAGE = "outage"
 
 
 @dataclass(frozen=True)
@@ -120,6 +126,9 @@ class Timeline:
         REMOTE_PRECOPY: "r",
         RESTART: "X",
         BLOCKED: ".",
+        DEGRADED: "D",
+        RESYNC: "s",
+        OUTAGE: "o",
     }
 
     def ascii_art(self, width: int = 100, actors: Optional[List[str]] = None) -> str:

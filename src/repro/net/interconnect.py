@@ -16,12 +16,20 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..config import InterconnectConfig
-from ..errors import ClusterError
+from ..errors import ClusterError, TransferCancelled
 from ..sim.engine import Engine
 from ..sim.events import Event
 from ..sim.resources import BandwidthResource
 
-__all__ = ["Fabric", "LinkPair"]
+__all__ = ["Fabric", "LinkPair", "CHECKPOINT_KINDS"]
+
+#: traffic kinds (tag suffixes after the last ':') that ride the
+#: checkpoint path's RDMA queue pairs.  A link outage tears these down
+#: and fails new ones fast; application traffic (MPI on its reliable
+#: transport) is modelled as unaffected by checkpoint-QP flaps.
+CHECKPOINT_KINDS = frozenset(
+    {"rckpt", "rprecopy", "rfetch", "resync", "scrub-repair", "hb"}
+)
 
 
 @dataclass
@@ -48,10 +56,35 @@ class Fabric:
             )
             for i in range(n_nodes)
         ]
+        #: nodes whose checkpoint-path connectivity is currently down
+        #: (transient link flap or a node being replaced)
+        self._outage: set = set()
 
     @property
     def n_nodes(self) -> int:
         return len(self.links)
+
+    # ------------------------------------------------------------------
+    # Outages (transient link flaps / dead nodes).
+    # ------------------------------------------------------------------
+
+    def outage_active(self, node: int) -> bool:
+        return node in self._outage
+
+    def begin_outage(self, node: int) -> int:
+        """Drop *node*'s checkpoint-path connectivity: in-flight
+        checkpoint-kind flows on its links are torn down and new ones
+        fail fast until :meth:`end_outage`.  Returns the number of
+        flows cancelled."""
+        self._check(node)
+        self._outage.add(node)
+        is_ckpt = lambda tag: tag.rsplit(":", 1)[-1] in CHECKPOINT_KINDS  # noqa: E731
+        lp = self.links[node]
+        return lp.egress.cancel_matching(is_ckpt) + lp.ingress.cancel_matching(is_ckpt)
+
+    def end_outage(self, node: int) -> None:
+        self._check(node)
+        self._outage.discard(node)
 
     def _check(self, node: int) -> None:
         if not 0 <= node < self.n_nodes:
@@ -69,6 +102,17 @@ class Fabric:
         self._check(dst)
         if src == dst:
             raise ClusterError("loopback transfers do not touch the fabric")
+        if self._outage and tag.rsplit(":", 1)[-1] in CHECKPOINT_KINDS:
+            down = self._outage.intersection((src, dst))
+            if down:
+                failed = self.engine.event(name=f"xfer {src}->{dst} (outage)")
+                failed.fail(
+                    TransferCancelled(
+                        f"checkpoint path down on node(s) {sorted(down)} "
+                        f"(tag {tag!r})"
+                    )
+                )
+                return failed
         eg = self.links[src].egress.transfer(nbytes, tag=tag)
         ing = self.links[dst].ingress.transfer(nbytes, tag=tag)
         both = self.engine.all_of([eg, ing])

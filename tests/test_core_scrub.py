@@ -138,3 +138,52 @@ class TestPeriodic:
         scrub.scan_sync()  # second sweep: already repaired
         assert scrub.total_corruption_found == 1
         assert scrub.total_repaired == 1
+
+
+class TestResilientRepair:
+    """Repair must degrade gracefully: a corrupted or unreachable buddy
+    copy yields ``unrepairable`` (never an exception), and a later sweep
+    repairs once the buddy is healthy again."""
+
+    def corrupted_world(self):
+        engine, src, dst, fabric, alloc, ck, helper = make_world()
+        c = alloc.nvalloc("a", 4096)
+        c.write(0, np.arange(512, dtype=np.float64))
+        replicate(engine, ck, helper)
+        corrupt(src, f"r0/a#v{c.committed_version}")
+        scrub = Scrubber(src, alloc, fabric=fabric, node_id=0,
+                         remote_target=helper.targets["r0"], remote_node=1)
+        return engine, src, dst, fabric, helper, scrub
+
+    def test_corrupted_buddy_copy_is_unrepairable(self):
+        engine, src, dst, fabric, helper, scrub = self.corrupted_world()
+        target = helper.targets["r0"]
+        corrupt(dst, f"rmt:r0/a#v{target.committed['a']}")
+        report = scrub.scan_sync()
+        assert report.unrepairable == ["a"]
+        assert report.repaired == []
+        assert not target.verify("a")
+
+    def test_buddy_outage_is_unrepairable_then_repaired(self):
+        engine, src, dst, fabric, helper, scrub = self.corrupted_world()
+        fabric.begin_outage(1)
+        first = scrub.scan_sync()
+        assert first.unrepairable == ["a"]
+        fabric.end_outage(1)
+        second = scrub.scan_sync()
+        assert second.repaired == ["a"]
+        assert scrub.total_repaired == 1
+
+    def test_repair_retries_through_a_flap_with_transport(self):
+        from repro.resilience import ResilientTransport, RetryPolicy
+        from repro.sim.rng import RngStreams
+
+        engine, src, dst, fabric, helper, scrub = self.corrupted_world()
+        scrub.resilience = ResilientTransport(
+            0, RngStreams(4), RetryPolicy(base_delay=0.5, jitter=0.0)
+        )
+        fabric.begin_outage(1)
+        engine.call_at(engine.now + 2.0, lambda: fabric.end_outage(1))
+        report = scrub.scan_sync()
+        assert report.repaired == ["a"]
+        assert scrub.resilience.stats.retries >= 1
