@@ -1,11 +1,21 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test faults faults-matrix bench bench-json exec-smoke
+.PHONY: test lint faults faults-matrix bench bench-json exec-smoke
 
 # tier-1: the full deterministic suite
 test:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
+
+# lint: the stdlib AST gate (deprecated-shim import ban) always runs;
+# ruff runs when installed (CI installs it, dev containers may not)
+lint:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.tools.lintcheck src benchmarks
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks; \
+	else \
+		echo "ruff not installed; skipped (the AST gate above still ran)"; \
+	fi
 
 # the crash-point fault-injection suite only
 faults:

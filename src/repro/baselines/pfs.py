@@ -74,8 +74,20 @@ class PfsModel:
 
 
 def make_pfs_transfer(pfs: PfsModel, rank: str) -> Callable[[Chunk], Event]:
-    """A LocalCheckpointer ``transfer_fn`` that writes chunks to the
-    PFS instead of node-local NVM."""
+    """Deprecated: a LocalCheckpointer ``transfer_fn`` that writes
+    chunks to the PFS instead of node-local NVM.  Use
+    :class:`repro.core.destination.PfsDestination`, which carries the
+    whole backend contract (flush/metadata/no-shadow-commit), instead
+    of this data-path-only hook."""
+    import warnings
+
+    warnings.warn(
+        "make_pfs_transfer() is deprecated; build a "
+        "repro.core.destination.PfsDestination and pass it as the "
+        "checkpointer's destination instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
 
     def transfer(chunk: Chunk) -> Event:
         return pfs.write(chunk.nbytes, tag=f"{rank}:pfsckpt")

@@ -89,11 +89,13 @@ class Cluster:
         if ranks_per_node is None:
             reserve = 1 if (ckpt_config.helper_core and with_remote) else 0
             ranks_per_node = self.config.node.cores - reserve
-        transfer_factory = None
+        destination_factory = None
         if pfs is not None:
-            from ..baselines.pfs import make_pfs_transfer
+            from ..core.destination import PfsDestination
 
-            transfer_factory = lambda rank: make_pfs_transfer(pfs, rank)  # noqa: E731
+            destination_factory = (
+                lambda ctx, rank, alloc: PfsDestination(pfs, rank, ctx, alloc)
+            )
         rank_index = 0
         for node in self.nodes[:n_nodes]:
             for _ in range(ranks_per_node):
@@ -106,8 +108,7 @@ class Cluster:
                     neighbors=[n for n in neighbors if n < n_nodes],
                     timeline=self.timeline,
                     phantom=phantom,
-                    transfer_fn=transfer_factory,
-                    stage_to_nvm=pfs is None,
+                    destination_factory=destination_factory,
                 )
                 rank_index += 1
         if with_remote:

@@ -79,9 +79,14 @@ class ClusterNode:
         neighbors=(),
         timeline: Optional[Timeline] = None,
         phantom: bool = True,
+        destination_factory=None,
         transfer_fn=None,
         stage_to_nvm: bool = True,
     ) -> RankState:
+        """*destination_factory* is ``(ctx, rank, allocator) -> Destination``
+        selecting the checkpoint backend (default: the node's NVM shadow
+        arena).  ``transfer_fn``/``stage_to_nvm`` are the legacy data-path
+        overrides, kept for compatibility."""
         rank = f"r{rank_index}"
         allocator = NVAllocator(
             rank,
@@ -105,6 +110,11 @@ class ClusterNode:
             self.ctx,
             allocator,
             ckpt_config.precopy,
+            destination=(
+                destination_factory(self.ctx, rank, allocator)
+                if destination_factory is not None
+                else None
+            ),
             timeline=timeline,
             with_checksums=ckpt_config.checksums,
             transfer_fn=transfer_fn(rank) if transfer_fn is not None else None,

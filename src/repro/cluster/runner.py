@@ -48,6 +48,7 @@ from ..config import FailureConfig, PrecopyPolicy
 from ..errors import ClusterError, ProcessKilled
 from ..metrics import timeline as tl
 from ..sim.rng import RngStreams
+from . import phases
 from .cluster import Cluster
 from .failures import FailureEvent, FailureInjector
 from .mpi import Barrier
@@ -55,11 +56,10 @@ from .node import ClusterNode, RankState
 
 __all__ = ["ClusterRunner", "RunResult"]
 
-#: seconds a node takes to reboot after a soft failure before it can
-#: fetch its checkpoint (OS + process respawn).
-SOFT_REBOOT_DELAY = 5.0
-#: seconds to provision a replacement node after a hard failure.
-HARD_REPLACE_DELAY = 30.0
+# Re-exported for backward compatibility: the recovery-phase logic
+# (and its timing constants) lives in repro.cluster.phases.
+SOFT_REBOOT_DELAY = phases.SOFT_REBOOT_DELAY
+HARD_REPLACE_DELAY = phases.HARD_REPLACE_DELAY
 
 
 @dataclass
@@ -515,335 +515,40 @@ class ClusterRunner:
         return it
 
     def _segment(self, state: RankState, iteration: int):
-        """One rank's iteration: compute (+writes +communication), a
-        global barrier, then the coordinated local checkpoint."""
-        t0 = self.cluster.engine.now
-        yield from self.app.compute_iteration(state.binding, iteration)
-        self.cluster.timeline.record(
-            state.rank, tl.COMPUTE, t0, self.cluster.engine.now
-        )
-        yield self.barrier.wait()
-        if self.local_checkpoints:
-            yield from state.checkpointer.checkpoint(blocking=False)
+        """One rank's iteration segment (see :func:`phases.segment`)."""
+        return phases.segment(self, state, iteration)
 
     # ------------------------------------------------------------------
-    # Failure handling.
+    # Failure handling — the phase logic lives in repro.cluster.phases;
+    # these thin delegates keep the historical method surface.
     # ------------------------------------------------------------------
 
     def _apply_transient(self, ev: FailureEvent) -> None:
-        """A link flap on one node's checkpoint path: fail its in-flight
-        checkpoint transfers, fail-fast new ones, and schedule the heal."""
-        engine = self.cluster.engine
-        fabric = self.cluster.fabric
-        self.transient_failures += 1
-        node_id = ev.node
-        fabric.begin_outage(node_id)
-        end = engine.now + ev.duration
-        engine.call_at(end, lambda: fabric.end_outage(node_id))
-        if self.cluster.timeline is not None:
-            self.cluster.timeline.record(f"n{node_id}", tl.OUTAGE, engine.now, end)
+        phases.apply_transient(self, ev)
 
     def _handle_failure(self, ev: FailureEvent, procs):
-        engine = self.cluster.engine
-        t0 = engine.now
-        node = self.cluster.nodes[ev.node]
-        # stop the world: kill rank processes, break the barrier, tear
-        # down in-flight traffic
-        for p in procs:
-            p.kill()
-        self.barrier.reset()
-        for n in self.cluster.active_nodes:
-            n.ctx.nvm_bus.cancel_matching(None)
-        for lp in self.cluster.fabric.links:
-            lp.egress.cancel_matching(None)
-            lp.ingress.cancel_matching(None)
-        for state in self.cluster.all_ranks():
-            if state.checkpointer.precopy is not None:
-                state.checkpointer.precopy.pause()
-        if ev.kind == "soft":
-            self.soft_failures += 1
-            yield from self._recover_soft(node)
-            rollback = self.committed_iteration
-        else:
-            self.hard_failures += 1
-            if self.directory is not None:
-                self.directory.mark_failed(node.node_id)
-                # until the replacement boots, the node is unreachable
-                # on the checkpoint path (heartbeats to it fail fast)
-                self.cluster.fabric.begin_outage(node.node_id)
-                self._orphan_failover(node)
-            rollback = yield from self._recover_hard(node)
-        self.iterations_recomputed += max(0, self.committed_iteration - rollback)
-        self.committed_iteration = rollback
-        # reset chunk dirty state: DRAM now matches the rollback point
-        for state in self.cluster.all_ranks():
-            for chunk in state.allocator.chunks():
-                fresh = chunk.committed_version < 0
-                chunk.dirty_local = fresh
-                chunk.dirty_remote = True
-                chunk.protected = not fresh
-                chunk.begin_interval()
-            if state.checkpointer.precopy is not None:
-                state.checkpointer.precopy.begin_interval()
-                state.checkpointer.precopy.resume()
-            state.checkpointer.last_checkpoint_end = engine.now
-        # the dirty-state reset above re-dirtied every chunk; nodes
-        # mid-re-sync must re-cover them through the same drain
-        for nid in self._resyncing:
-            h = self.cluster.nodes[nid].helper
-            if h is not None:
-                h.enqueue_all()
-        self.recovery_time += engine.now - t0
-        if self.cluster.timeline is not None:
-            self.cluster.timeline.record(f"n{ev.node}", tl.RESTART, t0, engine.now)
+        return phases.handle_failure(self, ev, procs)
 
     def _buddy_capacity_ok(self, orphan_id: int, candidate_id: int) -> bool:
-        """Can the candidate's NVM hold the orphan's remote copies on
-        top of what it already hosts?  Re-pairing doubles the buddy
-        load, and on capacity-tight configs the only viable host is the
-        (empty) replacement hardware — the deferred-repair path."""
-        helper = self.cluster.nodes[orphan_id].helper
-        if helper is None:
-            return True
-        n_versions = 2 if self.ckpt_config.two_versions else 1
-        needed = n_versions * sum(
-            sum(c.nbytes for c in a.persistent_chunks()) for a in helper.ranks
-        )
-        return self.cluster.nodes[candidate_id].ctx.nvmm.device.free >= needed
+        return phases.buddy_capacity_ok(self, orphan_id, candidate_id)
 
     def _orphan_failover(self, dead: ClusterNode) -> None:
-        """Nodes whose buddy just died hard: enter degraded mode, then
-        re-pair to a healthy neighbor where one exists (a re-sync
-        rebuilds protection in the background).  With no healthy
-        candidate (2-node cluster) the repair waits for the
-        replacement hardware."""
-        for n in self.cluster.active_nodes:
-            h = n.helper
-            if n is dead or h is None or h.buddy_id != dead.node_id:
-                continue
-            ctrl = self.controllers.get(n.node_id)
-            if ctrl is not None:
-                ctrl.enter("buddy-failed")
-            h.pause_rounds()
-            new_buddy = self.directory.repair(n.node_id, fits=self._buddy_capacity_ok)
-            if new_buddy is None:
-                self._deferred_orphans.append(n.node_id)
-            else:
-                self._repair_orphan(n.node_id, new_buddy)
+        phases.orphan_failover(self, dead)
 
     def _repair_orphan(self, orphan_id: int, new_buddy: int) -> None:
-        """Re-point an orphan's helper (and monitor) at its new buddy
-        and start the background re-sync of committed chunks."""
-        from ..resilience import ResyncTask
-
-        engine = self.cluster.engine
-        node = self.cluster.nodes[orphan_id]
-        helper = node.helper
-        if helper is None:
-            return
-        helper.retarget(new_buddy, self.cluster.nodes[new_buddy].ctx)
-        monitor = self.monitors.get(orphan_id)
-        if monitor is not None:
-            monitor.retarget(new_buddy)
-        rcfg = self.ckpt_config.resilience
-        task = ResyncTask(
-            helper,
-            timeline=self.cluster.timeline,
-            failure_limit=rcfg.resync_failure_limit,
-        )
-        self._resyncing[orphan_id] = task
-        self._bg_procs.append(
-            engine.process(
-                self._resync_proc(orphan_id, task), name=f"n{orphan_id}:resync"
-            )
-        )
+        phases.repair_orphan(self, orphan_id, new_buddy)
 
     def _resync_proc(self, node_id: int, task):
-        try:
-            yield from task.run()
-        finally:
-            if self._resyncing.get(node_id) is task:
-                del self._resyncing[node_id]
-        if task.completed:
-            self.resyncs_completed += 1
-            self.resync_bytes += task.bytes_sent
-            ctrl = self.controllers.get(node_id)
-            if ctrl is not None:
-                ctrl.exit()
+        return phases.resync_proc(self, node_id, task)
 
     def _recover_soft(self, node: ClusterNode):
-        """Reboot + all ranks reload their committed local checkpoint."""
-        engine = self.cluster.engine
-        node.ctx.nvmm.store.crash()  # unflushed writes die with the node
-        yield engine.timeout(SOFT_REBOOT_DELAY)
-        factor = self.failure_config.local_restart_factor if self.failure_config else 1.0
-        fetches = []
-        for n in self.cluster.active_nodes:
-            for state in n.ranks:
-                fetches.append(
-                    n.ctx.nvm_bus.transfer(
-                        state.allocator.checkpoint_bytes * factor,
-                        tag=f"{state.rank}:restart",
-                    )
-                )
-        if fetches:
-            yield engine.all_of(fetches)
+        return phases.recover_soft(self, node)
 
     def _fetch_source_for(self, node: ClusterNode, old_helper) -> int:
-        """Which node holds the dead node's remote copies (and becomes
-        the replacement's buddy)?  The live directory when resilience is
-        on; otherwise the helper's own pairing, falling back to the
-        topology — never an index into ``active_nodes`` (which can
-        self-pair or point at a dead slot)."""
-        if self.directory is not None:
-            repaired = self.directory.repair(node.node_id, fits=self._buddy_capacity_ok)
-            if repaired is not None:
-                return repaired
-        if old_helper is not None:
-            return old_helper.buddy_id
-        buddy_id = self.cluster.topology.buddy_of(node.node_id)
-        if buddy_id != node.node_id and self.cluster.nodes[buddy_id].ranks:
-            return buddy_id
-        others = [
-            n.node_id for n in self.cluster.active_nodes if n.node_id != node.node_id
-        ]
-        if not others:
-            return node.node_id
-        n_nodes = self.cluster.topology.n_nodes
-        return min(others, key=lambda m: (m - node.node_id) % n_nodes)
+        return phases.fetch_source_for(self, node, old_helper)
 
     def _recover_hard(self, node: ClusterNode):
-        """Replace the node, refetch its ranks' state from the buddy,
-        survivors reload locally; roll back to the remote capture."""
-        from ..core.remote import RemoteHelper
-
-        engine = self.cluster.engine
-        # which iteration did the buddy last capture for this node?
-        rollback = 0
-        if node.helper is not None and node.helper.history:
-            last_start = node.helper.history[-1].start
-            for t, it in self._committed_log:
-                if t <= last_start:
-                    rollback = it
-        old_helper = node.helper
-        old_rank_indices = [s.rank_index for s in node.ranks]
-        buddy_id = self._fetch_source_for(node, old_helper)
-        # stop machinery owned by the dead node
-        for state in node.ranks:
-            state.checkpointer.stop_background()
-        if old_helper is not None:
-            old_helper.stop()
-        # replacement hardware
-        yield engine.timeout(HARD_REPLACE_DELAY)
-        node.replace_hardware()
-        if self.directory is not None:
-            self.directory.mark_recovered(node.node_id)
-            self.cluster.fabric.end_outage(node.node_id)
-        # rebuild ranks on the fresh node
-        for rank_index in old_rank_indices:
-            neighbors = [
-                n for n in self.cluster.topology.neighbors(node.node_id, degree=2)
-                if self.cluster.nodes[n].ranks
-            ]
-            node.add_rank(
-                rank_index,
-                self.app,
-                self.ckpt_config,
-                fabric=self.cluster.fabric,
-                neighbors=neighbors,
-                timeline=self.cluster.timeline,
-                phantom=True,
-            )
-        # fetch the dead node's state from the buddy; survivors reload locally
-        factor = self.failure_config.remote_restart_factor if self.failure_config else 1.0
-        fetches = []
-        for state in node.ranks:
-            fetches.append(
-                self.cluster.fabric.transfer(
-                    buddy_id,
-                    node.node_id,
-                    state.allocator.checkpoint_bytes * factor,
-                    tag=f"{state.rank}:rfetch",
-                )
-            )
-        for n in self.cluster.active_nodes:
-            if n is node:
-                continue
-            for state in n.ranks:
-                fetches.append(
-                    n.ctx.nvm_bus.transfer(
-                        state.allocator.checkpoint_bytes, tag=f"{state.rank}:restart"
-                    )
-                )
-        if fetches:
-            yield engine.all_of(fetches)
-        # new background machinery for the replacement node
-        if self.ckpt_config is not None and old_helper is not None:
-            node.helper = RemoteHelper(
-                node.node_id,
-                node.ctx,
-                self.cluster.fabric,
-                buddy_id,
-                self.cluster.nodes[buddy_id].ctx,
-                [s.allocator for s in node.ranks],
-                self.ckpt_config,
-                timeline=self.cluster.timeline,
-                resilience=self.transports.get(node.node_id),
-            )
-            node.helper.start_background()
-            self._bg_procs.append(
-                engine.process(node.helper.run(), name=f"{node.helper.owner}:rounds")
-            )
-            # the rebuilt checkpointers must feed the new helper's
-            # stream queue, like Cluster.build wired the originals
-            for state in node.ranks:
-                state.checkpointer.on_complete.append(
-                    self.cluster._make_local_ckpt_hook(node, state.rank)
-                )
-            if self.directory is not None:
-                self.directory._buddy[node.node_id] = buddy_id
-                monitor = self.monitors.get(node.node_id)
-                if monitor is not None:
-                    # retarget resets health silently (no up-transition
-                    # fires), so leave degraded mode explicitly: the
-                    # replacement has a healthy buddy again
-                    monitor.retarget(buddy_id)
-                ctrl = self.controllers.get(node.node_id)
-                if ctrl is not None:
-                    ctrl.exit()
-        if self.local_checkpoints:
-            for state in node.ranks:
-                state.checkpointer.start_background()
-        if self.directory is not None:
-            # orphans that had no healthy re-pair candidate wait for
-            # the replacement: repair them now (typically back onto the
-            # replacement hardware)
-            deferred, self._deferred_orphans = self._deferred_orphans, []
-            for orphan_id in deferred:
-                new_buddy = self.directory.repair(
-                    orphan_id, fits=self._buddy_capacity_ok
-                )
-                if new_buddy is not None:
-                    self._repair_orphan(orphan_id, new_buddy)
-                else:
-                    self._deferred_orphans.append(orphan_id)
-        else:
-            # helpers that used the dead node as their buddy lost their
-            # remote copies: re-point them at the replacement hardware
-            for n in self.cluster.active_nodes:
-                h = n.helper
-                if h is not None and h.buddy_id == node.node_id and n is not node:
-                    from ..core.remote import RemoteTarget
-
-                    h.buddy_ctx = node.ctx
-                    h.targets = {
-                        a.pid: RemoteTarget(a.pid, node.ctx, two_versions=self.ckpt_config.two_versions)
-                        for a in h.ranks
-                    }
-                    # every remote copy on the dead buddy is gone:
-                    # everything must be re-sent
-                    h.enqueue_all()
-        return rollback
+        return phases.recover_hard(self, node)
 
     # ------------------------------------------------------------------
     # Result collection.

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from .errors import ConfigError
 from .units import (
     GB,
     GB_per_sec,
@@ -257,9 +258,11 @@ class PrecopyPolicy:
     def __post_init__(self) -> None:
         valid = {self.NONE, self.CPC, self.DCPC, self.DCPCP}
         if self.mode not in valid:
-            raise ValueError(f"unknown pre-copy mode {self.mode!r}; expected one of {sorted(valid)}")
+            raise ConfigError(
+                f"unknown pre-copy mode {self.mode!r}; expected one of {sorted(valid)}"
+            )
         if self.granularity not in ("chunk", "page"):
-            raise ValueError(f"unknown granularity {self.granularity!r}")
+            raise ConfigError(f"unknown granularity {self.granularity!r}")
 
 
 @dataclass(frozen=True)

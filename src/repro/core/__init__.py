@@ -19,8 +19,29 @@
 from .context import NodeContext, make_standalone_context
 from .prediction import ModificationStateMachine, PredictionTable
 from .threshold import ThresholdEstimator
+from .policy import (
+    CheckpointPolicy,
+    Decision,
+    DelayedPrecopyPolicy,
+    IntervalClock,
+    NonePolicy,
+    POLICIES,
+    PredictivePolicy,
+    policy_class,
+    resolve_policy,
+)
+from .policy import PrecopyPolicy as PrecopyPolicyStrategy
+from .destination import (
+    Destination,
+    NVMArenaDestination,
+    PfsDestination,
+    RamdiskDestination,
+    RemoteBuddyDestination,
+    TransferFnDestination,
+)
 from .precopy import PrecopyEngine
-from .local import CheckpointStats, LocalCheckpointer
+from .engine import CheckpointEngine, CheckpointStats
+from .local import LocalCheckpointer
 from .remote import RemoteCheckpointStats, RemoteHelper, RemoteTarget
 from .restart import RestartManager, RestartReport
 from .scrub import Scrubber, ScrubReport
@@ -37,7 +58,24 @@ __all__ = [
     "PredictionTable",
     "ModificationStateMachine",
     "ThresholdEstimator",
+    "CheckpointPolicy",
+    "Decision",
+    "IntervalClock",
+    "NonePolicy",
+    "PrecopyPolicyStrategy",
+    "DelayedPrecopyPolicy",
+    "PredictivePolicy",
+    "POLICIES",
+    "policy_class",
+    "resolve_policy",
+    "Destination",
+    "NVMArenaDestination",
+    "PfsDestination",
+    "RamdiskDestination",
+    "RemoteBuddyDestination",
+    "TransferFnDestination",
     "PrecopyEngine",
+    "CheckpointEngine",
     "LocalCheckpointer",
     "CheckpointStats",
     "RemoteHelper",

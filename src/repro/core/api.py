@@ -41,7 +41,8 @@ from ..errors import UnknownChunkId
 from ..memory.persistence import PersistentStore
 from ..metrics.timeline import Timeline
 from .context import NodeContext, make_standalone_context
-from .local import CheckpointStats, LocalCheckpointer
+from .engine import CheckpointStats
+from .local import LocalCheckpointer
 from .restart import RestartManager, RestartReport
 
 __all__ = ["NVMCheckpoint"]

@@ -1,0 +1,300 @@
+"""Checkpoint destination backends: where checkpoint bytes land.
+
+A :class:`Destination` answers the mechanism half of the pipeline the
+policies (:mod:`repro.core.policy`) schedule: how a chunk's payload
+moves (``write``), how staged data becomes the recoverable version
+(``stage`` / ``commit``), what ordering barriers cost (``flush``), how
+committed payloads come back at restart (``read``), and how much room
+is left (``capacity``).  One :class:`~repro.core.engine.CheckpointEngine`
+drives any destination through the same walk/flush/commit sequence:
+
+* :class:`NVMArenaDestination` — the paper's two-version NVM shadow
+  arena (the default);
+* :class:`PfsDestination` — the parallel-file-system baseline (shared
+  global I/O resource, no shadow versions);
+* :class:`RamdiskDestination` — the tmpfs baseline of Table V (DRAM
+  path cost model, no shadow versions);
+* :class:`RemoteBuddyDestination` — the buddy node's remote arena, as
+  used by the remote helper; local+remote multilevel checkpointing is
+  the *composition* of two destinations, not a special-cased helper.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional
+
+import numpy as np
+
+from ..alloc.chunk import Chunk, batch_commit
+from ..alloc.nvmalloc import NVAllocator
+from ..errors import CheckpointError
+from .context import NodeContext
+
+__all__ = [
+    "Destination",
+    "NVMArenaDestination",
+    "PfsDestination",
+    "RamdiskDestination",
+    "RemoteBuddyDestination",
+    "TransferFnDestination",
+]
+
+
+class Destination:
+    """Backend protocol for one checkpoint target.
+
+    ``write`` returns a DES completion event (the data plane);
+    ``stage``/``commit``/``persist_metadata`` are control-plane state
+    flips (instantaneous — their cost is the ``flush`` barriers the
+    engine charges around them).
+    """
+
+    #: short backend name, used in trace events and stats
+    name: str = ""
+    #: whether this backend keeps two shadow versions needing an
+    #: explicit stage+commit flip (False for flat baselines)
+    two_version: bool = True
+
+    def write(self, chunk: Chunk, *, tag: str = ""):
+        """Move the chunk's payload to this destination; returns the
+        completion event to ``yield`` on."""
+        raise NotImplementedError
+
+    def stage(self, chunk: Chunk) -> None:
+        """Record the just-written payload as this chunk's in-progress
+        version (no-op for single-version backends)."""
+
+    def flush(self) -> float:
+        """Issue a persistence barrier; returns its simulated cost."""
+        return 0.0
+
+    def commit(
+        self,
+        chunks: Iterable[Chunk],
+        *,
+        with_checksum: bool = True,
+        on_commit: Optional[Callable[[Chunk], None]] = None,
+    ) -> float:
+        """Flip every staged chunk's committed pointer (no-op for
+        single-version backends).  Returns the simulated cost of any
+        barriers the backend *bundles into* its commit (0.0 for
+        backends whose barriers the engine charges via :meth:`flush`)."""
+        return 0.0
+
+    def persist_metadata(self) -> None:
+        """Write the recovery metadata (chunk table, committed map)."""
+
+    def read(self, chunk_name: str) -> np.ndarray:
+        """The committed payload of *chunk_name* (restart path)."""
+        raise NotImplementedError
+
+    def capacity(self) -> float:
+        """Bytes still available at this destination (``inf`` when the
+        backend does not model capacity)."""
+        return float("inf")
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class NVMArenaDestination(Destination):
+    """The local NVM shadow arena: DRAM→NVM through the node's shared
+    NVM bus, two-version commit, allocator metadata persistence."""
+
+    name = "nvm"
+    two_version = True
+
+    def __init__(self, ctx: NodeContext, allocator: NVAllocator) -> None:
+        self.ctx = ctx
+        self.allocator = allocator
+
+    def write(self, chunk: Chunk, *, tag: str = ""):
+        return self.ctx.copy_to_nvm(chunk.nbytes, tag=tag)
+
+    def stage(self, chunk: Chunk) -> None:
+        chunk.stage_to_nvm()
+
+    def flush(self) -> float:
+        return self.ctx.nvmm.cache_flush()
+
+    def commit(
+        self,
+        chunks: Iterable[Chunk],
+        *,
+        with_checksum: bool = True,
+        on_commit: Optional[Callable[[Chunk], None]] = None,
+    ) -> float:
+        batch_commit(list(chunks), with_checksum=with_checksum, on_commit=on_commit)
+        return 0.0
+
+    def persist_metadata(self) -> None:
+        self.allocator._persist_metadata()
+
+    def read(self, chunk_name: str) -> np.ndarray:
+        chunk = self.allocator.chunk(chunk_name)
+        region = chunk.committed_region()
+        return region.read(0, chunk.nbytes)
+
+    def capacity(self) -> float:
+        return float(self.ctx.nvm.free)
+
+
+class PfsDestination(Destination):
+    """The PFS baseline: every rank's coordinated step funnels through
+    one globally shared I/O resource; no shadow versions on the node
+    (the engine still runs its flush barriers — metadata and caches are
+    persisted locally even when the data goes to the PFS)."""
+
+    name = "pfs"
+    two_version = False
+
+    def __init__(self, pfs, rank: str, ctx: NodeContext, allocator: NVAllocator) -> None:
+        self.pfs = pfs
+        self.rank = rank
+        self.ctx = ctx
+        self.allocator = allocator
+
+    def write(self, chunk: Chunk, *, tag: str = ""):
+        # the PFS resource's accounting keys off the rank tag, not the
+        # engine's step tag
+        return self.pfs.write(chunk.nbytes, tag=f"{self.rank}:pfsckpt")
+
+    def flush(self) -> float:
+        return self.ctx.nvmm.cache_flush()
+
+    def persist_metadata(self) -> None:
+        self.allocator._persist_metadata()
+
+    def read(self, chunk_name: str) -> np.ndarray:
+        raise CheckpointError(
+            f"PFS baseline does not model restart reads (chunk {chunk_name!r})"
+        )
+
+
+class RamdiskDestination(Destination):
+    """The tmpfs baseline: checkpoint writes priced by the DRAM path
+    cost model (:class:`repro.baselines.ramdisk.RamdiskPathModel`); no
+    persistence barriers, no shadow versions, DRAM-bounded capacity."""
+
+    name = "ramdisk"
+    two_version = False
+
+    def __init__(self, ctx: NodeContext, model, *, writers: int = 1) -> None:
+        self.ctx = ctx
+        self.model = model
+        self.writers = writers
+        self._written: dict = {}
+
+    def write(self, chunk: Chunk, *, tag: str = ""):
+        cost = self.model.checkpoint_time(chunk.nbytes, writers=self.writers)
+        self._written[chunk.name] = chunk.nbytes
+        return self.ctx.engine.timeout(cost)
+
+    def read(self, chunk_name: str) -> np.ndarray:
+        if chunk_name not in self._written:
+            raise CheckpointError(f"no ramdisk copy of chunk {chunk_name!r}")
+        return np.zeros(self._written[chunk_name], dtype=np.uint8)
+
+    def capacity(self) -> float:
+        return float(self.ctx.dram.free)
+
+
+class RemoteBuddyDestination(Destination):
+    """The buddy node's remote arena, wrapping one
+    :class:`~repro.core.remote.RemoteTarget`.  ``write`` is the fabric
+    send (injected by the remote helper, which owns pacing/compression/
+    resilient retries); ``stage``/``commit``/``read`` are the target's
+    own two-version protocol on the buddy's NVM."""
+
+    name = "buddy"
+    two_version = True
+
+    def __init__(self, target, send_fn: Callable[[Chunk], object]) -> None:
+        self.target = target
+        self._send_fn = send_fn
+
+    def retarget(self, target) -> None:
+        """Point at a new buddy's :class:`RemoteTarget` after failover."""
+        self.target = target
+
+    def write(self, chunk: Chunk, *, tag: str = ""):
+        return self._send_fn(chunk)
+
+    def stage(self, chunk: Chunk) -> None:
+        self.target.stage(chunk)
+
+    def flush(self) -> float:
+        return self.target.dst_ctx.nvmm.cache_flush()
+
+    def commit(
+        self,
+        chunks: Iterable[Chunk],
+        *,
+        with_checksum: bool = True,
+        on_commit: Optional[Callable[[Chunk], None]] = None,
+    ) -> float:
+        # RemoteTarget.commit covers everything staged since the last
+        # commit, bundling its own flush barriers + metadata put; the
+        # returned cost is the caller's to charge.
+        return self.target.commit()
+
+    def persist_metadata(self) -> None:
+        """Metadata is persisted inside :meth:`RemoteTarget.commit`."""
+
+    def read(self, chunk_name: str) -> np.ndarray:
+        return self.target.fetch(chunk_name)
+
+    def capacity(self) -> float:
+        return float(self.target.dst_ctx.nvm.free)
+
+
+class TransferFnDestination(Destination):
+    """Adapter for the legacy ``transfer_fn``/``stage_to_nvm``
+    checkpointer parameters: an arbitrary per-chunk transfer callable,
+    optionally composed with the local NVM arena's control plane."""
+
+    name = "custom"
+
+    def __init__(
+        self,
+        transfer_fn: Callable[[Chunk], object],
+        ctx: NodeContext,
+        allocator: NVAllocator,
+        *,
+        stage_to_nvm: bool = True,
+    ) -> None:
+        self.transfer_fn = transfer_fn
+        self.ctx = ctx
+        self.allocator = allocator
+        self.two_version = stage_to_nvm
+
+    def write(self, chunk: Chunk, *, tag: str = ""):
+        return self.transfer_fn(chunk)
+
+    def stage(self, chunk: Chunk) -> None:
+        if self.two_version:
+            chunk.stage_to_nvm()
+
+    def flush(self) -> float:
+        return self.ctx.nvmm.cache_flush()
+
+    def commit(
+        self,
+        chunks: Iterable[Chunk],
+        *,
+        with_checksum: bool = True,
+        on_commit: Optional[Callable[[Chunk], None]] = None,
+    ) -> float:
+        if self.two_version:
+            batch_commit(list(chunks), with_checksum=with_checksum, on_commit=on_commit)
+        return 0.0
+
+    def persist_metadata(self) -> None:
+        self.allocator._persist_metadata()
+
+    def read(self, chunk_name: str) -> np.ndarray:
+        chunk = self.allocator.chunk(chunk_name)
+        return chunk.committed_region().read(0, chunk.nbytes)
+
+    def capacity(self) -> float:
+        return float(self.ctx.nvm.free)

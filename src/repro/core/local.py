@@ -1,62 +1,38 @@
-"""Coordinated local checkpoints (§IV/§V): shadow buffering with
-two-version commit, optionally riding on a background pre-copy engine.
+"""Coordinated local checkpoints (§IV/§V): the historical per-rank
+checkpointer, now a thin facade over the unified
+:class:`~repro.core.engine.CheckpointEngine`.
 
-The per-rank :class:`LocalCheckpointer` implements ``nvchkptall()``:
+:class:`LocalCheckpointer` preserves the original constructor surface —
+including the legacy ``transfer_fn``/``stage_to_nvm`` parameters, which
+it maps onto a :class:`~repro.core.destination.Destination` backend
+(:class:`~repro.core.destination.NVMArenaDestination` by default,
+:class:`~repro.core.destination.TransferFnDestination` when a custom
+data path is injected, e.g. the PFS baseline).  All scheduling,
+copy-walk, and commit-ordering logic lives in the engine; the paper's
+four modes are :mod:`repro.core.policy` strategies selected by the
+config's ``mode``.
 
-1. pause the pre-copy engine (no bus competition during the step);
-2. copy every chunk still dirty-for-local to its in-progress NVM
-   version through the shared NVM bus (this is where the coordinated
-   cost — and, without pre-copy, the bandwidth storm — happens);
-3. flush caches/store, commit each copied chunk's version, persist the
-   chunk metadata, flush again (commit point);
-4. feed the threshold estimator and prediction table, open the next
-   interval, resume pre-copy.
-
-Without pre-copy (``PrecopyPolicy.NONE``) dirty tracking is off and
-every persistent chunk is copied each checkpoint — the paper's
-'no pre-copy' baseline, which also explains GTC's checkpoint-size
-*reduction* under pre-copy (write-once chunks never re-dirty).
+``CheckpointStats`` is re-exported here for backward compatibility;
+new code should import it from :mod:`repro.core.engine` (or
+:mod:`repro.core`).
 """
 
 from __future__ import annotations
 
-import warnings
-from dataclasses import dataclass, field
-from typing import Iterable, List, Optional
+from typing import Optional
 
-from ..alloc.chunk import Chunk, ChunkState, batch_commit
 from ..alloc.nvmalloc import NVAllocator
 from ..config import PrecopyPolicy
-from ..errors import CheckpointError
-from ..faults.crashpoints import fire
-from ..metrics import timeline as tl
 from ..metrics.timeline import Timeline
 from .context import NodeContext
-from .precopy import PrecopyEngine
-from .prediction import PredictionTable
-from .threshold import ThresholdEstimator
+from .destination import NVMArenaDestination, TransferFnDestination
+from .engine import CheckpointEngine, CheckpointStats
 
 __all__ = ["LocalCheckpointer", "CheckpointStats"]
 
 
-@dataclass
-class CheckpointStats:
-    """Result of one coordinated local checkpoint."""
-
-    start: float = 0.0
-    end: float = 0.0
-    bytes_copied: int = 0
-    chunks_copied: int = 0
-    chunks_skipped: int = 0
-    flush_cost: float = 0.0
-
-    @property
-    def duration(self) -> float:
-        return self.end - self.start
-
-
-class LocalCheckpointer:
-    """Per-rank local checkpoint coordinator."""
+class LocalCheckpointer(CheckpointEngine):
+    """Per-rank local checkpoint coordinator (facade)."""
 
     def __init__(
         self,
@@ -64,253 +40,38 @@ class LocalCheckpointer:
         allocator: NVAllocator,
         policy: Optional[PrecopyPolicy] = None,
         *,
+        destination=None,
         timeline: Optional[Timeline] = None,
         with_checksums: bool = True,
         tag: Optional[str] = None,
         transfer_fn=None,
         stage_to_nvm: bool = True,
     ) -> None:
-        self.ctx = ctx
-        self.allocator = allocator
-        self.policy = policy or PrecopyPolicy()
-        #: override for the coordinated step's data path (e.g. the PFS
-        #: baseline writes through the globally shared I/O resource)
+        #: legacy override for the coordinated step's data path (e.g.
+        #: the PFS baseline writes through the globally shared I/O
+        #: resource); superseded by passing a Destination
         self._transfer_fn = transfer_fn
-        #: stage into the NVM shadow regions (off for non-NVM targets)
+        #: legacy switch: stage into the NVM shadow regions (off for
+        #: non-NVM targets); superseded by Destination.two_version
         self._stage_to_nvm = stage_to_nvm
-        self.timeline = timeline
-        self.with_checksums = with_checksums
-        self.rank = allocator.pid
-        self.tag = tag or self.rank
-        self.last_checkpoint_end = ctx.engine.now
-        self.checkpoints_done = 0
-        self.history: List[CheckpointStats] = []
-        #: observers called with each completed CheckpointStats (the
-        #: remote helper hooks its per-rank pre-copy rhythm here)
-        self.on_complete: List = []
-
-        self.threshold: Optional[ThresholdEstimator] = None
-        self.prediction: Optional[PredictionTable] = None
-        self.precopy: Optional[PrecopyEngine] = None
-        if self.policy.mode in (PrecopyPolicy.DCPC, PrecopyPolicy.DCPCP):
-            self.threshold = ThresholdEstimator(
-                bandwidth_per_core=ctx.effective_nvm_bw_per_core(),
-                smoothing=self.policy.adapt_smoothing,
-                margin=self.policy.threshold_margin,
-            )
-        if self.policy.mode == PrecopyPolicy.DCPCP:
-            self.prediction = PredictionTable(smoothing=self.policy.adapt_smoothing)
-        if self.policy.mode != PrecopyPolicy.NONE:
-            self.precopy = PrecopyEngine(
+        if destination is not None:
+            pass
+        elif transfer_fn is not None or not stage_to_nvm:
+            destination = TransferFnDestination(
+                transfer_fn
+                or (lambda chunk: ctx.copy_to_nvm(chunk.nbytes, tag=f"{tag or allocator.pid}:lckpt")),
                 ctx,
-                chunks=self.allocator.persistent_chunks,
-                policy=self.policy,
-                stream="local",
-                tag=f"{self.tag}:precopy",
-                threshold=self.threshold,
-                prediction=self.prediction,
+                allocator,
+                stage_to_nvm=stage_to_nvm,
             )
-        self._precopy_proc = None
-
-    # ------------------------------------------------------------------
-    # Background engine lifecycle.
-    # ------------------------------------------------------------------
-
-    @property
-    def tracks_dirty(self) -> bool:
-        """With pre-copy off, the baseline copies everything each time."""
-        return self.policy.mode != PrecopyPolicy.NONE
-
-    def start_background(self) -> None:
-        """Spawn the pre-copy engine as a DES process (no-op for the
-        no-pre-copy baseline)."""
-        if self.policy.granularity == "page":
-            for chunk in self.allocator.chunks():
-                chunk.page_granular_protection = True
-        if self.precopy is not None and self._precopy_proc is None:
-            self.precopy.wire_chunks()
-            self._precopy_proc = self.ctx.engine.process(
-                self.precopy.run(), name=f"{self.tag}:precopy"
-            )
-
-    def stop_background(self) -> None:
-        if self.precopy is not None:
-            self.precopy.stop()
-            self._precopy_proc = None
-
-    # ------------------------------------------------------------------
-    # The coordinated checkpoint step (nvchkptall).
-    # ------------------------------------------------------------------
-
-    def _chunks_to_copy(self, only: Optional[Iterable[Chunk]] = None) -> List[Chunk]:
-        chunks = list(only) if only is not None else self.allocator.persistent_chunks()
-        if self.tracks_dirty:
-            return [c for c in chunks if c.dirty_local]
-        return chunks
-
-    def checkpoint(
-        self, only: Optional[Iterable[Chunk]] = None, *, blocking: bool = True
-    ):
-        """One coordinated local checkpoint (``nvchkptall``).
-
-        With ``blocking=True`` (the default) the checkpoint runs to
-        completion on this context's own engine and the
-        :class:`CheckpointStats` is returned — the synchronous facade
-        path, valid only from *outside* the simulation.  With
-        ``blocking=False`` the call returns the checkpoint *generator*
-        for DES embedding (``yield from ck.checkpoint(blocking=False)``
-        inside a simulated process, or ``engine.process(...)``).
-
-        ``only`` restricts the chunk set (``nvchkptid``); the commit
-        still covers only what was staged.
-        """
-        if blocking:
-            proc = self.ctx.engine.process(
-                self._checkpoint_proc(only), name=f"{self.tag}:ckpt"
-            )
-            self.ctx.engine.run()
-            return proc.value
-        return self._checkpoint_proc(only)
-
-    def _checkpoint_proc(self, only: Optional[Iterable[Chunk]] = None):
-        """The checkpoint generator body behind :meth:`checkpoint`."""
-        engine = self.ctx.engine
-        stats = CheckpointStats(start=engine.now)
-        if self.precopy is not None:
-            self.precopy.pause()
-            yield from self.precopy.drain()
-        if self.timeline is not None:
-            self.timeline.begin(self.rank, tl.LOCAL_CKPT, engine.now)
-        try:
-            fire(
-                "local.begin",
-                allocator=self.allocator,
-                store=self.ctx.nvmm.store,
-                rank=self.rank,
-            )
-            all_persistent = list(
-                only if only is not None else self.allocator.persistent_chunks()
-            )
-            to_copy = self._chunks_to_copy(only)
-            stats.chunks_skipped = len(all_persistent) - len(to_copy)
-            for chunk in to_copy:
-                if chunk.state_local is not ChunkState.IDLE:
-                    raise CheckpointError(
-                        f"chunk {chunk.name!r} busy ({chunk.state_local}) during coordinated step"
-                    )
-                fire("local.copy.before", chunk=chunk, rank=self.rank)
-                chunk.state_local = ChunkState.CHECKPOINTING
-                try:
-                    if self._transfer_fn is not None:
-                        yield self._transfer_fn(chunk)
-                    else:
-                        yield self.ctx.copy_to_nvm(chunk.nbytes, tag=f"{self.tag}:lckpt")
-                finally:
-                    chunk.state_local = ChunkState.IDLE
-                fire("local.copy.after", chunk=chunk, rank=self.rank)
-                if self._stage_to_nvm:
-                    chunk.stage_to_nvm()
-                    fire("local.stage.after", chunk=chunk, rank=self.rank)
-                stats.bytes_copied += chunk.nbytes
-                stats.chunks_copied += 1
-                if self.tracks_dirty:
-                    chunk.mark_precopied("local")
-                else:
-                    chunk.dirty_local = False
-            # -- commit: flush data, flip versions, persist metadata,
-            # flush.  The commit covers every chunk with staged data —
-            # the ones this step copied AND the ones the pre-copy
-            # engine staged during the interval ('All chunks are marked
-            # as committed after the library ensures that data is
-            # flushed to NVM', §V).
-            fire("local.commit.before_data_flush", rank=self.rank)
-            flush_cost = self.ctx.nvmm.cache_flush()
-            yield engine.timeout(flush_cost)
-            fire("local.commit.after_data_flush", rank=self.rank)
-            if self._stage_to_nvm:
-                batch_commit(
-                    all_persistent,
-                    with_checksum=self.with_checksums,
-                    on_commit=lambda chunk: fire(
-                        "local.commit.after_flip", chunk=chunk, rank=self.rank
-                    ),
-                )
-            self.allocator._persist_metadata()
-            fire("local.commit.before_meta_flush", rank=self.rank)
-            flush_cost2 = self.ctx.nvmm.cache_flush()
-            yield engine.timeout(flush_cost2)
-            stats.flush_cost = flush_cost + flush_cost2
-            fire(
-                "local.commit.done",
-                allocator=self.allocator,
-                store=self.ctx.nvmm.store,
-                rank=self.rank,
-            )
-        finally:
-            if self.timeline is not None:
-                self.timeline.end(self.rank, tl.LOCAL_CKPT, engine.now)
-        stats.end = engine.now
-        self._finish_interval(stats)
-        return stats
-
-    def checkpoint_sync(self, only: Optional[Iterable[Chunk]] = None) -> CheckpointStats:
-        """Deprecated alias for :meth:`checkpoint` (``blocking=True``)."""
-        warnings.warn(
-            "LocalCheckpointer.checkpoint_sync() is deprecated; use "
-            "checkpoint() (blocking by default) or "
-            "checkpoint(blocking=False) for the DES generator form",
-            DeprecationWarning,
-            stacklevel=2,
+        else:
+            destination = NVMArenaDestination(ctx, allocator)
+        super().__init__(
+            ctx,
+            allocator,
+            policy,
+            destination=destination,
+            timeline=timeline,
+            with_checksums=with_checksums,
+            tag=tag,
         )
-        return self.checkpoint(only)
-
-    # ------------------------------------------------------------------
-    # Interval bookkeeping.
-    # ------------------------------------------------------------------
-
-    def _finish_interval(self, stats: CheckpointStats) -> None:
-        # the pre-copy window closes when the *next coordinated step
-        # begins*, so the threshold interval is compute-only time
-        # (ckpt-end to next ckpt-start), not end-to-end
-        interval = stats.start - self.last_checkpoint_end
-        if self.threshold is not None:
-            self.threshold.observe_interval(interval, self.allocator.checkpoint_bytes)
-        if self.prediction is not None:
-            self.prediction.end_interval()
-        self.last_checkpoint_end = stats.end
-        self.checkpoints_done += 1
-        self.history.append(stats)
-        if self.precopy is not None:
-            self.precopy.begin_interval()
-            self.precopy.resume()
-        for fn in self.on_complete:
-            fn(stats)
-
-    # ------------------------------------------------------------------
-    # Accounting.
-    # ------------------------------------------------------------------
-
-    @property
-    def total_coordinated_bytes(self) -> int:
-        return sum(s.bytes_copied for s in self.history)
-
-    @property
-    def total_precopy_bytes(self) -> int:
-        return self.precopy.stats.bytes_copied if self.precopy is not None else 0
-
-    @property
-    def total_bytes_to_nvm(self) -> int:
-        """All checkpoint traffic to NVM, incl. redundant pre-copies —
-        the 'total data copied' series of Figs. 7/8."""
-        return self.total_coordinated_bytes + self.total_precopy_bytes
-
-    @property
-    def total_checkpoint_time(self) -> float:
-        """T_lcl: summed coordinated (blocking) checkpoint time."""
-        return sum(s.duration for s in self.history)
-
-    def fault_overhead(self) -> float:
-        """Total protection-fault cost incurred by the application due
-        to chunk protection (charged by the app model to compute)."""
-        faults = sum(c.fault_count for c in self.allocator.chunks())
-        return faults * self.policy.fault_cost

@@ -27,8 +27,10 @@ from ..alloc.chunk import Chunk, ChunkState
 from ..config import PrecopyPolicy
 from ..errors import SimulationError, TransferCancelled
 from ..faults.crashpoints import fire
+from ..metrics.trace import BUS, ChunkCopiedEvent, PolicyDecisionEvent
 from ..sim.events import Event
 from .context import NodeContext
+from .policy import CheckpointPolicy, Decision, IntervalClock, resolve_policy
 from .prediction import PredictionTable
 from .threshold import ThresholdEstimator
 
@@ -69,6 +71,7 @@ class PrecopyEngine:
         finalize_fn: Optional[Callable[[Chunk], None]] = None,
         threshold: Optional[ThresholdEstimator] = None,
         prediction: Optional[PredictionTable] = None,
+        decision_policy: Optional[CheckpointPolicy] = None,
     ) -> None:
         if stream not in ("local", "remote"):
             raise ValueError(f"unknown stream {stream!r}")
@@ -88,6 +91,12 @@ class PrecopyEngine:
         # DCPCP may run without a threshold (prediction-only gating):
         # the remote stream uses this to spread transfers across the
         # whole interval instead of compressing them into the tail.
+
+        #: the scheduling strategy; shared with the owning checkpoint
+        #: engine when one drives this pre-copy stream
+        self.decision_policy = decision_policy or resolve_policy(
+            policy.mode, threshold=threshold, prediction=prediction
+        )
 
         self.stats = PrecopyStats()
         self.interval_start = ctx.engine.now
@@ -198,26 +207,17 @@ class PrecopyEngine:
         checkpoint step to complete', §IV) — hence +inf until the
         estimator has one observation.  A DCPCP engine without a
         threshold estimator is prediction-gated only."""
-        if self.policy.mode == PrecopyPolicy.CPC or self.threshold is None:
-            return self.interval_start
-        if not self.threshold.learned:
-            return float("inf")
-        return self.interval_start + self.threshold.threshold()
+        return self.decision_policy.ready_time(self.interval_start)
 
     def _eligible(self, chunk: Chunk, now: float) -> bool:
+        # mechanism checks stay here; the scheduling question is the
+        # policy strategy's
         if not chunk.persistent or not self._is_dirty(chunk):
             return False
         if chunk.get_state(self.stream) is not ChunkState.IDLE:
             return False
-        if self.policy.mode == PrecopyPolicy.NONE:
-            return False
-        if self.policy.mode == PrecopyPolicy.CPC:
-            return True
-        if now + 1e-12 < self.threshold_time():
-            return False
-        if self.policy.mode == PrecopyPolicy.DCPCP and self.prediction is not None:
-            return self.prediction.eligible(chunk)
-        return True
+        clock = IntervalClock(now=now, interval_start=self.interval_start)
+        return self.decision_policy.decide(chunk, clock) is Decision.PRECOPY
 
     def _next_eligible(self, now: float) -> Optional[Chunk]:
         # largest dirty chunk first: big chunks benefit most from being
@@ -284,6 +284,17 @@ class PrecopyEngine:
 
     def _copy_one(self, chunk: Chunk):
         fire("precopy.copy.before", chunk=chunk, stream=self.stream)
+        copy_start = self.ctx.engine.now
+        if BUS.active:
+            BUS.emit(
+                PolicyDecisionEvent(
+                    t=copy_start,
+                    actor=self.tag,
+                    chunk=chunk.name,
+                    decision=Decision.PRECOPY.value,
+                    policy=self.decision_policy.name,
+                )
+            )
         mods_before = chunk.total_mods
         chunk.set_state(self.stream, ChunkState.PRECOPYING)
         self._inflight_chunk = chunk
@@ -316,3 +327,15 @@ class PrecopyEngine:
         chunk.mark_precopied(self.stream)
         self._pending_clean[chunk.chunk_id] = chunk
         fire("precopy.finalize.after", chunk=chunk, stream=self.stream)
+        if BUS.active:
+            BUS.emit(
+                ChunkCopiedEvent(
+                    t=self.ctx.engine.now,
+                    actor=self.tag,
+                    chunk=chunk.name,
+                    nbytes=chunk.nbytes,
+                    start=copy_start,
+                    stream=self.stream,
+                    phase="precopy",
+                )
+            )

@@ -41,11 +41,13 @@ from ..errors import CheckpointError, TransferCancelled, TransferFailed
 from ..faults.crashpoints import fire
 from ..metrics import timeline as tl
 from ..metrics.timeline import Timeline
+from ..metrics.trace import BUS, ChunkCopiedEvent, FailoverEvent
 from ..net.interconnect import Fabric
 from ..net.rdma import rdma_put
 from ..sim.events import Event
 from ..units import usec
 from .context import NodeContext
+from .destination import RemoteBuddyDestination
 
 __all__ = ["RemoteTarget", "RemoteHelper", "RemoteCheckpointStats"]
 
@@ -260,6 +262,13 @@ class RemoteHelper:
             a.pid: RemoteTarget(a.pid, buddy_ctx, two_versions=self.config.two_versions)
             for a in ranks
         }
+        #: per-rank Destination view of the buddy arena: stage/commit/
+        #: read go through the same backend protocol as the local tiers
+        #: (multilevel checkpointing = local destination + this one)
+        self.destinations: Dict[str, RemoteBuddyDestination] = {
+            pid: self._make_destination(pid, target)
+            for pid, target in self.targets.items()
+        }
         self.history: List[RemoteCheckpointStats] = []
         self.rounds_behind = 0
         self._stop = False
@@ -273,6 +282,11 @@ class RemoteHelper:
         self._wake: Optional[Event] = None
         self.stream_bytes = 0
         self.stream_chunks = 0
+
+    def _make_destination(self, pid: str, target: RemoteTarget) -> RemoteBuddyDestination:
+        return RemoteBuddyDestination(
+            target, send_fn=lambda chunk, pid=pid: self._send(pid, chunk, "rckpt")
+        )
 
     # ------------------------------------------------------------------
     # Stream queue (fed by local checkpoint commits).
@@ -417,6 +431,7 @@ class RemoteHelper:
         point of view, so every committed chunk is re-queued; a
         :class:`~repro.resilience.resync.ResyncTask` (or the next
         rounds) will rebuild protection on the new target."""
+        old_buddy = self.buddy_id
         self.epoch += 1
         self.buddy_id = new_buddy_id
         self.buddy_ctx = new_buddy_ctx
@@ -424,6 +439,22 @@ class RemoteHelper:
             a.pid: RemoteTarget(a.pid, new_buddy_ctx, two_versions=self.config.two_versions)
             for a in self.ranks
         }
+        for pid, target in self.targets.items():
+            dest = self.destinations.get(pid)
+            if dest is not None:
+                dest.retarget(target)
+            else:
+                self.destinations[pid] = self._make_destination(pid, target)
+        if BUS.active:
+            BUS.emit(
+                FailoverEvent(
+                    t=self.ctx.engine.now,
+                    actor=self.owner,
+                    from_target=f"n{old_buddy}",
+                    to_target=f"n{new_buddy_id}",
+                    reason="buddy replaced",
+                )
+            )
         self.enqueue_all()
 
     def start_background(self) -> None:
@@ -495,7 +526,7 @@ class RemoteHelper:
                 # requeue so the chunk is retried or swept up later
                 self._queue.setdefault((pid, chunk.chunk_id), chunk)
                 continue
-            self.targets[pid].stage(chunk)
+            self.destinations[pid].stage(chunk)
             fire(
                 "remote.stream.after_stage",
                 chunk=chunk,
@@ -507,6 +538,19 @@ class RemoteHelper:
             self.stream_chunks += 1
             if self.timeline is not None:
                 self.timeline.record(self.owner, tl.REMOTE_PRECOPY, t0, engine.now)
+            if BUS.active:
+                BUS.emit(
+                    ChunkCopiedEvent(
+                        t=engine.now,
+                        actor=self.owner,
+                        chunk=chunk.name,
+                        nbytes=chunk.nbytes,
+                        start=t0,
+                        stream="remote",
+                        phase="precopy",
+                        destination=self.destinations[pid].name,
+                    )
+                )
             # pacing: never run faster than pace_rate on average
             target_duration = chunk.nbytes / self.pace_rate
             elapsed = engine.now - t0
@@ -542,12 +586,14 @@ class RemoteHelper:
             fire("remote.round.begin", node=self.node_id)
             for alloc in self.ranks:
                 target = self.targets[alloc.pid]
+                dest = self.destinations[alloc.pid]
                 chunks = self._chunks_for_round(alloc)
                 stats.chunks_skipped += len(alloc.persistent_chunks()) - len(chunks)
                 aborted = False
                 for chunk in chunks:
                     self._charge_cpu(chunk.nbytes, streamed=False)
                     fire("remote.round.before_send", chunk=chunk, pid=alloc.pid)
+                    t0 = engine.now
                     try:
                         yield from self._deliver(alloc.pid, chunk, "rckpt")
                     except (TransferCancelled, TransferFailed):
@@ -556,7 +602,7 @@ class RemoteHelper:
                         # remote version stands
                         aborted = True
                         break
-                    target.stage(chunk)
+                    dest.stage(chunk)
                     fire(
                         "remote.round.after_stage",
                         chunk=chunk,
@@ -567,9 +613,22 @@ class RemoteHelper:
                     self._queue.pop((alloc.pid, chunk.chunk_id), None)
                     stats.bytes_moved += chunk.nbytes
                     stats.chunks_moved += 1
+                    if BUS.active:
+                        BUS.emit(
+                            ChunkCopiedEvent(
+                                t=engine.now,
+                                actor=self.owner,
+                                chunk=chunk.name,
+                                nbytes=chunk.nbytes,
+                                start=t0,
+                                stream="remote",
+                                phase="coordinated",
+                                destination=dest.name,
+                            )
+                        )
                 if aborted:
                     break
-                flush_cost = target.commit()
+                flush_cost = dest.commit(chunks, with_checksum=self.config.checksums)
                 yield engine.timeout(flush_cost)
         finally:
             self._round_in_progress = False

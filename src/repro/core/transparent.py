@@ -30,7 +30,8 @@ from ..errors import CheckpointError
 from ..metrics.timeline import Timeline
 from ..units import MiB, align_up
 from .context import NodeContext
-from .local import CheckpointStats, LocalCheckpointer
+from .engine import CheckpointStats
+from .local import LocalCheckpointer
 
 __all__ = ["TransparentCheckpointer"]
 

@@ -13,6 +13,15 @@ class ReproError(Exception):
     """Base class for all errors raised by :mod:`repro`."""
 
 
+class ConfigError(ReproError, ValueError):
+    """Invalid configuration: an unknown policy/mode name, an option
+    value outside its domain, or an inconsistent combination.
+
+    Also a :class:`ValueError` so pre-existing callers validating
+    config dataclasses with ``except ValueError`` keep working.
+    """
+
+
 # ---------------------------------------------------------------------------
 # Simulation engine errors.
 # ---------------------------------------------------------------------------

@@ -1,0 +1,262 @@
+"""Structured trace bus: typed checkpoint-pipeline events, pluggable sinks.
+
+Every layer of the checkpoint pipeline — the engine's chunk walk, the
+policy's per-chunk decisions, commits, the resilience layer's retries
+and failovers — emits a typed event to a process-global
+:class:`TraceBus`.  Sinks subscribe to the bus:
+
+* :class:`RingBufferSink` — bounded in-memory tail for tests/debugging;
+* :class:`JsonlSink` — newline-delimited JSON stream (``bench --trace``);
+* :class:`CounterSink` — event/decision counters (bench baseline record);
+* :class:`TimelineSink` — adapts copy spans onto a
+  :class:`~repro.metrics.timeline.Timeline`.
+
+Emission with zero sinks attached is a single truthiness check, so the
+simulation hot path pays nothing when tracing is off.  The bus is
+per-process: fork-pool executor workers inherit a *snapshot* of the
+parent's sinks at fork time but their writes never reach the parent,
+so attach sinks only around in-process (serial) runs.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import asdict, dataclass, field
+from typing import Any, Deque, Dict, IO, Iterator, List, Optional
+
+from .timeline import Timeline
+
+__all__ = [
+    "TraceEvent",
+    "PolicyDecisionEvent",
+    "ChunkCopiedEvent",
+    "CommitEvent",
+    "RetryEvent",
+    "FailoverEvent",
+    "TraceSink",
+    "RingBufferSink",
+    "JsonlSink",
+    "CounterSink",
+    "TimelineSink",
+    "TraceBus",
+    "BUS",
+]
+
+
+# ---------------------------------------------------------------------------
+# Events.  All frozen, all JSON-serializable via dataclasses.asdict.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """Base event: simulated timestamp plus the emitting actor."""
+
+    t: float
+    actor: str
+
+    @property
+    def kind(self) -> str:
+        """Stable wire name, e.g. ``policy.decision``."""
+        return _KINDS[type(self)]
+
+    def to_record(self) -> Dict[str, Any]:
+        rec = {"kind": self.kind}
+        rec.update(asdict(self))
+        return rec
+
+
+@dataclass(frozen=True)
+class PolicyDecisionEvent(TraceEvent):
+    """One ``CheckpointPolicy.decide`` outcome for one chunk."""
+
+    chunk: str
+    decision: str  # Decision.value: precopy | copy_at_checkpoint | skip
+    policy: str  # policy registry name: none | cpc | dcpc | dcpcp
+
+
+@dataclass(frozen=True)
+class ChunkCopiedEvent(TraceEvent):
+    """One chunk's data landed at a destination (t is the span end)."""
+
+    chunk: str
+    nbytes: int
+    start: float  # span begin (t is the end)
+    stream: str  # local | remote
+    phase: str  # coordinated | precopy
+    destination: str = ""
+
+
+@dataclass(frozen=True)
+class CommitEvent(TraceEvent):
+    """A commit point: staged versions flipped and metadata persisted."""
+
+    chunks_committed: int
+    bytes_committed: int
+    flush_cost: float
+    destination: str = ""
+
+
+@dataclass(frozen=True)
+class RetryEvent(TraceEvent):
+    """The resilience transport re-attempting a failed transfer."""
+
+    target: str
+    attempt: int
+    delay: float
+    reason: str = ""
+
+
+@dataclass(frozen=True)
+class FailoverEvent(TraceEvent):
+    """A buddy/destination switch (orphan re-pair, degraded entry...)."""
+
+    from_target: str
+    to_target: str
+    reason: str = ""
+
+
+_KINDS: Dict[type, str] = {
+    PolicyDecisionEvent: "policy.decision",
+    ChunkCopiedEvent: "chunk.copied",
+    CommitEvent: "commit",
+    RetryEvent: "retry",
+    FailoverEvent: "failover",
+}
+
+
+# ---------------------------------------------------------------------------
+# Sinks.
+# ---------------------------------------------------------------------------
+
+
+class TraceSink:
+    """Receives every event emitted while attached to the bus."""
+
+    def handle(self, event: TraceEvent) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush/release resources; detaching does not call this."""
+
+
+class RingBufferSink(TraceSink):
+    """Keeps the last *capacity* events in memory."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        self.events: Deque[TraceEvent] = deque(maxlen=capacity)
+
+    def handle(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def of_kind(self, kind: str) -> List[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+
+class JsonlSink(TraceSink):
+    """Streams each event as one JSON line to a file or file object."""
+
+    def __init__(self, target: str | IO[str]) -> None:
+        if isinstance(target, str):
+            self._fh: IO[str] = open(target, "w")
+            self._owns = True
+        else:
+            self._fh = target
+            self._owns = False
+
+    def handle(self, event: TraceEvent) -> None:
+        self._fh.write(json.dumps(event.to_record(), sort_keys=True) + "\n")
+
+    def close(self) -> None:
+        self._fh.flush()
+        if self._owns:
+            self._fh.close()
+
+
+class CounterSink(TraceSink):
+    """Counts events by kind; policy decisions also by decision value."""
+
+    def __init__(self) -> None:
+        self.by_kind: Dict[str, int] = {}
+        self.decisions: Dict[str, int] = {}
+
+    def handle(self, event: TraceEvent) -> None:
+        self.by_kind[event.kind] = self.by_kind.get(event.kind, 0) + 1
+        if isinstance(event, PolicyDecisionEvent):
+            self.decisions[event.decision] = self.decisions.get(event.decision, 0) + 1
+
+
+class TimelineSink(TraceSink):
+    """Adapts :class:`ChunkCopiedEvent` spans onto a Timeline, so a
+    trace-driven run can render the same Figure-5 diagrams as the
+    directly-instrumented paths."""
+
+    #: (stream, phase) -> timeline kind
+    _PHASE_KINDS = {
+        ("local", "coordinated"): "local_ckpt",
+        ("local", "precopy"): "precopy",
+        ("remote", "coordinated"): "remote_ckpt",
+        ("remote", "precopy"): "remote_precopy",
+    }
+
+    def __init__(self, timeline: Optional[Timeline] = None) -> None:
+        self.timeline = timeline if timeline is not None else Timeline()
+
+    def handle(self, event: TraceEvent) -> None:
+        if not isinstance(event, ChunkCopiedEvent):
+            return
+        kind = self._PHASE_KINDS.get((event.stream, event.phase), event.phase)
+        self.timeline.record(event.actor, kind, event.start, event.t)
+
+
+# ---------------------------------------------------------------------------
+# The bus.
+# ---------------------------------------------------------------------------
+
+
+class TraceBus:
+    """Fan-out of trace events to the attached sinks.
+
+    ``emit`` is called from simulation hot paths, so the no-sink case
+    must stay one attribute load and one truthiness test.
+    """
+
+    def __init__(self) -> None:
+        self._sinks: List[TraceSink] = []
+
+    @property
+    def active(self) -> bool:
+        """True when at least one sink is attached — lets emitters skip
+        building event objects entirely."""
+        return bool(self._sinks)
+
+    def emit(self, event: TraceEvent) -> None:
+        if not self._sinks:
+            return
+        for sink in self._sinks:
+            sink.handle(event)
+
+    def attach(self, sink: TraceSink) -> TraceSink:
+        self._sinks.append(sink)
+        return sink
+
+    def detach(self, sink: TraceSink) -> None:
+        if sink in self._sinks:
+            self._sinks.remove(sink)
+
+    @contextmanager
+    def capture(self, sink: Optional[TraceSink] = None) -> Iterator[TraceSink]:
+        """Attach *sink* (default: a fresh ring buffer) for the scope of
+        a ``with`` block."""
+        s = sink if sink is not None else RingBufferSink()
+        self.attach(s)
+        try:
+            yield s
+        finally:
+            self.detach(s)
+
+
+#: the process-global bus every pipeline layer emits to
+BUS = TraceBus()

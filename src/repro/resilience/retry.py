@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..errors import TransferCancelled, TransferFailed
+from ..metrics.trace import BUS, RetryEvent
 from ..net.interconnect import Fabric
 from ..net.rdma import cancel_rdma, rdma_get, rdma_put
 from ..sim.resources import BandwidthResource
@@ -163,6 +164,7 @@ def _resilient(
         # (endswith ":kind") is unaffected
         attempt_tag = f"a{seq.next()}~{tag}"
         failed = False
+        fail_reason = ""
         try:
             ev = op(fabric, src, dst, nbytes, tag=attempt_tag, **{cancel_bus_side: nvm_bus})
             if policy.timeout is not None:
@@ -173,11 +175,13 @@ def _resilient(
                     cancel_rdma(fabric, src, dst, attempt_tag, nvm_bus=nvm_bus)
                     stats.timeouts += 1
                     failed = True
+                    fail_reason = "timeout"
             else:
                 yield ev
         except TransferCancelled:
             stats.cancelled += 1
             failed = True
+            fail_reason = "cancelled"
         if not failed:
             stats.delivered += 1
             return engine.now - start
@@ -201,6 +205,17 @@ def _resilient(
         stats.retries += 1
         stats.retried_bytes += nbytes
         stats.backoff_time += delay
+        if BUS.active:
+            BUS.emit(
+                RetryEvent(
+                    t=engine.now,
+                    actor=f"n{src}",
+                    target=f"n{dst}",
+                    attempt=attempt + 1,
+                    delay=delay,
+                    reason=fail_reason,
+                )
+            )
         if delay > 0:
             yield engine.timeout(delay)
 

@@ -28,8 +28,12 @@ __all__ = [
     "UtilizationTracker",
 ]
 
-#: flows with fewer remaining bytes than this are considered complete.
+#: flows with fewer remaining bytes than this are considered complete —
+#: but only when the residue also amounts to less than a nanosecond at
+#: the current rate, so a slow tiny flow is never finished measurably
+#: early (its completion wakeup is exact).
 _EPSILON_BYTES = 1e-6
+_EPSILON_SECONDS = 1e-9
 
 
 class UtilizationTracker:
@@ -335,7 +339,7 @@ class BandwidthResource:
             self.total_bytes += progressed
             if f.tag:
                 self.bytes_by_tag[f.tag] = self.bytes_by_tag.get(f.tag, 0.0) + progressed
-            if f.remaining <= _EPSILON_BYTES:
+            if f.remaining <= _EPSILON_BYTES and f.remaining <= rate * _EPSILON_SECONDS:
                 finished.append(f)
         for f in finished:
             del self._flows[f.flow_id]
@@ -367,7 +371,7 @@ class BandwidthResource:
         token = self._completion_token
         while self._flows:
             rate = self._flow_rate(len(self._flows))
-            dust = [f for f in self._flows.values() if f.remaining / rate < 1e-9]
+            dust = [f for f in self._flows.values() if f.remaining / rate < _EPSILON_SECONDS]
             if not dust:
                 break
             now = self.engine.now

@@ -32,6 +32,7 @@ from .. import __version__
 from ..exec.cache import ResultCache
 from ..exec.executor import resolve_workers
 from ..exec.grid import GridReport, run_grid
+from ..metrics.trace import BUS, CounterSink, JsonlSink
 from .sweep import parse_sweeps
 
 __all__ = ["PINNED_GRID", "FIGURE_GRIDS", "run_benchmark", "run_smoke", "main"]
@@ -92,16 +93,38 @@ def _mode_record(report: GridReport) -> dict:
     }
 
 
-def run_benchmark(workers: int, cache_dir: Optional[str] = None) -> dict:
-    """Run the full pinned benchmark; returns the JSON-ready record."""
+def run_benchmark(
+    workers: int,
+    cache_dir: Optional[str] = None,
+    trace_path: Optional[str] = None,
+) -> dict:
+    """Run the full pinned benchmark; returns the JSON-ready record.
+
+    *trace_path* streams the serial reference run's structured trace
+    (policy decisions, chunk copies, commits...) as JSONL.  Tracing is
+    scoped to the serial run only: fork-pool workers inherit a snapshot
+    of the bus but their events never reach the parent process.
+    """
     base, axes_specs = PINNED_GRID
     axes = parse_sweeps(axes_specs)
     owns_tmp = cache_dir is None
     tmp = tempfile.mkdtemp(prefix="repro-bench-") if owns_tmp else cache_dir
 
     # 1. reference: naive serial, no cache — what every sweep paid
-    # before the engine existed
-    serial = run_grid(base, axes, workers=1, cache=None)
+    # before the engine existed.  Runs in-process, so the trace bus
+    # observes every cell.
+    counter = CounterSink()
+    jsonl = JsonlSink(trace_path) if trace_path else None
+    BUS.attach(counter)
+    if jsonl is not None:
+        BUS.attach(jsonl)
+    try:
+        serial = run_grid(base, axes, workers=1, cache=None)
+    finally:
+        if jsonl is not None:
+            BUS.detach(jsonl)
+            jsonl.close()
+        BUS.detach(counter)
 
     # 2. engine, cold cache: sharded execution, results stored
     cold = run_grid(base, axes, workers=workers, cache=ResultCache(tmp))
@@ -144,6 +167,11 @@ def run_benchmark(workers: int, cache_dir: Optional[str] = None) -> dict:
             serial_s / min(cold.execution.wall_s, warm.execution.wall_s), 3
         ),
         "deterministic": deterministic,
+        # structured-trace census of the serial reference run: how many
+        # of each pipeline event fired, and the scheduling-policy
+        # decision mix across all 16 cells (4 modes x 4 bandwidths)
+        "trace_events": dict(sorted(counter.by_kind.items())),
+        "policy_decisions": dict(sorted(counter.decisions.items())),
         "figures": figures,
     }
     return record
@@ -184,6 +212,10 @@ def main(argv=None) -> int:
                    help="reuse a persistent cache dir (default: fresh temp dir)")
     p.add_argument("--smoke", action="store_true",
                    help="run one cached sweep cell cold+warm and exit")
+    p.add_argument("--trace", default=None, metavar="OUT.JSONL",
+                   help="stream the serial reference run's structured "
+                        "trace (policy decisions, copies, commits) as "
+                        "JSON lines to this path")
     args = p.parse_args(argv)
     workers = resolve_workers(args.workers)
     if args.workers == "auto":
@@ -192,7 +224,7 @@ def main(argv=None) -> int:
         return run_smoke(workers)
 
     t0 = time.perf_counter()
-    record = run_benchmark(workers, cache_dir=args.cache_dir)
+    record = run_benchmark(workers, cache_dir=args.cache_dir, trace_path=args.trace)
     record["total_wall_s"] = round(time.perf_counter() - t0, 3)
     payload = json.dumps(record, indent=2) + "\n"
     if args.out == "-":

@@ -1,0 +1,137 @@
+"""Stdlib lint gate: ban new imports of deprecated checkpointer shims.
+
+The policy/destination/engine refactor left the historical entry points
+in place as deprecation shims so downstream code keeps working — but
+*new* library code must target the unified pipeline.  This checker
+walks the AST of every non-test module under ``src/`` and fails on:
+
+* ``make_pfs_transfer`` (use
+  :class:`repro.core.destination.PfsDestination`);
+* importing ``CheckpointStats`` from ``repro.core.local`` (it lives in
+  :mod:`repro.core.engine`; the ``local`` re-export exists only for
+  old callers);
+* calling ``checkpoint_sync`` (use ``checkpoint()`` /
+  ``checkpoint(blocking=False)``).
+
+Runs on the plain stdlib so ``make lint`` works in environments without
+ruff; CI layers ruff on top.  Usage::
+
+    python -m repro.tools.lintcheck [paths...]
+
+Exits non-zero listing every violation.  Tests are exempt (they cover
+the shims' deprecation behaviour); the defining modules themselves are
+exempt for their own names.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import sys
+from typing import Iterator, List, Tuple
+
+__all__ = ["check_file", "check_tree", "main"]
+
+#: deprecated names whose *import or call* is banned in non-test modules
+BANNED_NAMES = {
+    "make_pfs_transfer": "build a repro.core.destination.PfsDestination instead",
+    "checkpoint_sync": "use checkpoint() / checkpoint(blocking=False)",
+}
+
+#: (module suffix, name): importing this name from this module is banned
+BANNED_FROM = {
+    ("repro.core.local", "CheckpointStats"): "import it from repro.core.engine",
+    ("core.local", "CheckpointStats"): "import it from repro.core.engine",
+    (".local", "CheckpointStats"): "import it from .engine",
+}
+
+#: files allowed to mention a banned name (they define/re-export it)
+DEFINING_MODULES = {
+    "make_pfs_transfer": ("baselines/pfs.py", "baselines/__init__.py"),
+    "checkpoint_sync": ("core/engine.py",),
+    "CheckpointStats": ("core/local.py",),
+}
+
+
+Violation = Tuple[str, int, str]
+
+
+def _is_exempt(path: str, name: str) -> bool:
+    norm = path.replace(os.sep, "/")
+    return any(norm.endswith(suffix) for suffix in DEFINING_MODULES.get(name, ()))
+
+
+def check_file(path: str) -> List[Violation]:
+    """All banned-shim uses in one python file."""
+    with open(path, encoding="utf-8") as fh:
+        source = fh.read()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:  # a syntax error is its own violation
+        return [(path, exc.lineno or 0, f"syntax error: {exc.msg}")]
+    out: List[Violation] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module is not None:
+            for alias in node.names:
+                hint = BANNED_FROM.get((node.module, alias.name))
+                if hint is None and node.level:  # relative import
+                    hint = BANNED_FROM.get((f"{'.' * node.level}{node.module}", alias.name))
+                if hint is not None and not _is_exempt(path, alias.name):
+                    out.append(
+                        (path, node.lineno,
+                         f"deprecated import: from {node.module} import {alias.name} — {hint}")
+                    )
+                if alias.name in BANNED_NAMES and not _is_exempt(path, alias.name):
+                    out.append(
+                        (path, node.lineno,
+                         f"deprecated import: {alias.name} — {BANNED_NAMES[alias.name]}")
+                    )
+        elif isinstance(node, ast.Attribute) and node.attr in BANNED_NAMES:
+            if not _is_exempt(path, node.attr):
+                out.append(
+                    (path, node.lineno,
+                     f"deprecated use: .{node.attr} — {BANNED_NAMES[node.attr]}")
+                )
+        elif isinstance(node, ast.Name) and node.id in BANNED_NAMES:
+            if not _is_exempt(path, node.id):
+                out.append(
+                    (path, node.lineno,
+                     f"deprecated use: {node.id} — {BANNED_NAMES[node.id]}")
+                )
+    return out
+
+
+def _python_files(root: str) -> Iterator[str]:
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+        for fn in sorted(filenames):
+            if fn.endswith(".py"):
+                yield os.path.join(dirpath, fn)
+
+
+def check_tree(root: str) -> List[Violation]:
+    out: List[Violation] = []
+    for path in _python_files(root):
+        out.extend(check_file(path))
+    return out
+
+
+def main(argv=None) -> int:
+    paths = (argv if argv is not None else sys.argv[1:]) or ["src"]
+    violations: List[Violation] = []
+    for p in paths:
+        if os.path.isdir(p):
+            violations.extend(check_tree(p))
+        else:
+            violations.extend(check_file(p))
+    for path, line, msg in violations:
+        print(f"{path}:{line}: {msg}")
+    if violations:
+        print(f"lintcheck: {len(violations)} violation(s)")
+        return 1
+    print("lintcheck: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,227 @@
+"""Destination backend conformance suite.
+
+Every checkpoint backend — the NVM shadow arena, the PFS and ramdisk
+baselines, the remote buddy target — implements the
+:class:`~repro.core.destination.Destination` protocol and is driven by
+the same :class:`~repro.core.engine.CheckpointEngine` walk.  This suite
+runs each backend through the shared contract:
+
+* protocol surface (name, two_version, capacity);
+* a full coordinated checkpoint through the engine completes with
+  consistent stats;
+* committed payloads round-trip through ``read`` (two-version
+  backends) or fail loudly (backends that do not model restart);
+* write/commit atomicity under the crash-point harness: a crash before
+  the commit flip leaves the *old* committed version readable, a crash
+  after the flip the *new* one — never a torn state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.alloc import NVAllocator
+from repro.baselines.pfs import PfsModel
+from repro.baselines.ramdisk import RamdiskPathModel
+from repro.config import PrecopyPolicy
+from repro.core import make_standalone_context
+from repro.core.destination import (
+    Destination,
+    NVMArenaDestination,
+    PfsDestination,
+    RamdiskDestination,
+    RemoteBuddyDestination,
+)
+from repro.core.engine import CheckpointEngine
+from repro.core.remote import RemoteTarget
+from repro.errors import CheckpointError, CrashInjected
+from repro.faults.crashpoints import FaultInjector, install
+
+CHUNK_BYTES = 4096
+
+
+class _Rig:
+    """One backend under test: a standalone context, a real-payload
+    allocator, and the destination wired to them."""
+
+    def __init__(self, name: str):
+        self.ctx = make_standalone_context(name=f"dst-{name}")
+        self.alloc = NVAllocator(
+            "p0",
+            self.ctx.nvmm,
+            self.ctx.dram,
+            phantom=False,
+            clock=lambda: self.ctx.engine.now,
+        )
+        self.pfs = None
+        self.buddy_ctx = None
+        if name == "nvm":
+            self.dest: Destination = NVMArenaDestination(self.ctx, self.alloc)
+        elif name == "pfs":
+            self.pfs = PfsModel(self.ctx.engine)
+            self.dest = PfsDestination(self.pfs, "r0", self.ctx, self.alloc)
+        elif name == "ramdisk":
+            self.dest = RamdiskDestination(self.ctx, RamdiskPathModel())
+        elif name == "buddy":
+            self.buddy_ctx = make_standalone_context(
+                engine=self.ctx.engine, name=f"dst-{name}-buddy"
+            )
+            target = RemoteTarget("p0", self.buddy_ctx, two_versions=True)
+            self.dest = RemoteBuddyDestination(
+                target,
+                send_fn=lambda chunk: self.ctx.engine.timeout(1e-3),
+            )
+        else:  # pragma: no cover - test bug
+            raise ValueError(name)
+
+    def engine_for(self, mode: str = "none") -> CheckpointEngine:
+        return CheckpointEngine(
+            self.ctx, self.alloc, PrecopyPolicy(mode=mode), destination=self.dest
+        )
+
+
+BACKENDS = ["nvm", "pfs", "ramdisk", "buddy"]
+TWO_VERSION = ["nvm", "buddy"]
+
+
+@pytest.fixture(params=BACKENDS)
+def rig(request):
+    return _Rig(request.param)
+
+
+# ---------------------------------------------------------------------------
+# Protocol surface.
+# ---------------------------------------------------------------------------
+
+
+def test_protocol_surface(rig):
+    assert rig.dest.name
+    assert isinstance(rig.dest.two_version, bool)
+    cap = rig.dest.capacity()
+    assert isinstance(cap, float) and (cap >= 0 or cap == float("inf"))
+    assert rig.dest.flush() >= 0.0
+
+
+def test_base_protocol_is_abstract():
+    d = Destination()
+    with pytest.raises(NotImplementedError):
+        d.write(None)
+    with pytest.raises(NotImplementedError):
+        d.read("x")
+    assert d.commit([]) == 0.0
+    assert d.capacity() == float("inf")
+
+
+# ---------------------------------------------------------------------------
+# One engine drives every backend.
+# ---------------------------------------------------------------------------
+
+
+def test_engine_checkpoint_completes(rig):
+    a = rig.alloc.nvalloc("a", CHUNK_BYTES)
+    b = rig.alloc.nvalloc("b", 2 * CHUNK_BYTES)
+    ck = rig.engine_for()
+    stats = ck.checkpoint()
+    assert stats.chunks_copied == 2
+    assert stats.bytes_copied == a.nbytes + b.nbytes
+    assert stats.end >= stats.start
+    assert ck.checkpoints_done == 1 and len(ck.history) == 1
+
+
+def test_two_version_commit_roundtrips_payload(rig):
+    if rig.dest.name not in TWO_VERSION:
+        pytest.skip("single-version backend")
+    a = rig.alloc.nvalloc("a", CHUNK_BYTES)
+    data = np.arange(CHUNK_BYTES, dtype=np.uint8)
+    a.write(0, data)
+    rig.engine_for().checkpoint()
+    got = np.frombuffer(rig.dest.read("a"), dtype=np.uint8)
+    assert np.array_equal(got, data)
+
+
+def test_single_version_read_semantics(rig):
+    if rig.dest.name in TWO_VERSION:
+        pytest.skip("two-version backend")
+    rig.alloc.nvalloc("a", CHUNK_BYTES)
+    rig.engine_for().checkpoint()
+    if rig.dest.name == "pfs":
+        with pytest.raises(CheckpointError):
+            rig.dest.read("a")
+    else:  # ramdisk remembers sizes, not payloads
+        assert rig.dest.read("a").nbytes == CHUNK_BYTES
+        with pytest.raises(CheckpointError):
+            rig.dest.read("never-written")
+
+
+def test_pfs_accounting_keys_off_rank_tag(rig):
+    if rig.dest.name != "pfs":
+        pytest.skip("pfs-only contract")
+    rig.alloc.nvalloc("a", CHUNK_BYTES)
+    rig.engine_for().checkpoint()
+    assert rig.pfs.total_bytes == CHUNK_BYTES
+    assert "r0:pfsckpt" in rig.pfs.resource.bytes_by_tag
+
+
+def test_checkpoint_advances_simulated_time(rig):
+    rig.alloc.nvalloc("a", 64 * CHUNK_BYTES)
+    t0 = rig.ctx.engine.now
+    rig.engine_for().checkpoint()
+    assert rig.ctx.engine.now > t0
+
+
+# ---------------------------------------------------------------------------
+# Write/commit atomicity under the crash-point harness.
+# ---------------------------------------------------------------------------
+
+
+class _CrashAt(FaultInjector):
+    """Abort the checkpoint at one named crash point, once."""
+
+    def __init__(self, point: str):
+        self.point = point
+        self.fired = False
+
+    def on_fire(self, name, info):
+        if name == self.point and not self.fired:
+            self.fired = True
+            raise CrashInjected(f"scripted crash at {name}")
+
+
+def _crashed_second_checkpoint(rig, point: str, old, new):
+    """Commit *old*, then crash a second checkpoint of *new* at *point*."""
+    a = rig.alloc.nvalloc("a", CHUNK_BYTES)
+    a.write(0, old)
+    rig.engine_for().checkpoint()
+    a.write(0, new)
+    ck = rig.engine_for()
+    with install(_CrashAt(point)):
+        proc = rig.ctx.engine.process(ck.checkpoint(blocking=False), name="crash-ckpt")
+        rig.ctx.engine.run()
+    assert proc.triggered and not proc.ok
+    assert isinstance(proc.exception, CrashInjected)
+
+
+@pytest.mark.parametrize("backend", TWO_VERSION)
+def test_crash_before_flip_preserves_old_version(backend):
+    rig = _Rig(backend)
+    old = np.full(CHUNK_BYTES, 0xAA, dtype=np.uint8)
+    new = np.full(CHUNK_BYTES, 0x55, dtype=np.uint8)
+    _crashed_second_checkpoint(rig, "local.commit.before_data_flush", old, new)
+    got = np.frombuffer(rig.dest.read("a"), dtype=np.uint8)
+    assert np.array_equal(got, old), "crash before commit flip exposed new data"
+
+
+@pytest.mark.parametrize("backend", TWO_VERSION)
+@pytest.mark.parametrize(
+    "point", ["local.commit.before_meta_flush", "local.commit.done"]
+)
+def test_crash_around_commit_is_never_torn(backend, point):
+    rig = _Rig(backend)
+    old = np.full(CHUNK_BYTES, 0xAA, dtype=np.uint8)
+    new = np.full(CHUNK_BYTES, 0x55, dtype=np.uint8)
+    _crashed_second_checkpoint(rig, point, old, new)
+    got = np.frombuffer(rig.dest.read("a"), dtype=np.uint8)
+    assert np.array_equal(got, old) or np.array_equal(got, new), (
+        "committed payload is neither the old nor the new version (torn write)"
+    )

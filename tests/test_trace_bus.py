@@ -1,0 +1,217 @@
+"""The structured trace bus: event schema, sinks, and pipeline emission.
+
+Covers the bus mechanics (attach/detach/capture, zero-cost when idle),
+each sink's contract, and end-to-end emission from the checkpoint
+pipeline: policy decisions and chunk copies from the engine and
+pre-copy walk, commits, and the timeline adapter reproducing the
+directly-instrumented phases.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.alloc import NVAllocator
+from repro.config import PrecopyPolicy
+from repro.core import LocalCheckpointer, make_standalone_context
+from repro.metrics.trace import (
+    BUS,
+    ChunkCopiedEvent,
+    CommitEvent,
+    CounterSink,
+    FailoverEvent,
+    JsonlSink,
+    PolicyDecisionEvent,
+    RetryEvent,
+    RingBufferSink,
+    TimelineSink,
+    TraceBus,
+)
+from repro.units import MB
+
+
+@pytest.fixture(autouse=True)
+def clean_bus():
+    """Tests must leave the process-global bus empty."""
+    yield
+    assert not BUS.active, "a test leaked an attached sink"
+
+
+def _sample_events():
+    return [
+        PolicyDecisionEvent(t=1.0, actor="r0", chunk="a", decision="precopy", policy="cpc"),
+        ChunkCopiedEvent(
+            t=2.0, actor="r0", chunk="a", nbytes=10, start=1.5,
+            stream="local", phase="precopy", destination="nvm",
+        ),
+        CommitEvent(t=3.0, actor="r0", chunks_committed=1, bytes_committed=10, flush_cost=0.1),
+        RetryEvent(t=4.0, actor="n0", target="n1", attempt=2, delay=0.5, reason="timeout"),
+        FailoverEvent(t=5.0, actor="n0", from_target="n1", to_target="n2", reason="buddy died"),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Bus mechanics.
+# ---------------------------------------------------------------------------
+
+
+def test_bus_inactive_by_default_and_emit_is_noop():
+    bus = TraceBus()
+    assert not bus.active
+    bus.emit(_sample_events()[0])  # no sink: must not raise
+
+
+def test_attach_detach_and_capture_scope():
+    bus = TraceBus()
+    with bus.capture() as ring:
+        assert bus.active
+        for ev in _sample_events():
+            bus.emit(ev)
+        assert len(ring.events) == 5
+    assert not bus.active
+
+
+def test_event_kinds_and_records_are_stable():
+    kinds = [e.kind for e in _sample_events()]
+    assert kinds == ["policy.decision", "chunk.copied", "commit", "retry", "failover"]
+    rec = _sample_events()[1].to_record()
+    assert rec["kind"] == "chunk.copied"
+    assert rec["chunk"] == "a" and rec["nbytes"] == 10 and rec["destination"] == "nvm"
+
+
+# ---------------------------------------------------------------------------
+# Sinks.
+# ---------------------------------------------------------------------------
+
+
+def test_ring_buffer_bounds_and_filters():
+    sink = RingBufferSink(capacity=3)
+    for i in range(10):
+        sink.handle(CommitEvent(t=float(i), actor="r0", chunks_committed=1,
+                                bytes_committed=1, flush_cost=0.0))
+    assert len(sink.events) == 3
+    assert [e.t for e in sink.of_kind("commit")] == [7.0, 8.0, 9.0]
+    assert sink.of_kind("retry") == []
+
+
+def test_jsonl_sink_streams_sorted_records():
+    buf = io.StringIO()
+    sink = JsonlSink(buf)
+    for ev in _sample_events():
+        sink.handle(ev)
+    sink.close()
+    lines = [json.loads(line) for line in buf.getvalue().splitlines()]
+    assert [r["kind"] for r in lines] == [
+        "policy.decision", "chunk.copied", "commit", "retry", "failover",
+    ]
+    for raw in buf.getvalue().splitlines():
+        assert raw == json.dumps(json.loads(raw), sort_keys=True)
+
+
+def test_jsonl_sink_owns_path_file(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    sink = JsonlSink(str(path))
+    sink.handle(_sample_events()[0])
+    sink.close()
+    [rec] = [json.loads(line) for line in path.read_text().splitlines()]
+    assert rec["kind"] == "policy.decision" and rec["policy"] == "cpc"
+
+
+def test_counter_sink_counts_kinds_and_decisions():
+    sink = CounterSink()
+    for ev in _sample_events():
+        sink.handle(ev)
+    sink.handle(PolicyDecisionEvent(t=6.0, actor="r0", chunk="b",
+                                    decision="skip", policy="dcpcp"))
+    assert sink.by_kind["policy.decision"] == 2
+    assert sink.decisions == {"precopy": 1, "skip": 1}
+
+
+def test_timeline_sink_maps_phases():
+    sink = TimelineSink()
+    sink.handle(_sample_events()[1])  # local/precopy span 1.5 -> 2.0
+    sink.handle(CommitEvent(t=3.0, actor="r0", chunks_committed=1,
+                            bytes_committed=1, flush_cost=0.0))  # ignored
+    spans = [p for p in sink.timeline.for_actor("r0") if p.kind == "precopy"]
+    assert [(p.start, p.end) for p in spans] == [(1.5, 2.0)]
+    assert sink.timeline.count("commit") == 0
+
+
+# ---------------------------------------------------------------------------
+# Pipeline emission end-to-end.
+# ---------------------------------------------------------------------------
+
+
+def _traced_run(mode: str):
+    ctx = make_standalone_context(name="trace")
+    alloc = NVAllocator("p0", ctx.nvmm, ctx.dram, phantom=True,
+                        clock=lambda: ctx.engine.now)
+    chunks = [alloc.nvalloc(f"c{i}", MB(5)) for i in range(3)]
+    ck = LocalCheckpointer(ctx, alloc, PrecopyPolicy(mode=mode))
+    ck.start_background()
+
+    def app():
+        for _ in range(2):
+            for c in chunks:
+                c.touch()
+            yield ctx.engine.timeout(10.0)
+            yield from ck.checkpoint(blocking=False)
+        ck.stop_background()
+
+    with BUS.capture() as ring:
+        ctx.engine.process(app(), name="app")
+        ctx.engine.run()
+    return ring
+
+
+def test_engine_emits_copies_decisions_and_commits():
+    ring = _traced_run("none")
+    copies = ring.of_kind("chunk.copied")
+    assert len(copies) == 6  # 3 chunks x 2 checkpoints, no pre-copy
+    assert {e.phase for e in copies} == {"coordinated"}
+    assert {e.destination for e in copies} == {"nvm"}
+    commits = ring.of_kind("commit")
+    assert len(commits) == 2
+    assert all(c.chunks_committed == 3 for c in commits)
+    decisions = ring.of_kind("policy.decision")
+    assert {d.policy for d in decisions} == {"none"}
+    assert {d.decision for d in decisions} == {"copy_at_checkpoint"}
+
+
+def test_precopy_emits_policy_decisions_and_spans():
+    ring = _traced_run("cpc")
+    pre = [e for e in ring.of_kind("chunk.copied") if e.phase == "precopy"]
+    assert pre, "CPC run produced no pre-copy spans"
+    assert all(e.start <= e.t for e in pre)
+    assert any(
+        d.decision == "precopy" and d.policy == "cpc"
+        for d in ring.of_kind("policy.decision")
+    )
+
+
+def test_tracing_does_not_change_the_schedule():
+    plain = _traced_run("dcpcp")  # warm-up for symmetry (captured anyway)
+    ctx = make_standalone_context(name="trace-off")
+    alloc = NVAllocator("p0", ctx.nvmm, ctx.dram, phantom=True,
+                        clock=lambda: ctx.engine.now)
+    chunks = [alloc.nvalloc(f"c{i}", MB(5)) for i in range(3)]
+    ck = LocalCheckpointer(ctx, alloc, PrecopyPolicy(mode="dcpcp"))
+    ck.start_background()
+
+    def app():
+        for _ in range(2):
+            for c in chunks:
+                c.touch()
+            yield ctx.engine.timeout(10.0)
+            yield from ck.checkpoint(blocking=False)
+        ck.stop_background()
+
+    ctx.engine.process(app(), name="app")
+    ctx.engine.run()
+    traced_commits = plain.of_kind("commit")
+    assert [round(c.t, 9) for c in traced_commits] == [
+        round(s.end, 9) for s in ck.history
+    ]
