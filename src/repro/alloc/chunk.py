@@ -31,6 +31,7 @@ import numpy as np
 from ..errors import CheckpointError
 from ..faults.crashpoints import fire
 from ..memory.nvmm import NvmRegion
+from ..memory.page import StalePageMap
 from ..units import pages_of
 
 __all__ = ["Chunk", "ChunkState", "batch_commit"]
@@ -120,6 +121,14 @@ class Chunk:
         self._migration_bytes_pending = 0
         #: observers called as fn(chunk, nbytes) on each migration.
         self.on_migrate: List[Callable[["Chunk", int], None]] = []
+        #: per-stream staleness bitmaps for page-granular incremental
+        #: copy.  One :class:`StalePageMap` per stream; the local map
+        #: has one bitmap per NVM shadow version slot (under
+        #: double-buffering the in-progress slot was last refreshed two
+        #: checkpoints ago, so "dirty since last checkpoint" is the
+        #: wrong predicate).  The remote map is created lazily when a
+        #: buddy target first adopts the chunk.
+        self._stale = {"local": StalePageMap(nbytes, max(1, len(self.versions)))}
 
     # ------------------------------------------------------------------
     # Application write barrier.
@@ -148,15 +157,18 @@ class Chunk:
         if self.dram is None:
             raise CheckpointError(f"chunk {self.name!r} has no DRAM buffer")
         faults = self._dirtying_access(len(payload))
+        self._mark_stale(offset, len(payload))
         self.dram[offset : offset + len(payload)] = payload
         return faults
 
-    def touch(self, nbytes: Optional[int] = None) -> int:
-        """Phantom-mode modification: account a write of *nbytes*
-        (default: the whole chunk) without a payload."""
+    def touch(self, nbytes: Optional[int] = None, offset: int = 0) -> int:
+        """Phantom-mode modification: account a write of *nbytes* at
+        *offset* (default: the whole chunk) without a payload."""
         if self.nvm_resident:
             self._migrate_to_dram()
-        return self._dirtying_access(nbytes if nbytes is not None else self.nbytes)
+        n = nbytes if nbytes is not None else self.nbytes
+        self._mark_stale(offset, n)
+        return self._dirtying_access(n)
 
     def _dirtying_access(self, nbytes: Optional[int] = None) -> int:
         faults = 0
@@ -239,33 +251,163 @@ class Chunk:
             raise CheckpointError(f"chunk {self.name!r} has no committed version")
         return self.versions[self.committed_version]
 
-    def stage_to_nvm(self) -> int:
+    # ------------------------------------------------------------------
+    # Page-granular staleness tracking (incremental copy support).
+    # ------------------------------------------------------------------
+
+    def _mark_stale(self, offset: int, nbytes: int) -> None:
+        """Record a DRAM write against every stream's stale maps."""
+        if nbytes <= 0:
+            return
+        end = min(offset + nbytes, self.nbytes)
+        if offset < 0 or offset >= end:
+            return
+        for pmap in self._stale.values():
+            pmap.mark(offset, end - offset)
+
+    def _stale_map(self, stream: str) -> StalePageMap:
+        try:
+            return self._stale[stream]
+        except KeyError:
+            raise ValueError(f"chunk {self.name!r} has no {stream!r} stale map")
+
+    def ensure_remote_slots(self, n_slots: int) -> None:
+        """Create/grow the remote-stream stale map (one bitmap per
+        buddy version slot).  New slots start fully stale."""
+        pmap = self._stale.get("remote")
+        if pmap is None:
+            self._stale["remote"] = StalePageMap(self.nbytes, n_slots)
+        else:
+            pmap.ensure_slots(n_slots)
+
+    def mark_all_stale(self, stream: Optional[str] = None) -> None:
+        """Force full re-copy on the next incremental pass (restart,
+        failover, reallocation — whenever region contents are suspect)."""
+        for name, pmap in self._stale.items():
+            if stream is None or name == stream:
+                pmap.mark_all()
+
+    def resize_stale_maps(self, nbytes: int) -> None:
+        """Reallocation hook: every slot of every stream goes fully
+        stale at the new size (old region tails are garbage)."""
+        for pmap in self._stale.values():
+            pmap.resize(nbytes)
+
+    def copy_extents(
+        self, stream: str = "local", slot: Optional[int] = None
+    ) -> List[tuple]:
+        """Coalesced ``(offset, nbytes)`` runs an incremental copy must
+        move to bring *slot*'s region content up to the DRAM state.
+        For the local stream the slot defaults to the in-progress
+        version (the one the next checkpoint writes)."""
+        pmap = self._stale_map(stream)
+        if slot is None:
+            slot = self.inprogress_index() if stream == "local" else 0
+        pmap.ensure_slots(slot + 1)
+        return pmap.extents(slot)
+
+    def mark_extents_copied(
+        self,
+        stream: str,
+        extents: Optional[List[tuple]],
+        slot: Optional[int] = None,
+    ) -> None:
+        """Clear stale bits after a successful copy of *extents* into
+        *slot* (``None`` extents = a full-chunk copy refreshed it all).
+        Cleared only per-slot and only for the runs actually written,
+        so writes racing the copy keep their bits."""
+        pmap = self._stale_map(stream)
+        if slot is None:
+            slot = self.inprogress_index() if stream == "local" else 0
+        pmap.ensure_slots(slot + 1)
+        if extents is None:
+            pmap.clear_all(slot)
+        else:
+            pmap.clear_extents(slot, extents)
+
+    def stale_bytes(self, stream: str = "local", slot: Optional[int] = None) -> int:
+        pmap = self._stale_map(stream)
+        if slot is None:
+            slot = self.inprogress_index() if stream == "local" else 0
+        pmap.ensure_slots(slot + 1)
+        return pmap.stale_bytes(slot)
+
+    def stage_to_nvm(self, extents: Optional[List[tuple]] = None) -> int:
         """Copy the working copy into the in-progress NVM version (the
         actual data movement of shadow buffering).  Returns bytes moved.
-        Timing is charged by the caller through the device bus."""
+        Timing is charged by the caller through the device bus.
+
+        With *extents* (page-granular mode) only those byte runs are
+        written; the slot's stale bits for exactly those runs clear
+        only after every write succeeded, so a crash mid-stage leaves
+        the bits set and the next attempt re-copies.
+        """
         if self.nvm_resident:
             # an NVM-resident (lazily restored) chunk is clean by
             # definition; staging it means someone wants a fresh
-            # version anyway — materialize the working copy first
+            # version anyway — materialize the working copy first.
+            # Migration marks everything stale, invalidating any extent
+            # list computed beforehand — fall back to a full stage.
             self._migrate_to_dram()
+            extents = None
         region = self.inprogress_region()
-        # two half-writes with a crash point between them: a crash at
-        # the midpoint leaves a *torn* in-progress version, which the
-        # two-version protocol must never expose (the committed version
-        # is untouched until the post-flush pointer flip)
-        half = self.nbytes // 2
-        if self.phantom:
-            moved = region.write_phantom(0, half)
-            fire("chunk.stage.mid", chunk=self)
-            moved += region.write_phantom(half, self.nbytes - half)
+        slot = self.inprogress_index()
+        if extents is None:
+            # two half-writes with a crash point between them: a crash at
+            # the midpoint leaves a *torn* in-progress version, which the
+            # two-version protocol must never expose (the committed version
+            # is untouched until the post-flush pointer flip)
+            half = self.nbytes // 2
+            if self.phantom:
+                moved = region.write_phantom(0, half)
+                fire("chunk.stage.mid", chunk=self)
+                moved += region.write_phantom(half, self.nbytes - half)
+            else:
+                assert self.dram is not None
+                region.write(0, self.dram[:half])
+                fire("chunk.stage.mid", chunk=self)
+                region.write(half, self.dram[half:])
+                moved = self.nbytes
+            self._stale["local"].ensure_slots(slot + 1)
+            self._stale["local"].clear_all(slot)
         else:
-            assert self.dram is not None
-            region.write(0, self.dram[:half])
-            fire("chunk.stage.mid", chunk=self)
-            region.write(half, self.dram[half:])
-            moved = self.nbytes
+            moved = self._stage_extents(region, extents)
+            self.mark_extents_copied("local", extents, slot=slot)
         self.staged_pending = True
         self.bytes_copied_local += moved
+        return moved
+
+    def _stage_extents(self, region: NvmRegion, extents: List[tuple]) -> int:
+        """Write *extents* into *region*, firing the torn-write crash
+        point once at the cumulative byte midpoint (the extent
+        straddling it splits into two writes, preserving the same
+        crash semantics as the whole-chunk path)."""
+        total = sum(n for _, n in extents)
+        half = total // 2
+        moved = 0
+        done = 0
+        fired = total == 0
+        if not fired and half == 0:
+            fire("chunk.stage.mid", chunk=self)
+            fired = True
+        for off, n in extents:
+            pieces = [(off, n)]
+            if not fired and done < half < done + n:
+                cut = half - done
+                pieces = [(off, cut), (off + cut, n - cut)]
+            for p_off, p_n in pieces:
+                if not fired and done == half:
+                    fire("chunk.stage.mid", chunk=self)
+                    fired = True
+                if self.phantom:
+                    moved += region.write_phantom(p_off, p_n)
+                else:
+                    assert self.dram is not None
+                    region.write(p_off, self.dram[p_off : p_off + p_n])
+                    moved += p_n
+                done += p_n
+        if not fired:
+            fire("chunk.stage.mid", chunk=self)
         return moved
 
     def payload_checksum(self) -> int:
@@ -307,6 +449,9 @@ class Chunk:
                 self.dram = np.zeros(self.nbytes, dtype=np.uint8)
             self.dram[:] = data
         self.nvm_resident = False
+        # the DRAM copy was just replaced wholesale; every version
+        # slot's incremental state is suspect until re-copied
+        self.mark_all_stale()
         return self.nbytes
 
     def restore_lazy(self) -> None:
@@ -329,6 +474,7 @@ class Chunk:
                 self.dram = np.zeros(self.nbytes, dtype=np.uint8)
             self.dram[:] = data
         self.nvm_resident = False
+        self.mark_all_stale()
         self._migration_bytes_pending += self.nbytes
         for fn in self.on_migrate:
             fn(self, self.nbytes)

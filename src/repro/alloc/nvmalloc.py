@@ -177,6 +177,10 @@ class NVAllocator:
         for i in range(chunk.n_versions):
             self.nvmm.nvmrealloc(self.pid, self._region_name(chunk.name, i), nbytes)
         chunk.nbytes = nbytes
+        # every version slot's region tail is garbage after the
+        # realloc: all incremental state goes fully stale at the new
+        # size, forcing full re-copies
+        chunk.resize_stale_maps(nbytes)
         chunk.touch() if chunk.phantom else chunk._dirtying_access()
         self._persist_metadata()
         return chunk

@@ -61,6 +61,18 @@ class ChunkSpec:
     pattern: str = WritePattern.PER_ITER
     #: override write positions within the interval (fractions in (0,1])
     fractions: Optional[Tuple[float, ...]] = None
+    #: byte region each write touches, as ``(offset_frac, len_frac)``
+    #: pairs cycled by write index.  ``None`` picks the pattern
+    #: default: STAGED chunks write *fixed* partial slices (each stage
+    #: reworks its own section — the write locality page-granular
+    #: incremental copy exploits), every other pattern rewrites the
+    #: whole chunk.
+    write_extents: Optional[Tuple[Tuple[float, float], ...]] = None
+
+    #: STAGED default: stage k touches a fixed 15% slice at quarter
+    #: offsets, so the per-interval union stays well under the full
+    #: chunk and is *stable* across intervals
+    STAGED_EXTENTS = ((0.0, 0.15), (0.25, 0.15), (0.5, 0.15), (0.75, 0.15))
 
     def write_fractions(self, iteration: int) -> Tuple[float, ...]:
         if self.pattern == WritePattern.WRITE_ONCE:
@@ -68,6 +80,20 @@ class ChunkSpec:
         if self.fractions is not None:
             return self.fractions
         return WritePattern.DEFAULT_FRACTIONS[self.pattern]
+
+    def write_extent(self, write_index: int, nbytes: int) -> Tuple[int, int]:
+        """Concrete ``(offset, nbytes)`` for the *write_index*-th write
+        of an interval."""
+        extents = self.write_extents
+        if extents is None:
+            if self.pattern == WritePattern.STAGED:
+                extents = self.STAGED_EXTENTS
+            else:
+                return (0, nbytes)
+        off_frac, len_frac = extents[write_index % len(extents)]
+        off = min(int(off_frac * nbytes), max(0, nbytes - 1))
+        n = max(1, int(len_frac * nbytes))
+        return (off, min(n, nbytes - off))
 
 
 @dataclass
@@ -177,8 +203,8 @@ class ApplicationModel:
         interval = self.iteration_compute_time
         events: List[Tuple[float, str, object]] = []
         for spec in self.chunk_specs(self._rank_index(binding)):
-            for frac in spec.write_fractions(iteration):
-                events.append((frac * interval, "write", spec.name))
+            for k, frac in enumerate(spec.write_fractions(iteration)):
+                events.append((frac * interval, "write", (spec, k)))
         if self.comm_bytes_per_iteration > 0 and binding.fabric is not None and binding.neighbors:
             per_burst = self.comm_bytes_per_iteration / self.comm_bursts
             for b in range(self.comm_bursts):
@@ -194,9 +220,14 @@ class ApplicationModel:
                 yield engine.timeout(at - position)
                 position = at
             if kind == "write":
-                chunk = binding.chunk(payload)  # type: ignore[arg-type]
-                faults = chunk.touch() if chunk.phantom else chunk.write(
-                    0, chunk.dram[: min(64, chunk.nbytes)]  # type: ignore[index]
+                spec, widx = payload  # type: ignore[misc]
+                chunk = binding.chunk(spec.name)
+                off, n = spec.write_extent(widx, chunk.nbytes)
+                # real payloads write their own bytes back (content
+                # unchanged, so committed checksums stay valid); the
+                # dirt/stale bookkeeping is what matters here
+                faults = chunk.touch(n, offset=off) if chunk.phantom else chunk.write(
+                    off, chunk.dram[off : off + min(64, n)]  # type: ignore[index]
                 )
                 cost = binding.charge_fault(faults)
                 cost += binding.charge_migration(chunk.take_migration_bytes())

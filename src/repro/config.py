@@ -254,6 +254,11 @@ class PrecopyPolicy:
     adapt_smoothing: float = 0.5
     #: cost charged per protection fault (paper: 6-12 usec).
     fault_cost: float = usec(9.0)
+    #: copy granularity: "chunk" copies whole dirty chunks (the
+    #: pre-incremental behaviour, and the default); "page" copies only
+    #: the coalesced dirty-page extents recorded since each version
+    #: slot was last refreshed (the kernel nvdirty path, §V).
+    copy_granularity: str = "chunk"
 
     def __post_init__(self) -> None:
         valid = {self.NONE, self.CPC, self.DCPC, self.DCPCP}
@@ -263,6 +268,15 @@ class PrecopyPolicy:
             )
         if self.granularity not in ("chunk", "page"):
             raise ConfigError(f"unknown granularity {self.granularity!r}")
+        if self.copy_granularity not in ("chunk", "page"):
+            raise ConfigError(
+                f"unknown copy granularity {self.copy_granularity!r}"
+            )
+
+    @property
+    def incremental(self) -> bool:
+        """True when page-granular incremental copy is on."""
+        return self.copy_granularity == "page"
 
 
 @dataclass(frozen=True)

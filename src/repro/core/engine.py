@@ -33,6 +33,7 @@ from ..faults.crashpoints import fire
 from ..metrics import timeline as tl
 from ..metrics.timeline import Timeline
 from ..metrics.trace import BUS, ChunkCopiedEvent, CommitEvent, PolicyDecisionEvent
+from ..units import pages_of
 from .context import NodeContext
 from .destination import Destination, NVMArenaDestination
 from .policy import CheckpointPolicy, policy_class, resolve_policy
@@ -99,6 +100,8 @@ class CheckpointEngine:
                 bandwidth_per_core=ctx.effective_nvm_bw_per_core(),
                 smoothing=self.policy.adapt_smoothing,
                 margin=self.policy.threshold_margin,
+                clock=lambda: self.ctx.engine.now,
+                actor=str(self.rank),
             )
         if policy_cls.needs_prediction:
             self.prediction = PredictionTable(smoothing=self.policy.adapt_smoothing)
@@ -229,15 +232,31 @@ class CheckpointEngine:
                 fire("local.copy.before", chunk=chunk, rank=self.rank)
                 chunk.state_local = ChunkState.CHECKPOINTING
                 copy_start = engine.now
+                # page-granular mode: ask the destination which stale
+                # extents its next version slot needs, move only those
+                extents = dest.pending_extents(chunk) if self.policy.incremental else None
+                if extents is None:
+                    nbytes_moved = chunk.nbytes
+                    pages = pages_of(chunk.nbytes)
+                else:
+                    nbytes_moved = sum(n for _, n in extents)
+                    pages = sum(pages_of(n) for _, n in extents)
                 try:
-                    yield dest.write(chunk, tag=f"{self.tag}:lckpt")
+                    if extents is None:
+                        yield dest.write(chunk, tag=f"{self.tag}:lckpt")
+                    else:
+                        yield dest.write_at(chunk, extents, tag=f"{self.tag}:lckpt")
                 finally:
                     chunk.state_local = ChunkState.IDLE
                 fire("local.copy.after", chunk=chunk, rank=self.rank)
                 if dest.two_version:
-                    dest.stage(chunk)
+                    dest.stage(chunk, extents)
                     fire("local.stage.after", chunk=chunk, rank=self.rank)
-                stats.bytes_copied += chunk.nbytes
+                elif extents is not None:
+                    # flat backends have no stage step; record the copy
+                    # against the stale map here
+                    chunk.mark_extents_copied("local", extents)
+                stats.bytes_copied += nbytes_moved
                 stats.chunks_copied += 1
                 if BUS.active:
                     BUS.emit(
@@ -245,11 +264,13 @@ class CheckpointEngine:
                             t=engine.now,
                             actor=str(self.rank),
                             chunk=chunk.name,
-                            nbytes=chunk.nbytes,
+                            nbytes=nbytes_moved,
                             start=copy_start,
                             stream="local",
                             phase="coordinated",
                             destination=dest.name,
+                            pages=pages,
+                            bytes_saved=chunk.nbytes - nbytes_moved,
                         )
                     )
                 if self.tracks_dirty:

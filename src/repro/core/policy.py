@@ -17,6 +17,12 @@ stream) stay in the engine; the policy sees only chunks that *could*
 be copied.  Policies are looked up by mode name through
 :data:`POLICIES` / :func:`resolve_policy` — adding a fifth policy is
 one class plus one registry entry, not a new pipeline fork.
+
+Policies decide *when* a chunk moves; *how much* of it moves is the
+orthogonal ``copy_granularity`` axis of the config (whole dirty chunks
+vs stale dirty-page extents), applied by the engine after the
+decision.  Threshold recomputes surface on the trace bus as
+``policy.decision`` events with ``decision="recompute_threshold"``.
 """
 
 from __future__ import annotations

@@ -29,6 +29,7 @@ from ..errors import SimulationError, TransferCancelled
 from ..faults.crashpoints import fire
 from ..metrics.trace import BUS, ChunkCopiedEvent, PolicyDecisionEvent
 from ..sim.events import Event
+from ..units import pages_of
 from .context import NodeContext
 from .policy import CheckpointPolicy, Decision, IntervalClock, resolve_policy
 from .prediction import PredictionTable
@@ -82,6 +83,15 @@ class PrecopyEngine:
         self.tag = tag
         self._transfer_fn = transfer_fn or self._default_transfer
         self._finalize_fn = finalize_fn or self._default_finalize
+        #: page-granular incremental copy applies only to the default
+        #: local DRAM→NVM path; injected transfer/finalize callables
+        #: (remote helper, legacy facades) keep whole-chunk semantics
+        self._incremental = (
+            policy.incremental
+            and stream == "local"
+            and transfer_fn is None
+            and finalize_fn is None
+        )
         self.threshold = threshold
         self.prediction = prediction
         if policy.mode == PrecopyPolicy.DCPC and threshold is None:
@@ -296,12 +306,25 @@ class PrecopyEngine:
                 )
             )
         mods_before = chunk.total_mods
+        # page-granular mode: move only the extents stale for the
+        # in-progress slot (a post-pre-copy re-copy moves just the
+        # re-dirtied pages, not the whole chunk)
+        extents = chunk.copy_extents("local") if self._incremental else None
+        if extents is None:
+            nbytes_moved = chunk.nbytes
+            pages = pages_of(chunk.nbytes)
+        else:
+            nbytes_moved = sum(n for _, n in extents)
+            pages = sum(pages_of(n) for _, n in extents)
         chunk.set_state(self.stream, ChunkState.PRECOPYING)
         self._inflight_chunk = chunk
         self._inflight_done = self.ctx.engine.event("precopy.inflight")
         cancelled = False
         try:
-            yield self._transfer_fn(chunk)
+            if extents is None:
+                yield self._transfer_fn(chunk)
+            else:
+                yield self.ctx.copy_to_nvm(nbytes_moved, tag=self.tag)
         except TransferCancelled:
             # a failure tore the flow down; the chunk stays dirty and
             # the engine moves on (it may retry after recovery)
@@ -316,14 +339,18 @@ class PrecopyEngine:
             return
         fire("precopy.copy.after", chunk=chunk, stream=self.stream)
         self.stats.copies += 1
-        self.stats.bytes_copied += chunk.nbytes
+        self.stats.bytes_copied += nbytes_moved
         if chunk.total_mods != mods_before:
-            # torn copy: application wrote during the transfer
+            # torn copy: application wrote during the transfer (the
+            # stale bits were never cleared, so a retry re-copies)
             self.stats.stale_copies += 1
             if self.prediction is not None:
                 self.prediction.record_outcome(chunk, was_redundant=True)
             return
-        self._finalize_fn(chunk)
+        if extents is None:
+            self._finalize_fn(chunk)
+        else:
+            chunk.stage_to_nvm(extents)
         chunk.mark_precopied(self.stream)
         self._pending_clean[chunk.chunk_id] = chunk
         fire("precopy.finalize.after", chunk=chunk, stream=self.stream)
@@ -333,9 +360,11 @@ class PrecopyEngine:
                     t=self.ctx.engine.now,
                     actor=self.tag,
                     chunk=chunk.name,
-                    nbytes=chunk.nbytes,
+                    nbytes=nbytes_moved,
                     start=copy_start,
                     stream=self.stream,
                     phase="precopy",
+                    pages=pages,
+                    bytes_saved=chunk.nbytes - nbytes_moved,
                 )
             )

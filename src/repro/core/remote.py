@@ -45,7 +45,7 @@ from ..metrics.trace import BUS, ChunkCopiedEvent, FailoverEvent
 from ..net.interconnect import Fabric
 from ..net.rdma import rdma_put
 from ..sim.events import Event
-from ..units import usec
+from ..units import pages_of, usec
 from .context import NodeContext
 from .destination import RemoteBuddyDestination
 
@@ -119,7 +119,12 @@ class RemoteTarget:
                 continue
             if region.nbytes != chunk.nbytes:
                 nvmm.nvmrealloc(self.pid, rname, chunk.nbytes)
+        chunk.ensure_remote_slots(self.n_versions)
         if chunk.name not in self.committed:
+            # first contact with this target (fresh pairing or a
+            # post-failover replacement): its regions hold nothing, so
+            # any remote stale-map state from an earlier buddy is void
+            chunk.mark_all_stale("remote")
             self.committed[chunk.name] = -1
         self.sizes[chunk.name] = chunk.nbytes
 
@@ -129,23 +134,43 @@ class RemoteTarget:
             return 0
         return 1 - cur if cur >= 0 else 0
 
-    def stage(self, chunk: Chunk) -> int:
+    def stage(self, chunk: Chunk, extents: Optional[List[Tuple[int, int]]] = None) -> int:
         """Write the chunk's current payload into the in-progress
-        remote version (data plane of one RDMA put)."""
+        remote version (data plane of one RDMA put).
+
+        With *extents* (page-granular mode) the definitive run list is
+        re-read from the chunk's remote stale map at stage time: writes
+        that raced the fabric transfer must land too, or the staged
+        version would not match the DRAM state its checksum records.
+        """
         self.ensure_chunk(chunk)
         v = self._inprogress(chunk.name)
         region = self.dst_ctx.nvmm.region(self.pid, self._region_name(chunk.name, v))
-        if chunk.phantom:
-            region.write_phantom(0, chunk.nbytes)
+        if extents is None:
+            if chunk.phantom:
+                region.write_phantom(0, chunk.nbytes)
+            else:
+                assert chunk.dram is not None
+                region.write(0, chunk.dram)
+            moved = chunk.nbytes
+            chunk.mark_extents_copied("remote", None, slot=v)
         else:
-            assert chunk.dram is not None
-            region.write(0, chunk.dram)
-        chunk.bytes_copied_remote += chunk.nbytes
+            runs = chunk.copy_extents("remote", slot=v)
+            moved = 0
+            for off, n in runs:
+                if chunk.phantom:
+                    region.write_phantom(off, n)
+                else:
+                    assert chunk.dram is not None
+                    region.write(off, chunk.dram[off : off + n])
+                moved += n
+            chunk.mark_extents_copied("remote", runs, slot=v)
+        chunk.bytes_copied_remote += moved
         self._staged[chunk.name] = v
         self._staged_crc[chunk.name] = (
             None if chunk.phantom else chunk.payload_checksum()
         )
-        return chunk.nbytes
+        return moved
 
     def commit(self) -> float:
         """Commit all staged chunks: flush the buddy store, flip the
@@ -180,16 +205,19 @@ class RemoteTarget:
     def committed_chunks(self) -> List[str]:
         return sorted(n for n, v in self.committed.items() if v >= 0)
 
-    def fetch(self, chunk_name: str):
+    def fetch(self, chunk_name: str, offset: int = 0, nbytes: Optional[int] = None):
         """The committed remote payload of *chunk_name* (numpy uint8,
-        zeros for phantom regions)."""
+        zeros for phantom regions).  *offset*/*nbytes* select a byte
+        range for extent-granular restart fetches (default: all)."""
         v = self.committed.get(chunk_name, -1)
         if v < 0:
             raise CheckpointError(
                 f"no committed remote version of chunk {chunk_name!r} for {self.src_pid!r}"
             )
         region = self.dst_ctx.nvmm.region(self.pid, self._region_name(chunk_name, v))
-        return region.read(0, region.nbytes)
+        if nbytes is None:
+            nbytes = region.nbytes - offset
+        return region.read(offset, nbytes)
 
     def verify(self, chunk_name: str) -> bool:
         """Does the committed buddy copy still match its recorded
@@ -284,9 +312,18 @@ class RemoteHelper:
         self.stream_chunks = 0
 
     def _make_destination(self, pid: str, target: RemoteTarget) -> RemoteBuddyDestination:
-        return RemoteBuddyDestination(
-            target, send_fn=lambda chunk, pid=pid: self._send(pid, chunk, "rckpt")
-        )
+        def send_fn(chunk: Chunk, extents=None, pid: str = pid) -> Event:
+            wire = chunk.nbytes if extents is None else sum(n for _, n in extents)
+            return self._send(pid, chunk, "rckpt", nbytes=wire)
+
+        return RemoteBuddyDestination(target, send_fn=send_fn)
+
+    @property
+    def incremental(self) -> bool:
+        """Page-granular remote sends: on when the policy asks for it
+        and no compression model is attached (compressed sends are
+        whole-chunk — the wire volume is the compressor's business)."""
+        return self.config.precopy.incremental and self.compression is None
 
     # ------------------------------------------------------------------
     # Stream queue (fed by local checkpoint commits).
@@ -335,6 +372,7 @@ class RemoteHelper:
         for alloc in self.ranks:
             for chunk in alloc.persistent_chunks():
                 chunk.dirty_remote = True
+                chunk.mark_all_stale("remote")
                 if chunk.committed_version >= 0:
                     self._queue.setdefault((alloc.pid, chunk.chunk_id), chunk)
         self._kick()
@@ -367,8 +405,8 @@ class RemoteHelper:
             cost += nbytes * TRACKING_CPU_PER_BYTE
         self.ctx.cpu.charge(self.owner, cost)
 
-    def _send(self, pid: str, chunk: Chunk, kind: str) -> Event:
-        wire = chunk.nbytes
+    def _send(self, pid: str, chunk: Chunk, kind: str, nbytes: Optional[int] = None) -> Event:
+        wire = chunk.nbytes if nbytes is None else nbytes
         if self.compression is not None:
             wire = self.compression.wire_bytes(chunk)
             # sender compresses, buddy decompresses; the decompressed
@@ -392,19 +430,20 @@ class RemoteHelper:
             dst_nvm_bus=self.buddy_ctx.nvm_bus,
         )
 
-    def _deliver(self, pid: str, chunk: Chunk, kind: str):
+    def _deliver(self, pid: str, chunk: Chunk, kind: str, nbytes: Optional[int] = None):
         """Send one chunk to the buddy, through the resilient transport
         when one is attached (plain one-shot send otherwise, and always
         for the compression path, whose two-resource send the transport
-        does not model)."""
+        does not model).  *nbytes* overrides the wire volume (extent
+        sends move only the stale byte runs)."""
         if self.resilience is None or self.compression is not None:
-            yield self._send(pid, chunk, kind)
+            yield self._send(pid, chunk, kind, nbytes=nbytes)
             return
         yield from self.resilience.put(
             self.fabric,
             self.node_id,
             self.buddy_id,
-            chunk.nbytes,
+            chunk.nbytes if nbytes is None else nbytes,
             tag=f"{pid}:{kind}",
             dst_nvm_bus=self.buddy_ctx.nvm_bus,
         )
@@ -517,16 +556,27 @@ class RemoteHelper:
                 continue
             pid, chunk = item
             t0 = engine.now
-            self._charge_cpu(chunk.nbytes, streamed=True)
+            extents = (
+                self.destinations[pid].pending_extents(chunk)
+                if self.incremental
+                else None
+            )
+            if extents is None:
+                wire = chunk.nbytes
+                pages = pages_of(chunk.nbytes)
+            else:
+                wire = sum(n for _, n in extents)
+                pages = sum(pages_of(n) for _, n in extents)
+            self._charge_cpu(wire, streamed=True)
             fire("remote.stream.before_send", chunk=chunk, pid=pid)
             try:
-                yield from self._deliver(pid, chunk, "rprecopy")
+                yield from self._deliver(pid, chunk, "rprecopy", nbytes=wire)
             except (TransferCancelled, TransferFailed):
                 # failure tore the flow down (or retries ran out);
                 # requeue so the chunk is retried or swept up later
                 self._queue.setdefault((pid, chunk.chunk_id), chunk)
                 continue
-            self.destinations[pid].stage(chunk)
+            self.destinations[pid].stage(chunk, extents)
             fire(
                 "remote.stream.after_stage",
                 chunk=chunk,
@@ -534,7 +584,7 @@ class RemoteHelper:
                 target=self.targets[pid],
             )
             chunk.dirty_remote = False
-            self.stream_bytes += chunk.nbytes
+            self.stream_bytes += wire
             self.stream_chunks += 1
             if self.timeline is not None:
                 self.timeline.record(self.owner, tl.REMOTE_PRECOPY, t0, engine.now)
@@ -544,15 +594,17 @@ class RemoteHelper:
                         t=engine.now,
                         actor=self.owner,
                         chunk=chunk.name,
-                        nbytes=chunk.nbytes,
+                        nbytes=wire,
                         start=t0,
                         stream="remote",
                         phase="precopy",
                         destination=self.destinations[pid].name,
+                        pages=pages,
+                        bytes_saved=chunk.nbytes - wire,
                     )
                 )
             # pacing: never run faster than pace_rate on average
-            target_duration = chunk.nbytes / self.pace_rate
+            target_duration = wire / self.pace_rate
             elapsed = engine.now - t0
             if elapsed < target_duration and engine.now < deadline:
                 yield engine.timeout(min(target_duration - elapsed, deadline - engine.now))
@@ -591,18 +643,27 @@ class RemoteHelper:
                 stats.chunks_skipped += len(alloc.persistent_chunks()) - len(chunks)
                 aborted = False
                 for chunk in chunks:
-                    self._charge_cpu(chunk.nbytes, streamed=False)
+                    extents = (
+                        dest.pending_extents(chunk) if self.incremental else None
+                    )
+                    if extents is None:
+                        wire = chunk.nbytes
+                        pages = pages_of(chunk.nbytes)
+                    else:
+                        wire = sum(n for _, n in extents)
+                        pages = sum(pages_of(n) for _, n in extents)
+                    self._charge_cpu(wire, streamed=False)
                     fire("remote.round.before_send", chunk=chunk, pid=alloc.pid)
                     t0 = engine.now
                     try:
-                        yield from self._deliver(alloc.pid, chunk, "rckpt")
+                        yield from self._deliver(alloc.pid, chunk, "rckpt", nbytes=wire)
                     except (TransferCancelled, TransferFailed):
                         # a failure interrupted the round (or retries
                         # ran out): abandon it; the previous committed
                         # remote version stands
                         aborted = True
                         break
-                    dest.stage(chunk)
+                    dest.stage(chunk, extents)
                     fire(
                         "remote.round.after_stage",
                         chunk=chunk,
@@ -611,7 +672,7 @@ class RemoteHelper:
                     )
                     chunk.dirty_remote = False
                     self._queue.pop((alloc.pid, chunk.chunk_id), None)
-                    stats.bytes_moved += chunk.nbytes
+                    stats.bytes_moved += wire
                     stats.chunks_moved += 1
                     if BUS.active:
                         BUS.emit(
@@ -619,11 +680,13 @@ class RemoteHelper:
                                 t=engine.now,
                                 actor=self.owner,
                                 chunk=chunk.name,
-                                nbytes=chunk.nbytes,
+                                nbytes=wire,
                                 start=t0,
                                 stream="remote",
                                 phase="coordinated",
                                 destination=dest.name,
+                                pages=pages,
+                                bytes_saved=chunk.nbytes - wire,
                             )
                         )
                 if aborted:

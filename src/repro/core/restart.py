@@ -53,6 +53,9 @@ class RestartReport:
     chunks_remote: int = 0
     bytes_local: int = 0
     bytes_remote: int = 0
+    #: bytes read for checksum verification of local committed
+    #: versions (both eager and lazy paths pay this read)
+    bytes_verified: int = 0
     corrupted_chunks: List[str] = field(default_factory=list)
     allocator: Optional[NVAllocator] = None
 
@@ -72,6 +75,7 @@ class RestartManager:
         node_id: Optional[int] = None,
         timeline: Optional[Timeline] = None,
         resilience=None,
+        fetch_extent_bytes: Optional[int] = None,
     ) -> None:
         self.ctx = ctx
         self.fabric = fabric
@@ -80,6 +84,23 @@ class RestartManager:
         #: optional ResilientTransport: remote fetches retry/back off
         #: instead of failing on the first cancelled flow
         self.resilience = resilience
+        #: when set, remote fetches move in page-aligned segments of at
+        #: most this many bytes (extent-granular restart); ``None``
+        #: keeps the one-transfer-per-chunk behaviour
+        self.fetch_extent_bytes = fetch_extent_bytes
+
+    def _fetch_segments(self, nbytes: int) -> List[tuple]:
+        """Split one chunk fetch into ``(offset, nbytes)`` segments."""
+        seg = self.fetch_extent_bytes
+        if seg is None or seg <= 0 or seg >= nbytes:
+            return [(0, nbytes)]
+        out = []
+        off = 0
+        while off < nbytes:
+            n = min(seg, nbytes - off)
+            out.append((off, n))
+            off += n
+        return out
 
     def _rfetch(self, remote_target, remote_node: int, nbytes: int, tag: str):
         """One remote fetch, resilient when a transport is attached."""
@@ -152,14 +173,18 @@ class RestartManager:
             for chunk in alloc.persistent_chunks():
                 ok = chunk.committed_version >= 0 and chunk.verify_checksum()
                 if ok:
+                    # the checksum verification reads the committed
+                    # version once on either path; NVM reads run ~4x
+                    # the write rate (Table I), charged on the bus
+                    yield self.ctx.nvm_bus.transfer(
+                        chunk.nbytes / 4, tag=f"{pid}:restart-verify"
+                    )
+                    report.bytes_verified += chunk.nbytes
                     if lazy:
-                        # no copy, but the checksum verification still
-                        # reads the chunk once; NVM reads run ~4x the
-                        # write rate (Table I), charged on the bus
-                        yield self.ctx.nvm_bus.transfer(
-                            chunk.nbytes / 4, tag=f"{pid}:restart-verify"
-                        )
                         chunk.restore_lazy()
+                        # NVM-resident too: protected, so the first
+                        # write faults and migrates the data to DRAM
+                        chunk.protected = True
                         report.chunks_lazy += 1
                     else:
                         yield self.ctx.nvm_bus.transfer(
@@ -204,23 +229,24 @@ class RestartManager:
                 tried=("local", "buddy"),
             )
         fire("restart.fetch_remote", chunk=chunk, pid=pid)
-        try:
-            yield from self._rfetch(
-                remote_target, remote_node, chunk.nbytes, tag=f"{pid}:rfetch"
-            )
-        except TransferFailed as exc:
-            raise AllReplicasLost(
-                f"chunk {chunk.name!r} of {pid!r}: local copy unusable and the "
-                f"buddy fetch gave up after {exc.attempts} attempts",
-                pid=pid,
-                chunk=chunk.name,
-                tried=("local", "buddy"),
-            ) from exc
-        payload = remote_target.fetch(chunk.name)
-        if not chunk.phantom:
-            if chunk.dram is None or len(chunk.dram) != chunk.nbytes:
-                chunk.dram = np.zeros(chunk.nbytes, dtype=np.uint8)
-            chunk.dram[:] = payload
+        if not chunk.phantom and (chunk.dram is None or len(chunk.dram) != chunk.nbytes):
+            chunk.dram = np.zeros(chunk.nbytes, dtype=np.uint8)
+        for off, n in self._fetch_segments(chunk.nbytes):
+            try:
+                yield from self._rfetch(
+                    remote_target, remote_node, n, tag=f"{pid}:rfetch"
+                )
+            except TransferFailed as exc:
+                raise AllReplicasLost(
+                    f"chunk {chunk.name!r} of {pid!r}: local copy unusable and the "
+                    f"buddy fetch gave up after {exc.attempts} attempts",
+                    pid=pid,
+                    chunk=chunk.name,
+                    tried=("local", "buddy"),
+                ) from exc
+            payload = remote_target.fetch(chunk.name, off, n)
+            if not chunk.phantom:
+                chunk.dram[off : off + n] = payload
         # the recovered data is not yet persisted locally: dirty it so
         # the next local checkpoint re-establishes the local copy
         chunk.dirty_local = True
@@ -283,23 +309,24 @@ class RestartManager:
                 size = remote_target.sizes[name]
                 chunk = alloc.nvalloc(name, size, pflag=True)
                 fire("restart.fetch_remote", chunk=chunk, pid=pid)
-                try:
-                    yield from self._rfetch(
-                        remote_target, remote_node, size, tag=f"{pid}:rfetch"
-                    )
-                except TransferFailed as exc:
-                    raise AllReplicasLost(
-                        f"chunk {name!r} of {pid!r}: node is dead and the buddy "
-                        f"fetch gave up after {exc.attempts} attempts",
-                        pid=pid,
-                        chunk=name,
-                        tried=("buddy",),
-                    ) from exc
-                payload = remote_target.fetch(name)
-                if not chunk.phantom:
-                    chunk.write(0, payload)
-                else:
-                    chunk.touch()
+                for off, n in self._fetch_segments(size):
+                    try:
+                        yield from self._rfetch(
+                            remote_target, remote_node, n, tag=f"{pid}:rfetch"
+                        )
+                    except TransferFailed as exc:
+                        raise AllReplicasLost(
+                            f"chunk {name!r} of {pid!r}: node is dead and the buddy "
+                            f"fetch gave up after {exc.attempts} attempts",
+                            pid=pid,
+                            chunk=name,
+                            tried=("buddy",),
+                        ) from exc
+                    payload = remote_target.fetch(name, off, n)
+                    if not chunk.phantom:
+                        chunk.write(off, payload)
+                    else:
+                        chunk.touch(n, offset=off)
                 report.chunks_remote += 1
                 report.bytes_remote += size
             report.allocator = alloc

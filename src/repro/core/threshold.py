@@ -16,7 +16,9 @@ continuously adapted with exponential smoothing.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Optional
+
+from ..metrics.trace import BUS, PolicyDecisionEvent
 
 __all__ = ["ThresholdEstimator"]
 
@@ -30,6 +32,9 @@ class ThresholdEstimator:
         bandwidth_per_core: float,
         smoothing: float = 0.5,
         margin: float = 1.25,
+        *,
+        clock: Callable[[], float] = lambda: 0.0,
+        actor: str = "threshold",
     ) -> None:
         if bandwidth_per_core <= 0:
             raise ValueError("bandwidth_per_core must be positive")
@@ -40,6 +45,8 @@ class ThresholdEstimator:
         self.bandwidth_per_core = bandwidth_per_core
         self.smoothing = smoothing
         self.margin = margin
+        self._clock = clock
+        self._actor = actor
         self._interval: Optional[float] = None
         self._data_size: Optional[float] = None
         self.observations = 0
@@ -62,8 +69,23 @@ class ThresholdEstimator:
         self.observations += 1
 
     def update_bandwidth(self, bandwidth_per_core: float) -> None:
-        if bandwidth_per_core > 0:
-            self.bandwidth_per_core = bandwidth_per_core
+        """Fold a fresh bandwidth probe into the estimator and recompute
+        the threshold.  A nonpositive probe is a broken measurement —
+        silently keeping the stale value would freeze ``T_p`` forever,
+        so it raises exactly like the constructor."""
+        if bandwidth_per_core <= 0:
+            raise ValueError("bandwidth_per_core must be positive")
+        self.bandwidth_per_core = bandwidth_per_core
+        if BUS.active:
+            BUS.emit(
+                PolicyDecisionEvent(
+                    t=self._clock(),
+                    actor=self._actor,
+                    chunk="*",
+                    decision="recompute_threshold",
+                    policy="dcpc",
+                )
+            )
 
     # -- queries --------------------------------------------------------------------
 

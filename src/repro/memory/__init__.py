@@ -7,7 +7,7 @@ extension rebuilt as a library object).
 from .device import MemoryDevice
 from .bandwidth import CoreContentionModel, make_device_bus
 from .persistence import FileStore, InMemoryStore, PersistentStore
-from .page import PageTable
+from .page import PageTable, StalePageMap
 from .nvmm import NvmRegion, NVMKernelManager
 
 __all__ = [
@@ -18,6 +18,7 @@ __all__ = [
     "InMemoryStore",
     "FileStore",
     "PageTable",
+    "StalePageMap",
     "NVMKernelManager",
     "NvmRegion",
 ]

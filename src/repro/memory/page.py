@@ -25,7 +25,7 @@ import numpy as np
 from ..errors import InvalidAddress
 from ..units import PAGE_SIZE, pages_of
 
-__all__ = ["PageTable"]
+__all__ = ["PageTable", "StalePageMap"]
 
 
 class PageTable:
@@ -130,3 +130,113 @@ class PageTable:
 
     def clear_nvdirty(self) -> None:
         self._nvdirty[:] = False
+
+    def clear_nvdirty_range(self, offset: int, nbytes: int) -> None:
+        """Clear the nvdirty bit on pages fully covered by the byte
+        range (callers pass page-aligned extents back from
+        :meth:`nvdirty_extents`, so partial coverage does not arise)."""
+        first, last = self._page_range(offset, nbytes)
+        self._nvdirty[first:last] = False
+
+    def nvdirty_extents(self, clear: bool = False) -> List[Tuple[int, int]]:
+        """Dirty pages as coalesced ``(offset, nbytes)`` byte runs.
+
+        Adjacent dirty pages merge into one extent; the final extent is
+        clipped to the region size (the last page may be partial).
+        With ``clear``, the read doubles as the kernel's
+        read-and-reset.
+        """
+        idx = np.flatnonzero(self._nvdirty)
+        if idx.size == 0:
+            return []
+        # run breaks: positions where the page index jumps by > 1
+        breaks = np.flatnonzero(np.diff(idx) > 1) + 1
+        starts = idx[np.concatenate(([0], breaks))]
+        ends = idx[np.concatenate((breaks - 1, [idx.size - 1]))] + 1
+        extents: List[Tuple[int, int]] = []
+        for s, e in zip(starts.tolist(), ends.tolist()):
+            off = s * self.page_size
+            end_b = min(e * self.page_size, self.nbytes)
+            extents.append((off, end_b - off))
+        if clear:
+            self._nvdirty[:] = False
+        return extents
+
+
+class StalePageMap:
+    """Per-version-slot staleness bitmaps for incremental copy.
+
+    "Dirty since the last checkpoint" is the wrong predicate under
+    two-version shadow buffering: the in-progress slot alternates, so
+    the slot written this checkpoint was last refreshed *two*
+    checkpoints ago.  This map keeps one page bitmap per version slot
+    (reusing :class:`PageTable`'s nvdirty bits) with the invariant
+
+        ``stale[slot] ⊇ {pages where DRAM may differ from slot}``
+
+    Every application write marks the page stale in **all** slots;
+    copying a slot's extents clears exactly those pages in *that* slot
+    only.  Fresh, resized, or rebuilt maps start all-stale — the safe
+    direction is over-copying, never under-copying.
+    """
+
+    __slots__ = ("nbytes", "page_size", "_slots")
+
+    def __init__(self, nbytes: int, n_slots: int, page_size: int = PAGE_SIZE) -> None:
+        if n_slots < 1:
+            raise ValueError("need at least one version slot")
+        self.nbytes = nbytes
+        self.page_size = page_size
+        self._slots: List[PageTable] = []
+        for _ in range(n_slots):
+            self._append_stale_slot()
+
+    def _append_stale_slot(self) -> None:
+        table = PageTable(self.nbytes, self.page_size)
+        table.mark_all_nvdirty()
+        self._slots.append(table)
+
+    @property
+    def n_slots(self) -> int:
+        return len(self._slots)
+
+    def ensure_slots(self, n_slots: int) -> None:
+        """Grow to *n_slots*; new slots start fully stale."""
+        while len(self._slots) < n_slots:
+            self._append_stale_slot()
+
+    def mark(self, offset: int, nbytes: int) -> None:
+        """A write landed on [offset, offset+nbytes): every slot's copy
+        of those pages is now behind DRAM."""
+        for table in self._slots:
+            table.mark_nvdirty(offset, nbytes)
+
+    def mark_all(self) -> None:
+        for table in self._slots:
+            table.mark_all_nvdirty()
+
+    def extents(self, slot: int, clear: bool = False) -> List[Tuple[int, int]]:
+        """Coalesced stale byte runs for one version slot."""
+        return self._slots[slot].nvdirty_extents(clear=clear)
+
+    def clear_extents(self, slot: int, extents: List[Tuple[int, int]]) -> None:
+        """Mark exactly *extents* copied into *slot* (writes that raced
+        the copy keep their stale bits — only the listed runs clear)."""
+        table = self._slots[slot]
+        for off, n in extents:
+            table.clear_nvdirty_range(off, n)
+
+    def clear_all(self, slot: int) -> None:
+        """A full-chunk copy refreshed *slot* entirely."""
+        self._slots[slot].clear_nvdirty()
+
+    def stale_bytes(self, slot: int) -> int:
+        return self._slots[slot].nvdirty_bytes()
+
+    def resize(self, nbytes: int) -> None:
+        """Chunk was reallocated: every slot's region content is suspect
+        until re-copied, so all slots go fully stale at the new size."""
+        self.nbytes = nbytes
+        for table in self._slots:
+            table.resize(nbytes)
+            table.mark_all_nvdirty()

@@ -87,6 +87,12 @@ class ChunkCopiedEvent(TraceEvent):
     stream: str  # local | remote
     phase: str  # coordinated | precopy
     destination: str = ""
+    #: pages moved by this copy (page-granular mode counts only the
+    #: stale extents; chunk-granular mode counts the whole chunk)
+    pages: int = 0
+    #: chunk bytes NOT moved thanks to incremental extents (0 for
+    #: whole-chunk copies)
+    bytes_saved: int = 0
 
 
 @dataclass(frozen=True)

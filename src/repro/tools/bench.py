@@ -9,6 +9,8 @@ perf trajectory:
   then parallel with a cold cache, then again with a warm cache;
 * cells/sec for each mode, the warm-run cache hit rate, and the
   engine speedup over naive serial re-execution;
+* a paired chunk-granular vs page-granular (incremental) pass over the
+  same grid, recording the checkpoint bytes-saved ratio per cell;
 * wall-clock per pinned figure grid (Figs. 7/8/9 miniatures).
 
 All grids are deterministic (per-cell derived seeds), so the records
@@ -80,6 +82,16 @@ def _grid_cells(axes_specs: Sequence[str]) -> int:
     return n
 
 
+def _cell_ckpt_gb(record: dict) -> float:
+    """Total checkpoint bytes (GB) one cell moved across both tiers."""
+    return (
+        record["local.coordinated_gb"]
+        + record["local.precopy_gb"]
+        + record["remote.round_gb"]
+        + record["remote.stream_gb"]
+    )
+
+
 def _mode_record(report: GridReport) -> dict:
     ex = report.execution
     return {
@@ -125,6 +137,29 @@ def run_benchmark(
             BUS.detach(jsonl)
             jsonl.close()
         BUS.detach(counter)
+
+    # 1b. the same pinned grid with page-granular incremental copy.
+    # Copy granularity lives in the base config, not an axis, so both
+    # runs derive identical per-cell seeds and pair cell-for-cell in
+    # grid order; the delta is the checkpoint bytes the dirty-page
+    # extents saved over whole-chunk copies.
+    incremental = run_grid(
+        base + ["--copy-granularity", "page"], axes, workers=1, cache=None
+    )
+    inc_cells: List[dict] = []
+    chunk_gb_total = inc_gb_total = 0.0
+    for chunk_rec, inc_rec in zip(serial.records, incremental.records):
+        cg = _cell_ckpt_gb(chunk_rec)
+        ig = _cell_ckpt_gb(inc_rec)
+        chunk_gb_total += cg
+        inc_gb_total += ig
+        inc_cells.append({
+            "mode": chunk_rec["sweep.mode"],
+            "nvm_gbps": chunk_rec["sweep.nvm-gbps"],
+            "chunk_gb": round(cg, 4),
+            "incremental_gb": round(ig, 4),
+            "bytes_saved_ratio": round(1.0 - ig / cg, 4) if cg > 0 else 0.0,
+        })
 
     # 2. engine, cold cache: sharded execution, results stored
     cold = run_grid(base, axes, workers=workers, cache=ResultCache(tmp))
@@ -172,6 +207,15 @@ def run_benchmark(
         # decision mix across all 16 cells (4 modes x 4 bandwidths)
         "trace_events": dict(sorted(counter.by_kind.items())),
         "policy_decisions": dict(sorted(counter.decisions.items())),
+        # chunk-granular vs page-granular (incremental) checkpoint
+        # bytes per pinned cell, and the aggregate bytes-saved ratio
+        "incremental": {
+            "cells": inc_cells,
+            "chunk_gb": round(chunk_gb_total, 4),
+            "incremental_gb": round(inc_gb_total, 4),
+            "bytes_saved_ratio": round(1.0 - inc_gb_total / chunk_gb_total, 4)
+            if chunk_gb_total > 0 else 0.0,
+        },
         "figures": figures,
     }
     return record

@@ -73,6 +73,9 @@ def build_parser() -> argparse.ArgumentParser:
                    default="dcpcp", help="local pre-copy policy")
     p.add_argument("--granularity", choices=["chunk", "page"], default="chunk",
                    help="dirty-tracking granularity")
+    p.add_argument("--copy-granularity", choices=["chunk", "page"], default="chunk",
+                   help="copy granularity: 'page' moves only the stale "
+                        "dirty-page extents (incremental checkpoints)")
     p.add_argument("--nodes", type=int, default=4)
     p.add_argument("--ranks-per-node", type=int, default=12)
     p.add_argument("--iterations", type=int, default=6)
@@ -141,7 +144,11 @@ def run_experiment(args: argparse.Namespace) -> RunResult:
     config = CheckpointConfig(
         local_interval=args.local_interval,
         remote_interval=args.remote_interval,
-        precopy=PrecopyPolicy(mode=args.mode, granularity=args.granularity),
+        precopy=PrecopyPolicy(
+            mode=args.mode,
+            granularity=args.granularity,
+            copy_granularity=args.copy_granularity,
+        ),
         remote_precopy=not args.no_remote_precopy,
     )
     cluster = Cluster(

@@ -50,9 +50,28 @@ class TestEquations:
         est.update_bandwidth(MB_per_sec(200))
         assert est.copy_time() == pytest.approx(2.0)
 
-    def test_update_bandwidth_ignores_nonpositive(self, est):
-        est.update_bandwidth(0.0)
+    def test_update_bandwidth_rejects_nonpositive(self, est):
+        """A nonpositive probe is a broken measurement: it must raise
+        like the constructor, not silently freeze the stale value."""
+        with pytest.raises(ValueError):
+            est.update_bandwidth(0.0)
+        with pytest.raises(ValueError):
+            est.update_bandwidth(-1.0)
         assert est.bandwidth_per_core == MB_per_sec(100)
+
+    def test_update_bandwidth_emits_policy_decision(self):
+        from repro.metrics.trace import BUS, CounterSink
+
+        est = ThresholdEstimator(
+            MB_per_sec(100), clock=lambda: 7.5, actor="r3"
+        )
+        sink = CounterSink()
+        BUS.attach(sink)
+        try:
+            est.update_bandwidth(MB_per_sec(200))
+        finally:
+            BUS.detach(sink)
+        assert sink.decisions.get("recompute_threshold") == 1
 
 
 class TestAdaptation:

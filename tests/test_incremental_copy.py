@@ -1,0 +1,247 @@
+"""Page-granular incremental copy: extents move fewer bytes, commit
+identical content.
+
+The stale-page maps are per (stream, version slot): under two-version
+shadow buffering the in-progress slot is *two* checkpoints stale, so a
+naive "dirty since last checkpoint" bitmap would under-copy.  Both
+slots start fully stale, hence savings begin at the third checkpoint of
+a chunk — these tests pin that schedule, the byte accounting, the trace
+fields, and the acceptance criterion on the pinned 16-cell bench grid.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import CheckpointConfig, PrecopyPolicy
+from repro.core import NVMCheckpoint
+from repro.faults.checker import ConsistencyChecker, payload_digest
+from repro.memory import InMemoryStore
+from repro.metrics.trace import BUS, RingBufferSink
+
+PAGE = 4096
+A_BYTES = 32 * PAGE
+B_BYTES = 8 * PAGE
+
+#: per-round writes: (chunk, page_offset, page_count, fill); every
+#: round ends with one coordinated checkpoint.  Round 0 initializes
+#: fully; later rounds dirty small page runs.
+SCRIPT = [
+    [("a", 0, 32, 0x10), ("b", 0, 8, 0x80)],
+    [("a", 4, 2, 0x11), ("b", 0, 1, 0x81)],
+    [("a", 4, 2, 0x12), ("b", 0, 1, 0x82)],
+    [("a", 20, 1, 0x13)],
+]
+
+
+def _run_script(granularity: str, store=None):
+    """Run SCRIPT under one copy granularity; returns
+    ``(app, per-checkpoint stats, per-checkpoint committed digests)``."""
+    cfg = CheckpointConfig(
+        precopy=PrecopyPolicy(mode="none", copy_granularity=granularity)
+    )
+    app = NVMCheckpoint("p", store=store or InMemoryStore(), checkpoint_config=cfg)
+    app.nvalloc("a", A_BYTES)
+    app.nvalloc("b", B_BYTES)
+    stats, digests = [], []
+    for writes in SCRIPT:
+        for name, page_off, n_pages, fill in writes:
+            app.chunk(name).write(
+                page_off * PAGE, np.full(n_pages * PAGE, fill, dtype=np.uint8)
+            )
+        stats.append(app.nvchkptall())
+        digests.append({
+            name: payload_digest(
+                app.chunk(name).committed_region().read(0, app.chunk(name).nbytes)
+            )
+            for name in ("a", "b")
+        })
+    return app, stats, digests
+
+
+class TestCommittedContent:
+    def test_digests_identical_across_granularities(self):
+        """The incremental pipeline must commit byte-identical content
+        to whole-chunk copies at every checkpoint."""
+        _, _, chunk_digests = _run_script("chunk")
+        _, _, page_digests = _run_script("page")
+        assert chunk_digests == page_digests
+
+    def test_savings_start_at_third_checkpoint(self):
+        _, chunk_stats, _ = _run_script("chunk")
+        _, page_stats, _ = _run_script("page")
+        # both version slots start all-stale: the first two checkpoints
+        # move the same bytes either way
+        assert page_stats[0].bytes_copied == chunk_stats[0].bytes_copied
+        assert page_stats[1].bytes_copied == chunk_stats[1].bytes_copied
+        # checkpoint 2 re-stages slot 0, whose stale set is the union
+        # of rounds 1 and 2: pages {4,5} of a and {0} of b
+        assert chunk_stats[2].bytes_copied == A_BYTES + B_BYTES
+        assert page_stats[2].bytes_copied == 3 * PAGE
+        # checkpoint 3 re-stages slot 1 (stale = rounds 2+3: a pages
+        # {4,5,20}, b page {0} from round 2).  Without pre-copy there
+        # is no dirty tracking, so chunk-granular re-copies b whole
+        # even though round 3 never wrote it
+        assert chunk_stats[3].bytes_copied == A_BYTES + B_BYTES
+        assert page_stats[3].bytes_copied == 4 * PAGE
+
+    def test_restart_recovers_incremental_commits(self):
+        store = InMemoryStore()
+        app, _, digests = _run_script("page", store=store)
+        a_view = np.asarray(app.chunk("a").view(np.uint8)).copy()
+        app.crash()
+        app2, _ = NVMCheckpoint.restart("p", store)
+        assert np.array_equal(np.asarray(app2.chunk("a").view(np.uint8)), a_view)
+        d = payload_digest(app2.chunk("a").committed_region().read(0, A_BYTES))
+        assert d == digests[-1]["a"]
+
+
+class TestConsistencyOracle:
+    def test_checker_digests_match_across_granularities(self):
+        """ConsistencyChecker's durable-state walk (the restart oracle)
+        sees identical committed payloads under both granularities."""
+        stores = {}
+        oracle = {}
+        for gran in ("chunk", "page"):
+            store = InMemoryStore()
+            app, _, digests = _run_script(gran, store=store)
+            app.crash()
+            stores[gran] = store
+            oracle[gran] = digests[-1]
+        assert oracle["chunk"] == oracle["page"]
+        for gran, store in stores.items():
+            report = ConsistencyChecker(store).check_process(
+                "p", expected={k: {v} for k, v in oracle[gran].items()}
+            )
+            assert not report.violations, (gran, report.violations)
+            assert not report.checksum_failures, (gran, report.checksum_failures)
+            assert report.committed_chunks == 2
+
+
+class TestTraceFields:
+    def test_chunk_copied_events_carry_pages_and_bytes_saved(self):
+        sink = RingBufferSink()
+        BUS.attach(sink)
+        try:
+            _run_script("page")
+        finally:
+            BUS.detach(sink)
+        copies = sink.of_kind("chunk.copied")
+        assert copies, "no chunk.copied events emitted"
+        for ev in copies:
+            assert ev.pages > 0
+            assert ev.bytes_saved >= 0
+            # nbytes + bytes_saved reconstructs the chunk size
+            assert ev.nbytes + ev.bytes_saved in (A_BYTES, B_BYTES)
+        partial = [e for e in copies if e.bytes_saved > 0]
+        assert partial, "no partial (extent) copy was ever traced"
+        # chunk a's partial copies: 2 pages at checkpoint 2, 3 at 3
+        a_partial = [e for e in partial if e.chunk == "a"]
+        assert {(e.pages, e.nbytes) for e in a_partial} == {
+            (2, 2 * PAGE), (3, 3 * PAGE)
+        }
+
+    def test_chunk_granular_events_report_zero_saved(self):
+        sink = RingBufferSink()
+        BUS.attach(sink)
+        try:
+            _run_script("chunk")
+        finally:
+            BUS.detach(sink)
+        for ev in sink.of_kind("chunk.copied"):
+            assert ev.bytes_saved == 0
+            assert ev.pages * PAGE >= ev.nbytes
+
+
+class TestPrecopyIncremental:
+    def _standalone(self, granularity: str):
+        from repro.alloc import NVAllocator
+        from repro.core import LocalCheckpointer, make_standalone_context
+        from repro.units import MB
+
+        ctx = make_standalone_context(name=f"inc-{granularity}")
+        alloc = NVAllocator(
+            "p0", ctx.nvmm, ctx.dram, phantom=True, clock=lambda: ctx.engine.now
+        )
+        big = alloc.nvalloc("big", MB(8))
+        small = alloc.nvalloc("small", MB(2))
+        ck = LocalCheckpointer(
+            ctx, alloc, PrecopyPolicy(mode="cpc", copy_granularity=granularity)
+        )
+        ck.start_background()
+
+        def app():
+            for _ in range(4):
+                # one-page writes at fixed offsets: tiny extents
+                big.touch(PAGE, offset=PAGE)
+                small.touch(PAGE, offset=0)
+                yield ctx.engine.timeout(5.0)
+                yield from ck.checkpoint(blocking=False)
+            ck.stop_background()
+
+        ctx.engine.process(app(), name="app")
+        ctx.engine.run()
+        return ck
+
+    def test_cpc_precopy_moves_fewer_bytes_page_granular(self):
+        chunk_ck = self._standalone("chunk")
+        page_ck = self._standalone("page")
+        assert chunk_ck.checkpoints_done == page_ck.checkpoints_done == 4
+        assert page_ck.total_bytes_to_nvm < chunk_ck.total_bytes_to_nvm
+        # and the pre-copy stream itself went extent-granular
+        assert (
+            page_ck.precopy.stats.bytes_copied < chunk_ck.precopy.stats.bytes_copied
+        )
+
+
+class TestPinnedGridAcceptance:
+    """Acceptance: incremental mode on the pinned 16-cell bench grid
+    moves strictly fewer checkpoint bytes than chunk-granular on every
+    cell (LAMMPS' STAGED chunks give each cell partial-chunk dirtiness
+    by the third local checkpoint) without changing the workload."""
+
+    @pytest.fixture(scope="class")
+    def paired_grids(self):
+        from repro.exec.grid import run_grid
+        from repro.tools.bench import PINNED_GRID
+        from repro.tools.sweep import parse_sweeps
+
+        base, axes_specs = PINNED_GRID
+        axes = parse_sweeps(list(axes_specs))
+        chunk = run_grid(base, axes, workers=1, cache=None)
+        page = run_grid(
+            base + ["--copy-granularity", "page"], axes, workers=1, cache=None
+        )
+        return chunk.records, page.records
+
+    @staticmethod
+    def _ckpt_gb(rec: dict) -> float:
+        return (
+            rec["local.coordinated_gb"]
+            + rec["local.precopy_gb"]
+            + rec["remote.round_gb"]
+            + rec["remote.stream_gb"]
+        )
+
+    def test_every_cell_moves_strictly_fewer_bytes(self, paired_grids):
+        chunk_recs, page_recs = paired_grids
+        assert len(chunk_recs) == len(page_recs) == 16
+        for c_rec, p_rec in zip(chunk_recs, page_recs):
+            coords = (c_rec["sweep.mode"], c_rec["sweep.nvm-gbps"])
+            assert coords == (p_rec["sweep.mode"], p_rec["sweep.nvm-gbps"])
+            assert self._ckpt_gb(p_rec) < self._ckpt_gb(c_rec), (
+                f"cell {coords}: incremental moved no fewer bytes"
+            )
+
+    def test_workload_unchanged_by_granularity(self, paired_grids):
+        """Copy granularity changes the bytes moved, never the work
+        simulated: iteration counts, checkpoint counts and failure
+        schedules stay identical cell-for-cell."""
+        chunk_recs, page_recs = paired_grids
+        for c_rec, p_rec in zip(chunk_recs, page_recs):
+            for key in (
+                "n_ranks", "local.checkpoints", "remote.rounds",
+                "failures.soft", "failures.hard",
+            ):
+                assert c_rec[key] == p_rec[key], (key, c_rec["sweep.mode"])

@@ -107,3 +107,87 @@ class TestResize:
         table.resize(5 * PAGE_SIZE)
         assert table.n_pages == 5
         assert table.collect_nvdirty() == []
+
+
+class TestNvDirtyExtents:
+    def test_empty(self, table):
+        assert table.nvdirty_extents() == []
+
+    def test_adjacent_pages_coalesce(self, table):
+        table.mark_nvdirty(PAGE_SIZE, 3 * PAGE_SIZE)
+        assert table.nvdirty_extents() == [(PAGE_SIZE, 3 * PAGE_SIZE)]
+
+    def test_gap_splits_runs(self, table):
+        table.mark_nvdirty(0, PAGE_SIZE)
+        table.mark_nvdirty(5 * PAGE_SIZE, PAGE_SIZE)
+        assert table.nvdirty_extents() == [
+            (0, PAGE_SIZE),
+            (5 * PAGE_SIZE, PAGE_SIZE),
+        ]
+
+    def test_final_extent_clipped_to_region(self):
+        t = PageTable(PAGE_SIZE + 100)
+        t.mark_all_nvdirty()
+        assert t.nvdirty_extents() == [(0, PAGE_SIZE + 100)]
+
+    def test_clear_flag_resets(self, table):
+        table.mark_nvdirty(0, PAGE_SIZE)
+        assert table.nvdirty_extents(clear=True) == [(0, PAGE_SIZE)]
+        assert table.nvdirty_extents() == []
+
+    def test_clear_range_is_exact(self, table):
+        table.mark_nvdirty(0, 4 * PAGE_SIZE)
+        table.clear_nvdirty_range(PAGE_SIZE, 2 * PAGE_SIZE)
+        assert table.nvdirty_extents() == [
+            (0, PAGE_SIZE),
+            (3 * PAGE_SIZE, PAGE_SIZE),
+        ]
+
+
+class TestStalePageMap:
+    @pytest.fixture
+    def pmap(self):
+        from repro.memory import StalePageMap
+
+        return StalePageMap(10 * PAGE_SIZE, 2)
+
+    def test_fresh_slots_start_fully_stale(self, pmap):
+        assert pmap.n_slots == 2
+        for slot in (0, 1):
+            assert pmap.stale_bytes(slot) == 10 * PAGE_SIZE
+
+    def test_mark_lands_in_every_slot(self, pmap):
+        pmap.clear_all(0)
+        pmap.clear_all(1)
+        pmap.mark(PAGE_SIZE, PAGE_SIZE)
+        assert pmap.extents(0) == [(PAGE_SIZE, PAGE_SIZE)]
+        assert pmap.extents(1) == [(PAGE_SIZE, PAGE_SIZE)]
+
+    def test_clear_is_per_slot(self, pmap):
+        pmap.clear_all(0)
+        pmap.mark(0, PAGE_SIZE)
+        pmap.clear_extents(0, pmap.extents(0))
+        assert pmap.extents(0) == []
+        assert pmap.stale_bytes(1) == 10 * PAGE_SIZE  # untouched
+
+    def test_ensure_slots_grows_fully_stale(self, pmap):
+        pmap.clear_all(0)
+        pmap.ensure_slots(3)
+        assert pmap.n_slots == 3
+        assert pmap.stale_bytes(2) == 10 * PAGE_SIZE
+        pmap.ensure_slots(2)  # never shrinks
+        assert pmap.n_slots == 3
+
+    def test_resize_marks_everything_stale(self, pmap):
+        pmap.clear_all(0)
+        pmap.clear_all(1)
+        pmap.resize(4 * PAGE_SIZE)
+        assert pmap.nbytes == 4 * PAGE_SIZE
+        for slot in (0, 1):
+            assert pmap.stale_bytes(slot) == 4 * PAGE_SIZE
+
+    def test_needs_at_least_one_slot(self):
+        from repro.memory import StalePageMap
+
+        with pytest.raises(ValueError):
+            StalePageMap(PAGE_SIZE, 0)
