@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test lint faults faults-matrix bench bench-json exec-smoke
+.PHONY: test lint faults faults-matrix bench bench-json exec-smoke replay-smoke
 
 # tier-1: the full deterministic suite
 test:
@@ -38,3 +38,8 @@ bench-json:
 # cold then warm, warm run must execute nothing
 exec-smoke:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.tools.bench --smoke
+
+# smallest end-to-end proof of the replay engine: capture two live
+# cells, replay each faithfully, fail on any byte divergence
+replay-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.tools.bench --replay-smoke

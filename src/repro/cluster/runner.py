@@ -79,6 +79,8 @@ class RunResult:
     # -- local checkpointing --
     coordinated_bytes: int = 0
     local_precopy_bytes: int = 0
+    #: coordinated bytes page-granular extents did NOT move
+    bytes_saved: int = 0
     total_nvm_bytes: int = 0
     local_ckpt_time_avg: float = 0.0  # mean coordinated duration per rank-ckpt
     local_ckpt_time_total: float = 0.0  # T_lcl averaged over ranks
@@ -125,6 +127,12 @@ class RunResult:
     degraded_entries: int = 0
     degraded_time_total: float = 0.0
 
+    # -- online policy autotuning --
+    autotune_switches: int = 0
+    autotune_nudges: int = 0
+    #: final per-rank policy modes, comma-joined and deduplicated
+    autotune_final_policy: str = ""
+
     timeline: object = None
 
     @property
@@ -166,6 +174,7 @@ class RunResult:
                 "avg_blocking_s": self.local_ckpt_time_avg,
                 "coordinated_gb": to_GB(self.coordinated_bytes),
                 "precopy_gb": to_GB(self.local_precopy_bytes),
+                "saved_gb": to_GB(self.bytes_saved),
                 "fault_time_s": self.fault_time_total,
             },
             "remote": {
@@ -197,6 +206,11 @@ class RunResult:
                 "resync_gb": to_GB(self.resync_bytes),
                 "degraded_entries": self.degraded_entries,
                 "degraded_time_s": self.degraded_time_total,
+            },
+            "autotune": {
+                "switches": self.autotune_switches,
+                "nudges": self.autotune_nudges,
+                "final_policy": self.autotune_final_policy,
             },
         }
 
@@ -244,6 +258,8 @@ class ClusterRunner:
         self.transient_failures = 0
         self._end_time = None
         self._bg_procs = []
+        #: per-rank OnlinePolicyTuner instances (autotuned runs only)
+        self.tuners: List = []
         # -- resilience layer (wired in _start_background when enabled) --
         self.directory = None
         self.transports: Dict[int, object] = {}
@@ -298,6 +314,15 @@ class ClusterRunner:
         if self.local_checkpoints:
             for state in self.cluster.all_ranks():
                 state.checkpointer.start_background()
+            acfg = getattr(self.ckpt_config, "autotune", None)
+            if acfg is not None and acfg.enabled and not self.tuners:
+                from ..core.autotune import OnlinePolicyTuner
+
+                for i, state in enumerate(self.cluster.all_ranks()):
+                    tuner = OnlinePolicyTuner.from_config(
+                        state.checkpointer, acfg, seed_offset=i
+                    )
+                    self.tuners.append(tuner.attach())
         for node in self.cluster.active_nodes:
             if node.helper is not None:
                 node.helper.start_background()
@@ -442,6 +467,8 @@ class ClusterRunner:
         return on_up
 
     def _stop_background(self) -> None:
+        for tuner in self.tuners:
+            tuner.detach()
         for state in self.cluster.all_ranks():
             state.checkpointer.stop_background()
         for node in self.cluster.active_nodes:
@@ -575,6 +602,7 @@ class ClusterRunner:
         res.local_checkpoints = len(all_stats)
         res.coordinated_bytes = sum(state.checkpointer.total_coordinated_bytes for state in ranks)
         res.local_precopy_bytes = sum(state.checkpointer.total_precopy_bytes for state in ranks)
+        res.bytes_saved = sum(state.checkpointer.total_bytes_saved for state in ranks)
         res.total_nvm_bytes = res.coordinated_bytes + res.local_precopy_bytes
         if all_stats:
             res.local_ckpt_time_avg = sum(s.duration for s in all_stats) / len(all_stats)
@@ -627,4 +655,11 @@ class ClusterRunner:
             res.buddy_repairs = len(self.directory.repairs)
         res.resyncs_completed = self.resyncs_completed
         res.resync_bytes = self.resync_bytes
+        # autotuning
+        if self.tuners:
+            res.autotune_switches = sum(len(t.switches) for t in self.tuners)
+            res.autotune_nudges = sum(t.nudges for t in self.tuners)
+            res.autotune_final_policy = ",".join(
+                sorted({t.current for t in self.tuners})
+            )
         return res

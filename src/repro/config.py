@@ -37,6 +37,7 @@ __all__ = [
     "InterconnectConfig",
     "ClusterConfig",
     "PrecopyPolicy",
+    "AutotuneConfig",
     "ResilienceConfig",
     "CheckpointConfig",
     "FailureConfig",
@@ -280,6 +281,64 @@ class PrecopyPolicy:
 
 
 @dataclass(frozen=True)
+class AutotuneConfig:
+    """Knobs for the online policy tuner
+    (:class:`repro.core.autotune.OnlinePolicyTuner`): a per-rank bandit
+    over the pre-copy modes plus optional threshold-margin nudging.
+    Off by default — a run without autotuning stays byte-identical to
+    the pre-tuner pipeline."""
+
+    enabled: bool = False
+    #: "epsilon" (decaying epsilon-greedy) or "ucb" (UCB1 on costs).
+    strategy: str = "epsilon"
+    #: candidate policy modes the bandit pulls from.
+    arms: tuple = (
+        PrecopyPolicy.NONE,
+        PrecopyPolicy.CPC,
+        PrecopyPolicy.DCPC,
+        PrecopyPolicy.DCPCP,
+    )
+    #: initial exploration probability (epsilon-greedy strategy).
+    epsilon: float = 0.3
+    #: per-interval multiplicative epsilon decay.
+    epsilon_decay: float = 0.95
+    #: UCB exploration coefficient.
+    ucb_c: float = 0.5
+    #: weight of wasted pre-copy traffic (seconds of bus time) in the
+    #: per-interval cost next to the blocking checkpoint duration.
+    waste_weight: float = 0.5
+    #: also nudge the DCPC threshold margin while a threshold policy
+    #: holds the arm.
+    nudge_margin: bool = False
+    #: margin step per nudge (clamped to [1.0, 4.0]).
+    margin_step: float = 0.1
+    #: RNG seed for exploration draws (per-rank tuners derive from it).
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.strategy not in ("epsilon", "ucb"):
+            raise ConfigError(
+                f"unknown autotune strategy {self.strategy!r}; "
+                "expected 'epsilon' or 'ucb'"
+            )
+        if not self.arms:
+            raise ConfigError("autotune needs at least one arm")
+        valid = {
+            PrecopyPolicy.NONE,
+            PrecopyPolicy.CPC,
+            PrecopyPolicy.DCPC,
+            PrecopyPolicy.DCPCP,
+        }
+        unknown = [a for a in self.arms if a not in valid]
+        if unknown:
+            raise ConfigError(f"unknown autotune arms {unknown!r}")
+        if not 0.0 <= self.epsilon <= 1.0:
+            raise ConfigError("epsilon must be in [0, 1]")
+        if not 0.0 < self.epsilon_decay <= 1.0:
+            raise ConfigError("epsilon_decay must be in (0, 1]")
+
+
+@dataclass(frozen=True)
 class ResilienceConfig:
     """Knobs for the resilience layer (:mod:`repro.resilience`): retry
     policy around remote transfers, buddy heartbeats, and degraded-mode
@@ -339,6 +398,8 @@ class CheckpointConfig:
     helper_core: bool = True
     #: retry/heartbeat/degraded-mode behaviour (repro.resilience).
     resilience: ResilienceConfig = ResilienceConfig()
+    #: online policy autotuning (repro.core.autotune); off by default.
+    autotune: AutotuneConfig = AutotuneConfig()
 
 
 # ---------------------------------------------------------------------------

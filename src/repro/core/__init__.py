@@ -49,7 +49,7 @@ from .erasure import XorParityGroup
 from .transparent import TransparentCheckpointer
 from .compression import CompressionModel
 from .archive import ArchiveStats, ArchiveTier
-from .autotune import IntervalTuner
+from .autotune import IntervalTuner, OnlinePolicyTuner
 from .api import NVMCheckpoint
 
 __all__ = [
@@ -91,5 +91,6 @@ __all__ = [
     "ArchiveTier",
     "ArchiveStats",
     "IntervalTuner",
+    "OnlinePolicyTuner",
     "NVMCheckpoint",
 ]

@@ -21,6 +21,7 @@ thin facades over this one engine.
 
 from __future__ import annotations
 
+import dataclasses
 import warnings
 from dataclasses import dataclass
 from typing import Iterable, List, Optional
@@ -54,6 +55,13 @@ class CheckpointStats:
     chunks_copied: int = 0
     chunks_skipped: int = 0
     flush_cost: float = 0.0
+    #: chunk bytes NOT moved thanks to page-granular incremental
+    #: extents (0 in whole-chunk mode) — pairs with ``bytes_copied``
+    #: exactly like the ``chunk.copied`` trace event's field
+    bytes_saved: int = 0
+    #: the policy mode this coordinated step ran under (autotuned runs
+    #: switch modes between intervals)
+    policy: str = ""
 
     @property
     def duration(self) -> float:
@@ -122,6 +130,7 @@ class CheckpointEngine:
                 decision_policy=self.decision_policy,
             )
         self._precopy_proc = None
+        self._background_started = False
 
     # ------------------------------------------------------------------
     # Background engine lifecycle.
@@ -135,6 +144,7 @@ class CheckpointEngine:
     def start_background(self) -> None:
         """Spawn the pre-copy engine as a DES process (no-op for the
         no-pre-copy baseline)."""
+        self._background_started = True
         if self.policy.granularity == "page":
             for chunk in self.allocator.chunks():
                 chunk.page_granular_protection = True
@@ -145,9 +155,69 @@ class CheckpointEngine:
             )
 
     def stop_background(self) -> None:
+        self._background_started = False
         if self.precopy is not None:
             self.precopy.stop()
             self._precopy_proc = None
+
+    # ------------------------------------------------------------------
+    # Hot policy swap (online autotuning).
+    # ------------------------------------------------------------------
+
+    def set_policy(self, mode: str) -> CheckpointPolicy:
+        """Swap the scheduling policy to *mode* between intervals.
+
+        Estimators are created lazily on first need and *kept warm*
+        across switches (a bandit cycling through modes must not
+        re-learn the threshold every pull).  The pre-copy engine is
+        created and spawned on the first switch to a pre-copying mode;
+        switching to the no-pre-copy baseline leaves it attached but
+        idle (the :class:`~repro.core.policy.NonePolicy` strategy makes
+        no chunk eligible).  Only call between coordinated checkpoints
+        — e.g. from an ``on_complete`` observer — never while one is in
+        flight.
+        """
+        policy_cls = policy_class(mode)
+        if mode == self.policy.mode:
+            return self.decision_policy
+        if policy_cls.needs_threshold and self.threshold is None:
+            self.threshold = ThresholdEstimator(
+                bandwidth_per_core=self.ctx.effective_nvm_bw_per_core(),
+                smoothing=self.policy.adapt_smoothing,
+                margin=self.policy.threshold_margin,
+                clock=lambda: self.ctx.engine.now,
+                actor=str(self.rank),
+            )
+        if policy_cls.needs_prediction and self.prediction is None:
+            self.prediction = PredictionTable(smoothing=self.policy.adapt_smoothing)
+        self.policy = dataclasses.replace(self.policy, mode=mode)
+        self.decision_policy = resolve_policy(
+            mode, threshold=self.threshold, prediction=self.prediction
+        )
+        if self.decision_policy.precopies and self.precopy is None:
+            self.precopy = PrecopyEngine(
+                self.ctx,
+                chunks=self.allocator.persistent_chunks,
+                policy=self.policy,
+                stream="local",
+                tag=f"{self.tag}:precopy",
+                threshold=self.threshold,
+                prediction=self.prediction,
+                decision_policy=self.decision_policy,
+            )
+            if self._background_started:
+                self.precopy.wire_chunks()
+                self._precopy_proc = self.ctx.engine.process(
+                    self.precopy.run(), name=f"{self.tag}:precopy"
+                )
+        elif self.precopy is not None:
+            self.precopy.adopt_policy(
+                self.policy,
+                self.decision_policy,
+                threshold=self.threshold,
+                prediction=self.prediction,
+            )
+        return self.decision_policy
 
     # ------------------------------------------------------------------
     # The coordinated checkpoint step (nvchkptall).
@@ -204,7 +274,7 @@ class CheckpointEngine:
         """The checkpoint generator body behind :meth:`checkpoint`."""
         engine = self.ctx.engine
         dest = self.destination
-        stats = CheckpointStats(start=engine.now)
+        stats = CheckpointStats(start=engine.now, policy=self.policy.mode)
         if self.precopy is not None:
             self.precopy.pause()
             yield from self.precopy.drain()
@@ -257,6 +327,7 @@ class CheckpointEngine:
                     # against the stale map here
                     chunk.mark_extents_copied("local", extents)
                 stats.bytes_copied += nbytes_moved
+                stats.bytes_saved += chunk.nbytes - nbytes_moved
                 stats.chunks_copied += 1
                 if BUS.active:
                     BUS.emit(
@@ -370,6 +441,11 @@ class CheckpointEngine:
     @property
     def total_precopy_bytes(self) -> int:
         return self.precopy.stats.bytes_copied if self.precopy is not None else 0
+
+    @property
+    def total_bytes_saved(self) -> int:
+        """Coordinated-step bytes incremental extents did NOT move."""
+        return sum(s.bytes_saved for s in self.history)
 
     @property
     def total_bytes_to_nvm(self) -> int:

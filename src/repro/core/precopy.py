@@ -159,6 +159,27 @@ class PrecopyEngine:
             self._wake.succeed()
             self._wake = None
 
+    def adopt_policy(
+        self,
+        policy: PrecopyPolicy,
+        decision_policy: CheckpointPolicy,
+        *,
+        threshold: Optional[ThresholdEstimator] = None,
+        prediction: Optional[PredictionTable] = None,
+    ) -> None:
+        """Swap the scheduling strategy mid-run (the checkpoint
+        engine's hot policy switch).  The copy mechanism — stream,
+        transfer fns, incremental extents — is untouched; only the
+        when-does-a-chunk-move question changes.  Call between
+        intervals (while no copy is in flight for a conflicting
+        strategy); the wake kick re-evaluates eligibility immediately.
+        """
+        self.policy = policy
+        self.decision_policy = decision_policy
+        self.threshold = threshold
+        self.prediction = prediction
+        self._kick()
+
     # ------------------------------------------------------------------
     # Interval lifecycle (driven by the checkpoint coordinator).
     # ------------------------------------------------------------------
@@ -340,20 +361,9 @@ class PrecopyEngine:
         fire("precopy.copy.after", chunk=chunk, stream=self.stream)
         self.stats.copies += 1
         self.stats.bytes_copied += nbytes_moved
-        if chunk.total_mods != mods_before:
-            # torn copy: application wrote during the transfer (the
-            # stale bits were never cleared, so a retry re-copies)
-            self.stats.stale_copies += 1
-            if self.prediction is not None:
-                self.prediction.record_outcome(chunk, was_redundant=True)
-            return
-        if extents is None:
-            self._finalize_fn(chunk)
-        else:
-            chunk.stage_to_nvm(extents)
-        chunk.mark_precopied(self.stream)
-        self._pending_clean[chunk.chunk_id] = chunk
-        fire("precopy.finalize.after", chunk=chunk, stream=self.stream)
+        # the copy event fires for torn copies too: the bytes *did*
+        # move (and count against the stats), the data just stayed
+        # stale — replay accounting must see every byte the stats saw
         if BUS.active:
             BUS.emit(
                 ChunkCopiedEvent(
@@ -368,3 +378,17 @@ class PrecopyEngine:
                     bytes_saved=chunk.nbytes - nbytes_moved,
                 )
             )
+        if chunk.total_mods != mods_before:
+            # torn copy: application wrote during the transfer (the
+            # stale bits were never cleared, so a retry re-copies)
+            self.stats.stale_copies += 1
+            if self.prediction is not None:
+                self.prediction.record_outcome(chunk, was_redundant=True)
+            return
+        if extents is None:
+            self._finalize_fn(chunk)
+        else:
+            chunk.stage_to_nvm(extents)
+        chunk.mark_precopied(self.stream)
+        self._pending_clean[chunk.chunk_id] = chunk
+        fire("precopy.finalize.after", chunk=chunk, stream=self.stream)

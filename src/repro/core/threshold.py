@@ -87,6 +87,29 @@ class ThresholdEstimator:
                 )
             )
 
+    def nudge_margin(
+        self, delta: float, *, min_margin: float = 1.0, max_margin: float = 4.0
+    ) -> float:
+        """Shift the safety margin by *delta*, clamped to
+        ``[min_margin, max_margin]`` — the online tuner's threshold
+        knob.  A larger margin inflates ``T_c`` and so *advances* the
+        pre-copy start; a smaller one defers it.  Returns the new
+        margin and surfaces the recompute on the trace bus."""
+        new = min(max_margin, max(min_margin, self.margin + delta))
+        if new != self.margin:
+            self.margin = new
+            if BUS.active:
+                BUS.emit(
+                    PolicyDecisionEvent(
+                        t=self._clock(),
+                        actor=self._actor,
+                        chunk="*",
+                        decision="recompute_threshold",
+                        policy="dcpc",
+                    )
+                )
+        return self.margin
+
     # -- queries --------------------------------------------------------------------
 
     @property

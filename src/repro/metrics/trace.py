@@ -23,26 +23,48 @@ from __future__ import annotations
 import json
 from collections import deque
 from contextlib import contextmanager
-from dataclasses import asdict, dataclass, field
-from typing import Any, Deque, Dict, IO, Iterator, List, Optional
+from dataclasses import asdict, dataclass, field, fields
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    IO,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+)
 
+from ..errors import ConfigError
 from .timeline import Timeline
 
 __all__ = [
+    "TRACE_VERSION",
     "TraceEvent",
     "PolicyDecisionEvent",
     "ChunkCopiedEvent",
     "CommitEvent",
     "RetryEvent",
     "FailoverEvent",
+    "AutotuneSwitchEvent",
     "TraceSink",
     "RingBufferSink",
     "JsonlSink",
     "CounterSink",
     "TimelineSink",
+    "CallbackSink",
     "TraceBus",
     "BUS",
+    "event_from_record",
+    "read_trace",
 ]
+
+#: schema version of the Jsonl wire format.  Bump when an event gains,
+#: loses or renames a field; register an upgrader in
+#: :data:`_UPGRADERS` when old traces can be mechanically converted.
+TRACE_VERSION = 1
 
 
 # ---------------------------------------------------------------------------
@@ -124,13 +146,123 @@ class FailoverEvent(TraceEvent):
     reason: str = ""
 
 
+@dataclass(frozen=True)
+class AutotuneSwitchEvent(TraceEvent):
+    """The online policy tuner changed (or nudged) the active policy
+    between two checkpoint intervals."""
+
+    from_policy: str
+    to_policy: str
+    #: "bandit" for a mode switch, "nudge" for a threshold-margin nudge
+    reason: str = "bandit"
+    #: reward (negative cost) the closing interval earned
+    reward: float = 0.0
+
+
 _KINDS: Dict[type, str] = {
     PolicyDecisionEvent: "policy.decision",
     ChunkCopiedEvent: "chunk.copied",
     CommitEvent: "commit",
     RetryEvent: "retry",
     FailoverEvent: "failover",
+    AutotuneSwitchEvent: "autotune.switch",
 }
+
+#: kind -> event class (the reader's inverse of :data:`_KINDS`)
+_CLASSES: Dict[str, type] = {kind: cls for cls, kind in _KINDS.items()}
+
+
+# ---------------------------------------------------------------------------
+# Reading traces back (the replay engine's input path).
+# ---------------------------------------------------------------------------
+
+#: header-record wire name (never an event kind)
+_HEADER_KIND = "trace.header"
+
+#: version -> record upgrader to the *next* version.  Empty today: the
+#: only released schema is version 1.  When version 2 lands, add
+#: ``1: _upgrade_1_to_2`` here and old traces load transparently.
+_UPGRADERS: Dict[int, Callable[[Dict[str, Any]], Dict[str, Any]]] = {}
+
+
+def event_from_record(record: Dict[str, Any]) -> TraceEvent:
+    """Rebuild the typed event from one Jsonl record.
+
+    Unknown kinds and unknown fields raise :class:`ConfigError` — a
+    trace that does not round-trip losslessly must never be silently
+    replayed.
+    """
+    rec = dict(record)
+    kind = rec.pop("kind", None)
+    cls = _CLASSES.get(kind)
+    if cls is None:
+        raise ConfigError(
+            f"unknown trace event kind {kind!r}; known kinds: "
+            f"{', '.join(sorted(_CLASSES))}"
+        )
+    names = {f.name for f in fields(cls)}
+    unknown = set(rec) - names
+    if unknown:
+        raise ConfigError(
+            f"trace record of kind {kind!r} carries unknown fields "
+            f"{sorted(unknown)} (schema drift? re-capture the trace or "
+            f"register an upgrader)"
+        )
+    return cls(**rec)
+
+
+def read_trace(
+    target: str | IO[str],
+) -> Tuple[Dict[str, Any], List[TraceEvent]]:
+    """Load a Jsonl trace written by :class:`JsonlSink`.
+
+    Returns ``(meta, events)`` where *meta* is the header's metadata
+    dict (the capturing run's resolved config, if the writer recorded
+    one).  The first line must be a ``trace.header`` record whose
+    ``trace_version`` matches :data:`TRACE_VERSION` after any
+    registered upgraders run; anything else raises a clear
+    :class:`ConfigError` rather than replaying garbage.
+    """
+    if isinstance(target, str):
+        with open(target, "r", encoding="utf-8") as fh:
+            return read_trace(fh)
+    first = target.readline()
+    if not first.strip():
+        raise ConfigError("empty trace stream (no trace.header line)")
+    try:
+        header = json.loads(first)
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"trace header is not valid JSON: {exc}") from None
+    if not isinstance(header, dict) or header.get("kind") != _HEADER_KIND:
+        raise ConfigError(
+            "trace stream has no trace.header first line; this trace "
+            "predates the versioned schema — re-capture it (bench "
+            "--trace / experiment --trace write the header)"
+        )
+    version = header.get("trace_version")
+    upgraders: List[Callable[[Dict[str, Any]], Dict[str, Any]]] = []
+    while isinstance(version, int) and version != TRACE_VERSION:
+        upgrade = _UPGRADERS.get(version)
+        if upgrade is None:
+            break
+        upgraders.append(upgrade)
+        version += 1
+    if version != TRACE_VERSION:
+        raise ConfigError(
+            f"trace_version {header.get('trace_version')!r} is not "
+            f"supported (reader speaks {TRACE_VERSION} and no upgrade "
+            f"path is registered)"
+        )
+    meta = header.get("meta") or {}
+    events: List[TraceEvent] = []
+    for line in target:
+        if not line.strip():
+            continue
+        rec = json.loads(line)
+        for upgrade in upgraders:
+            rec = upgrade(rec)
+        events.append(event_from_record(rec))
+    return meta, events
 
 
 # ---------------------------------------------------------------------------
@@ -149,9 +281,10 @@ class TraceSink:
 
 
 class RingBufferSink(TraceSink):
-    """Keeps the last *capacity* events in memory."""
+    """Keeps the last *capacity* events in memory (``capacity=None``
+    keeps everything — replay captures must never truncate)."""
 
-    def __init__(self, capacity: int = 4096) -> None:
+    def __init__(self, capacity: Optional[int] = 4096) -> None:
         self.events: Deque[TraceEvent] = deque(maxlen=capacity)
 
     def handle(self, event: TraceEvent) -> None:
@@ -162,15 +295,29 @@ class RingBufferSink(TraceSink):
 
 
 class JsonlSink(TraceSink):
-    """Streams each event as one JSON line to a file or file object."""
+    """Streams each event as one JSON line to a file or file object.
 
-    def __init__(self, target: str | IO[str]) -> None:
+    The first line written is always a ``trace.header`` record carrying
+    :data:`TRACE_VERSION` and the optional *meta* dict (conventionally
+    the capturing run's resolved config), so :func:`read_trace` can
+    reject schema-mismatched streams instead of replaying garbage.
+    """
+
+    def __init__(
+        self, target: str | IO[str], *, meta: Optional[Dict[str, Any]] = None
+    ) -> None:
         if isinstance(target, str):
             self._fh: IO[str] = open(target, "w")
             self._owns = True
         else:
             self._fh = target
             self._owns = False
+        header = {
+            "kind": _HEADER_KIND,
+            "trace_version": TRACE_VERSION,
+            "meta": meta or {},
+        }
+        self._fh.write(json.dumps(header, sort_keys=True) + "\n")
 
     def handle(self, event: TraceEvent) -> None:
         self._fh.write(json.dumps(event.to_record(), sort_keys=True) + "\n")
@@ -192,6 +339,25 @@ class CounterSink(TraceSink):
         self.by_kind[event.kind] = self.by_kind.get(event.kind, 0) + 1
         if isinstance(event, PolicyDecisionEvent):
             self.decisions[event.decision] = self.decisions.get(event.decision, 0) + 1
+
+
+class CallbackSink(TraceSink):
+    """Feeds matching events to a callback — the bus's *subscriber*
+    form, used by online consumers (e.g. the policy autotuner) that
+    want live statistics, not storage.  ``kinds=None`` receives every
+    event; otherwise only the listed wire names."""
+
+    def __init__(
+        self,
+        callback: Callable[[TraceEvent], None],
+        kinds: Optional[Iterable[str]] = None,
+    ) -> None:
+        self._callback = callback
+        self._kinds = frozenset(kinds) if kinds is not None else None
+
+    def handle(self, event: TraceEvent) -> None:
+        if self._kinds is None or event.kind in self._kinds:
+            self._callback(event)
 
 
 class TimelineSink(TraceSink):
@@ -251,6 +417,20 @@ class TraceBus:
     def detach(self, sink: TraceSink) -> None:
         if sink in self._sinks:
             self._sinks.remove(sink)
+
+    def subscribe(
+        self,
+        callback: Callable[[TraceEvent], None],
+        kinds: Optional[Iterable[str]] = None,
+    ) -> CallbackSink:
+        """Attach a callback subscriber for the given event kinds and
+        return its sink handle (pass it to :meth:`unsubscribe`)."""
+        sink = CallbackSink(callback, kinds)
+        self.attach(sink)
+        return sink
+
+    def unsubscribe(self, sink: TraceSink) -> None:
+        self.detach(sink)
 
     @contextmanager
     def capture(self, sink: Optional[TraceSink] = None) -> Iterator[TraceSink]:

@@ -1,0 +1,73 @@
+"""Trace sources: one loader for every way a trace reaches the replay
+engine.
+
+Accepted inputs:
+
+* a Jsonl path or open text stream written by
+  :class:`~repro.metrics.trace.JsonlSink` (schema-checked via
+  :func:`~repro.metrics.trace.read_trace`);
+* a live :class:`~repro.metrics.trace.RingBufferSink` (in-memory
+  capture, e.g. from :func:`~repro.replay.capture.capture_cell`);
+* a plain iterable of :class:`~repro.metrics.trace.TraceEvent`;
+* an existing :class:`TraceSource` (pass-through).
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..errors import ConfigError
+from ..metrics.trace import RingBufferSink, TraceEvent, read_trace
+
+__all__ = ["TraceSource", "load_source"]
+
+
+@dataclass
+class TraceSource:
+    """A loaded trace: metadata plus the chronological event stream."""
+
+    events: List[TraceEvent] = field(default_factory=list)
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def of_kind(self, kind: str) -> List[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+
+def load_source(source, *, meta: Optional[Dict[str, Any]] = None) -> TraceSource:
+    """Normalize *source* into a :class:`TraceSource`.
+
+    An explicit *meta* overrides whatever the source carries (events
+    captured in memory have no header of their own).
+    """
+    if isinstance(source, TraceSource):
+        return TraceSource(
+            events=list(source.events),
+            meta=dict(meta) if meta is not None else dict(source.meta),
+        )
+    if isinstance(source, RingBufferSink):
+        return TraceSource(events=list(source.events), meta=dict(meta or {}))
+    if isinstance(source, str) or isinstance(source, io.TextIOBase):
+        read_meta, events = read_trace(source)
+        return TraceSource(
+            events=events, meta=dict(meta) if meta is not None else dict(read_meta)
+        )
+    if hasattr(source, "read") and hasattr(source, "readline"):
+        read_meta, events = read_trace(source)
+        return TraceSource(
+            events=events, meta=dict(meta) if meta is not None else dict(read_meta)
+        )
+    try:
+        events = list(source)
+    except TypeError:
+        raise ConfigError(
+            f"cannot load a trace from {type(source).__name__!r}; expected "
+            "a Jsonl path/stream, a RingBufferSink, or an event iterable"
+        ) from None
+    for ev in events:
+        if not isinstance(ev, TraceEvent):
+            raise ConfigError(
+                f"trace event list contains a non-event {type(ev).__name__!r}"
+            )
+    return TraceSource(events=events, meta=dict(meta or {}))

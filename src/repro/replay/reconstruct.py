@@ -1,0 +1,229 @@
+"""Rebuild per-rank checkpoint-interval structure from a trace.
+
+The trace records what *moved* (``chunk.copied`` extents) and when
+each interval *closed* (``commit``).  This module inverts that into
+the dirty-page activity the what-if model needs:
+
+* intervals per rank, delimited by that rank's commit events;
+* per interval, per chunk: the observed copies and the *write epochs*
+  they imply.  Each copy clears the chunk's dirty state for its
+  stream, so a later copy of the same chunk in the same interval is
+  evidence of a re-dirty after the earlier copy completed.  Epoch 0 is
+  the interval start (the chunk was dirty when the window opened);
+  epoch *i* begins when copy *i-1* finished.
+* the chunk catalog (names, best-known full sizes) from the
+  coordinated steps' full ``policy.decision`` enumeration plus
+  ``nbytes + bytes_saved`` on every copy;
+* the observed local copy bandwidth (bytes over span seconds), the
+  scaling basis for bandwidth what-ifs.
+
+Actor conventions (see the emitters): a rank's coordinated events use
+``actor == str(rank)``, its background pre-copy engine uses
+``actor == f"{rank}:precopy"``, remote helpers use ``"<node>:helper"``
+with ``stream == "remote"``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..metrics.trace import (
+    ChunkCopiedEvent,
+    CommitEvent,
+    PolicyDecisionEvent,
+    TraceEvent,
+)
+
+__all__ = [
+    "ChunkActivity",
+    "IntervalRecord",
+    "RankWorkload",
+    "Workload",
+    "reconstruct",
+]
+
+_PRECOPY_SUFFIX = ":precopy"
+
+
+@dataclass
+class ChunkActivity:
+    """One chunk's observed movement inside one interval."""
+
+    chunk: str
+    #: full chunk size (max observed ``nbytes + bytes_saved``)
+    size: int = 0
+    #: pre-copy events, in order (torn copies included — they moved
+    #: bytes and imply a write during the span)
+    precopies: List[ChunkCopiedEvent] = field(default_factory=list)
+    #: the coordinated-step copy closing the interval, if any
+    coordinated: Optional[ChunkCopiedEvent] = None
+
+    @property
+    def copies(self) -> List[ChunkCopiedEvent]:
+        out: List[ChunkCopiedEvent] = list(self.precopies)
+        if self.coordinated is not None:
+            out.append(self.coordinated)
+        return out
+
+    @property
+    def moved_bytes(self) -> int:
+        return sum(c.nbytes for c in self.copies)
+
+    def epochs(self, interval_start: float) -> List[float]:
+        """Write-epoch *service* times implied by the observed copies.
+
+        One epoch per copy.  The actual write lands somewhere between
+        the previous copy's completion and this copy's start; the copy
+        start is the only evidence-backed bound on when the dirty
+        state became actionable, so the model uses it (an
+        earlier-biased estimate would let every re-dirty "fit" as a
+        pre-copy, which the captured coordinated copies disprove)."""
+        if not self.copies:
+            return []
+        return [max(interval_start, c.start) for c in self.copies]
+
+
+@dataclass
+class IntervalRecord:
+    """One rank's checkpoint interval: compute window + coordinated
+    step, closed by a commit."""
+
+    index: int
+    #: window open: the previous commit's t (0.0 for the first)
+    start: float
+    #: coordinated step begin (earliest coordinated activity observed;
+    #: falls back to the commit time for all-skipped steps)
+    coordinated_begin: float
+    #: the closing commit
+    commit: CommitEvent
+    chunks: Dict[str, ChunkActivity] = field(default_factory=dict)
+    #: every persistent chunk the coordinated step enumerated
+    #: (``copy_at_checkpoint`` + ``skip`` decisions)
+    enumerated: List[str] = field(default_factory=list)
+
+    @property
+    def compute_window(self) -> float:
+        """Seconds of pre-copy opportunity before the coordinated step."""
+        return max(0.0, self.coordinated_begin - self.start)
+
+
+@dataclass
+class RankWorkload:
+    """Everything one rank's trace implies about its schedule."""
+
+    rank: str
+    intervals: List[IntervalRecord] = field(default_factory=list)
+    #: pre-copy activity after the last commit (the run ended before
+    #: another coordinated step; counted in totals, not replayed)
+    trailing: Dict[str, ChunkActivity] = field(default_factory=dict)
+    #: chunk name -> best-known full size
+    chunk_sizes: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def persistent_chunks(self) -> List[str]:
+        return sorted(self.chunk_sizes)
+
+
+@dataclass
+class Workload:
+    """The reconstructed cluster-wide schedule."""
+
+    ranks: Dict[str, RankWorkload] = field(default_factory=dict)
+    #: observed local copy bandwidth (bytes/s over copy spans); 0.0
+    #: when the trace has no timed local copies
+    local_bandwidth: float = 0.0
+    #: mean observed commit flush cost (seconds)
+    flush_cost: float = 0.0
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def rank(self, name: str) -> RankWorkload:
+        if name not in self.ranks:
+            self.ranks[name] = RankWorkload(rank=name)
+        return self.ranks[name]
+
+
+def _rank_of(actor: str) -> str:
+    if actor.endswith(_PRECOPY_SUFFIX):
+        return actor[: -len(_PRECOPY_SUFFIX)]
+    return actor
+
+
+def reconstruct(
+    events: List[TraceEvent], *, meta: Optional[Dict[str, Any]] = None
+) -> Workload:
+    """Fold the chronological event stream into a :class:`Workload`."""
+    wl = Workload(meta=dict(meta or {}))
+    # per-rank open-interval state
+    open_chunks: Dict[str, Dict[str, ChunkActivity]] = {}
+    open_start: Dict[str, float] = {}
+    open_coord_begin: Dict[str, Optional[float]] = {}
+    open_enumerated: Dict[str, List[str]] = {}
+    span_bytes = 0
+    span_seconds = 0.0
+    flush_costs: List[float] = []
+
+    def activity(rank: str, chunk: str) -> ChunkActivity:
+        chunks = open_chunks.setdefault(rank, {})
+        if chunk not in chunks:
+            chunks[chunk] = ChunkActivity(chunk=chunk)
+        return chunks[chunk]
+
+    for ev in events:
+        if isinstance(ev, ChunkCopiedEvent):
+            if ev.stream != "local":
+                continue
+            rank = _rank_of(ev.actor)
+            rw = wl.rank(rank)
+            act = activity(rank, ev.chunk)
+            full = ev.nbytes + ev.bytes_saved
+            act.size = max(act.size, full)
+            rw.chunk_sizes[ev.chunk] = max(rw.chunk_sizes.get(ev.chunk, 0), full)
+            if ev.phase == "precopy":
+                act.precopies.append(ev)
+            else:
+                act.coordinated = ev
+                begin = open_coord_begin.setdefault(rank, None)
+                if begin is None or ev.start < begin:
+                    open_coord_begin[rank] = ev.start
+            if ev.t > ev.start and ev.nbytes > 0:
+                span_bytes += ev.nbytes
+                span_seconds += ev.t - ev.start
+        elif isinstance(ev, PolicyDecisionEvent):
+            # coordinated-step enumeration: actor is the bare rank and
+            # the decision is copy/skip (pre-copy decisions come from
+            # the ":precopy" actor; threshold recomputes use chunk "*")
+            if ev.decision not in ("copy_at_checkpoint", "skip") or ev.chunk == "*":
+                continue
+            if ev.actor.endswith(_PRECOPY_SUFFIX):
+                continue
+            rank = ev.actor
+            open_enumerated.setdefault(rank, []).append(ev.chunk)
+            wl.rank(rank).chunk_sizes.setdefault(ev.chunk, 0)
+            if open_coord_begin.get(rank) is None:
+                open_coord_begin[rank] = ev.t
+        elif isinstance(ev, CommitEvent):
+            rank = ev.actor
+            rw = wl.rank(rank)
+            begin = open_coord_begin.get(rank)
+            rec = IntervalRecord(
+                index=len(rw.intervals),
+                start=open_start.get(rank, 0.0),
+                coordinated_begin=begin if begin is not None else ev.t,
+                commit=ev,
+                chunks=open_chunks.pop(rank, {}),
+                enumerated=open_enumerated.pop(rank, []),
+            )
+            rw.intervals.append(rec)
+            open_start[rank] = ev.t
+            open_coord_begin[rank] = None
+            flush_costs.append(ev.flush_cost)
+
+    for rank, chunks in open_chunks.items():
+        if chunks:
+            wl.rank(rank).trailing = chunks
+    if span_seconds > 0:
+        wl.local_bandwidth = span_bytes / span_seconds
+    if flush_costs:
+        wl.flush_cost = sum(flush_costs) / len(flush_costs)
+    return wl

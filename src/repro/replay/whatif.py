@@ -1,0 +1,235 @@
+"""What-if replay: re-run a reconstructed schedule under a different
+policy, copy granularity, bandwidth or threshold margin.
+
+This is the *model* path — distinct from the faithful path, which is
+exact by construction for the captured config.  The what-if runner
+re-decides every chunk's fate per interval from the reconstructed
+write epochs, using the same building blocks the live pipeline uses:
+
+* the real :class:`~repro.core.threshold.ThresholdEstimator` (not a
+  re-implementation) learns interval/data-size exactly as DCPC does,
+  fed the reconstructed compute windows;
+* DCPCP's hot-chunk withholding is an EMA over observed re-dirties,
+  mirroring the prediction table's eligibility semantics;
+* copy costs come from the trace's *observed* bandwidth (bytes over
+  span seconds), scaled for bandwidth what-ifs.
+
+What the model cannot know, it reports: replaying at page granularity
+from a chunk-granular capture has no extent data (per-epoch moved
+bytes fall back to the observed copies), and chunks a skipping policy
+never copied have unknown sizes — the ``coverage`` field quantifies
+how much of the catalog the trace actually sized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.threshold import ThresholdEstimator
+from ..errors import ConfigError
+from .reconstruct import ChunkActivity, IntervalRecord, RankWorkload, Workload
+
+__all__ = ["WhatIfResult", "run_whatif"]
+
+_MODES = ("none", "cpc", "dcpc", "dcpcp")
+
+#: EMA weight for the DCPCP hot-chunk score (mirrors the prediction
+#: table's default smoothing)
+_HOT_SMOOTHING = 0.5
+_HOT_CUTOFF = 0.5
+
+
+@dataclass
+class WhatIfResult:
+    """Modelled accounting for one what-if configuration."""
+
+    mode: str
+    #: coordinated-step bytes under the what-if policy
+    bytes_copied: int = 0
+    #: background pre-copy bytes (including redundant re-copies)
+    precopy_bytes: int = 0
+    #: bytes incremental extents would not move (page granularity)
+    bytes_saved: int = 0
+    #: modelled blocking seconds across all coordinated steps
+    blocking_s: float = 0.0
+    intervals: int = 0
+    #: fraction of enumerated chunks the trace sized (1.0 = complete)
+    coverage: float = 1.0
+    #: per-rank coordinated bytes (diagnostics)
+    per_rank: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_nvm_bytes(self) -> int:
+        return self.bytes_copied + self.precopy_bytes
+
+
+def _epoch_bytes(
+    act: ChunkActivity, size: int, granularity: str
+) -> List[int]:
+    """Bytes each write epoch would move under *granularity*."""
+    copies = act.copies
+    if granularity == "page":
+        # best extent knowledge we have: what each captured copy moved
+        return [min(size, c.nbytes) if size else c.nbytes for c in copies]
+    return [size or c.nbytes for c in copies]
+
+
+def _fits(epoch_start: float, nbytes: int, deadline: float, bw: float) -> bool:
+    return epoch_start + nbytes / bw <= deadline
+
+
+def run_whatif(
+    workload: Workload,
+    mode: str,
+    *,
+    bandwidth_scale: float = 1.0,
+    copy_granularity: Optional[str] = None,
+    threshold_margin: float = 1.25,
+    adapt_smoothing: float = 0.5,
+) -> WhatIfResult:
+    """Replay *workload* under *mode* and return modelled accounting."""
+    if mode not in _MODES:
+        raise ConfigError(
+            f"unknown replay policy mode {mode!r}; choose from {_MODES}"
+        )
+    if bandwidth_scale <= 0:
+        raise ConfigError("bandwidth_scale must be positive")
+    granularity = copy_granularity or "chunk"
+    if granularity not in ("chunk", "page"):
+        raise ConfigError(
+            f"unknown copy granularity {granularity!r} (chunk or page)"
+        )
+    bw = (workload.local_bandwidth or 1.0) * bandwidth_scale
+    res = WhatIfResult(mode=mode)
+    sized = 0
+    enumerated_total = 0
+    for rank, rw in sorted(workload.ranks.items()):
+        rank_coord = 0
+        est: Optional[ThresholdEstimator] = None
+        if mode in ("dcpc", "dcpcp"):
+            est = ThresholdEstimator(
+                bandwidth_per_core=bw,
+                smoothing=adapt_smoothing,
+                margin=threshold_margin,
+            )
+        hot: Dict[str, float] = {}
+        for rec in rw.intervals:
+            coord_bytes, precopy_bytes, saved = _replay_interval(
+                rec,
+                rw,
+                mode,
+                granularity=granularity,
+                bw=bw,
+                est=est,
+                hot=hot,
+            )
+            rank_coord += coord_bytes
+            res.bytes_copied += coord_bytes
+            res.precopy_bytes += precopy_bytes
+            res.bytes_saved += saved
+            res.blocking_s += coord_bytes / bw + workload.flush_cost
+            res.intervals += 1
+            if est is not None:
+                data = float(sum(rw.chunk_sizes.values()))
+                if rec.compute_window > 0 and data > 0:
+                    est.observe_interval(rec.compute_window, data)
+            if mode == "dcpcp":
+                _update_hot(hot, rec)
+            names = rec.enumerated or list(rec.chunks)
+            enumerated_total += len(names)
+            sized += sum(1 for n in names if rw.chunk_sizes.get(n, 0) > 0)
+        if mode != "none":
+            # pre-copy activity after the final commit still moves
+            # bytes in a live run; charge it in pre-copying modes
+            res.precopy_bytes += sum(
+                act.moved_bytes for act in rw.trailing.values()
+            )
+        res.per_rank[rank] = rank_coord
+    if enumerated_total:
+        res.coverage = sized / enumerated_total
+    return res
+
+
+def _replay_interval(
+    rec: IntervalRecord,
+    rw: RankWorkload,
+    mode: str,
+    *,
+    granularity: str,
+    bw: float,
+    est: Optional[ThresholdEstimator],
+    hot: Dict[str, float],
+):
+    """Decide one interval's traffic; returns (coordinated, precopy,
+    saved) byte counts."""
+    coord = 0
+    pre = 0
+    saved = 0
+    deadline = rec.coordinated_begin
+    names = rec.enumerated or list(rec.chunks)
+    # DCPC: pre-copy may not start before T_p into the interval
+    ready = rec.start
+    if est is not None:
+        ready = rec.start + est.threshold()
+    for name in names:
+        act = rec.chunks.get(name)
+        size = rw.chunk_sizes.get(name, 0)
+        if mode == "none":
+            # the baseline copies every persistent chunk each step
+            if granularity == "page":
+                moved = act.moved_bytes if act is not None else 0
+            else:
+                moved = size
+            coord += moved
+            if size and granularity == "page":
+                saved += max(0, size - moved)
+            continue
+        if act is None or not act.copies:
+            continue  # clean all interval: dirty-tracking modes skip it
+        if mode == "dcpcp" and hot.get(name, 0.0) > _HOT_CUTOFF:
+            # withheld: known re-dirtier, pre-copying it is waste
+            moved = (
+                min(size, act.moved_bytes) if granularity == "page" and size
+                else (size or act.moved_bytes)
+            )
+            coord += moved
+            if size and granularity == "page":
+                saved += max(0, size - moved)
+            continue
+        epochs = act.epochs(rec.start)
+        per_epoch = _epoch_bytes(act, size, granularity)
+        if mode in ("dcpc", "dcpcp"):
+            collapsed = [b for e, b in zip(epochs, per_epoch) if e < ready]
+            live_epochs = [
+                (e, b) for e, b in zip(epochs, per_epoch) if e >= ready
+            ]
+            if collapsed:
+                merged = min(size, sum(collapsed)) if size else sum(collapsed)
+                live_epochs.insert(0, (ready, merged))
+        else:
+            live_epochs = list(zip(epochs, per_epoch))
+        if not live_epochs:
+            continue
+        *early, (last_e, last_b) = live_epochs
+        for _, b in early:
+            pre += b
+        if _fits(last_e, last_b, deadline, bw):
+            pre += last_b
+        else:
+            coord += last_b
+            if size and granularity == "page":
+                saved += max(0, size - last_b)
+    return coord, pre, saved
+
+
+def _update_hot(hot: Dict[str, float], rec: IntervalRecord) -> None:
+    """Fold this interval's re-dirty evidence into the DCPCP scores."""
+    for name, act in rec.chunks.items():
+        observed = 1.0 if len(act.copies) > 1 else 0.0
+        prev = hot.get(name)
+        hot[name] = (
+            observed
+            if prev is None
+            else _HOT_SMOOTHING * observed + (1 - _HOT_SMOOTHING) * prev
+        )

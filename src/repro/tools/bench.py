@@ -217,8 +217,92 @@ def run_benchmark(
             if chunk_gb_total > 0 else 0.0,
         },
         "figures": figures,
+        # trace-driven replay: every pinned cell captured live and
+        # byte-compared against its own replay, plus the wall-clock win
+        # of what-if policy sweeps over captured traces
+        "replay": run_replay_block(base, axes_specs),
     }
     return record
+
+
+def run_replay_block(
+    base: List[str], axes_specs: Sequence[str], *, whatif_mode: str = "dcpcp"
+) -> dict:
+    """Capture every grid cell in-process and differentially verify
+    its trace-driven replay, then time a what-if policy sweep over the
+    captured traces.
+
+    Two numbers matter: ``cells_exact`` (every cell's same-config
+    replay must reproduce the live byte accounting integer-for-integer
+    — the emit/serialize/replay pipeline's end-to-end oracle) and
+    ``speedup`` (wall-clock of replaying a policy grid from traces vs
+    simulating it live — the reason the replay engine exists).
+    """
+    from ..exec.grid import expand_grid
+    from ..replay import capture_cell, compare_to_run
+
+    axes = parse_sweeps(list(axes_specs))
+    cells = expand_grid(base, axes)
+    captures = []
+    exact = 0
+    mismatches: List[str] = []
+    t0 = time.perf_counter()
+    for cell in cells:
+        cap = capture_cell(cell.config)
+        captures.append((cell, cap))
+    live_wall = time.perf_counter() - t0
+    for cell, cap in captures:
+        report = compare_to_run(cap.engine().faithful(), cap.result)
+        if report.matches:
+            exact += 1
+        else:
+            mismatches.append(
+                f"cell {dict(cell.overrides)}: {report.describe()}"
+            )
+    # what-if sweep: one captured trace per non-policy coordinate
+    # (the whatif_mode captures), replayed under every policy mode —
+    # the same cell count as the live grid, for an honest speedup
+    modes = ["none", "cpc", "dcpc", "dcpcp"]
+    whatif_sources = [
+        cap
+        for cell, cap in captures
+        if dict(cell.overrides).get("mode", whatif_mode) == whatif_mode
+    ] or [cap for _, cap in captures]
+    t1 = time.perf_counter()
+    whatif_cells = 0
+    for cap in whatif_sources:
+        engine = cap.engine()
+        for mode in modes:
+            engine.replay(mode)
+            whatif_cells += 1
+    replay_wall = time.perf_counter() - t1
+    return {
+        "cells": len(cells),
+        "cells_exact": exact,
+        "mismatches": mismatches,
+        "live_wall_s": round(live_wall, 4),
+        "whatif_cells": whatif_cells,
+        "replay_wall_s": round(replay_wall, 6),
+        "speedup": round(live_wall / replay_wall, 1) if replay_wall > 0 else 0.0,
+    }
+
+
+def run_replay_smoke() -> int:
+    """CI-sized replay differential: 2 captured cells, replayed and
+    byte-compared, well under 30 s."""
+    base, _ = PINNED_GRID
+    t0 = time.perf_counter()
+    block = run_replay_block(base, ["nvm-gbps=2.0", "mode=none,dcpcp"])
+    wall = time.perf_counter() - t0
+    ok = block["cells"] == 2 and block["cells_exact"] == 2
+    for line in block["mismatches"]:
+        print(f"  {line}")
+    print(
+        f"replay smoke: {block['cells_exact']}/{block['cells']} cells "
+        f"byte-exact, what-if speedup {block['speedup']}x, "
+        f"{wall:.1f}s -> {'OK' if ok else 'FAIL'}"
+    )
+    return 0 if ok else 1
 
 
 def run_smoke(workers: int) -> int:
@@ -256,6 +340,9 @@ def main(argv=None) -> int:
                    help="reuse a persistent cache dir (default: fresh temp dir)")
     p.add_argument("--smoke", action="store_true",
                    help="run one cached sweep cell cold+warm and exit")
+    p.add_argument("--replay-smoke", action="store_true",
+                   help="capture 2 pinned cells, replay them, assert "
+                        "byte-exact accounting, and exit")
     p.add_argument("--trace", default=None, metavar="OUT.JSONL",
                    help="stream the serial reference run's structured "
                         "trace (policy decisions, copies, commits) as "
@@ -266,6 +353,8 @@ def main(argv=None) -> int:
         workers = max(workers, 4)
     if args.smoke:
         return run_smoke(workers)
+    if args.replay_smoke:
+        return run_replay_smoke()
 
     t0 = time.perf_counter()
     record = run_benchmark(workers, cache_dir=args.cache_dir, trace_path=args.trace)

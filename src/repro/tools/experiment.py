@@ -28,6 +28,7 @@ from typing import Optional
 from ..apps import CM1Model, GTCModel, LammpsModel, SyntheticModel
 from ..cluster import Cluster, ClusterRunner, RunResult
 from ..config import (
+    AutotuneConfig,
     CheckpointConfig,
     ClusterConfig,
     FailureConfig,
@@ -46,7 +47,7 @@ __all__ = [
 
 #: options that shape *output*, not the experiment itself — excluded
 #: from the resolved config so they never perturb cache keys
-NON_SEMANTIC_OPTIONS = frozenset({"json", "timeline"})
+NON_SEMANTIC_OPTIONS = frozenset({"json", "timeline", "trace"})
 
 APPS = {
     "gtc": lambda args: GTCModel(small_chunks=args.small_chunks),
@@ -98,10 +99,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--mtbf-remote", type=float, default=None,
                    help="per-node hard-failure MTBF (s)")
     p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--autotune", action="store_true",
+                   help="run the online policy tuner: a per-rank bandit "
+                        "over the policy modes, hot-swapped between intervals")
+    p.add_argument("--autotune-strategy", choices=["epsilon", "ucb"],
+                   default="epsilon", help="bandit strategy for --autotune")
     p.add_argument("--timeline", action="store_true",
                    help="print the phase timeline (Fig. 5 style)")
     p.add_argument("--json", metavar="PATH", default=None,
                    help="write the result as JSON to PATH ('-' for stdout)")
+    p.add_argument("--trace", metavar="PATH", default=None,
+                   help="stream the run's trace events to PATH as "
+                        "versioned Jsonl (replayable with sweep --replay)")
     # synthetic-model knobs
     p.add_argument("--checkpoint-mb", type=float, default=400.0)
     p.add_argument("--chunk-mb", type=float, default=25.0)
@@ -137,10 +146,18 @@ def run_cell(config: dict) -> dict:
 
 
 def run_experiment(args: argparse.Namespace) -> RunResult:
+    resolved = resolve_config(args)
     if args.small_chunks == 0:
         args.small_chunks = None  # faithful layouts
     app = APPS[args.app](args)
     app.iteration_compute_time = args.local_interval
+    autotune = AutotuneConfig()
+    if getattr(args, "autotune", False):
+        autotune = AutotuneConfig(
+            enabled=True,
+            strategy=getattr(args, "autotune_strategy", "epsilon"),
+            seed=args.seed,
+        )
     config = CheckpointConfig(
         local_interval=args.local_interval,
         remote_interval=args.remote_interval,
@@ -150,6 +167,7 @@ def run_experiment(args: argparse.Namespace) -> RunResult:
             copy_granularity=args.copy_granularity,
         ),
         remote_precopy=not args.no_remote_precopy,
+        autotune=autotune,
     )
     cluster = Cluster(
         ClusterConfig(nodes=args.nodes),
@@ -179,7 +197,18 @@ def run_experiment(args: argparse.Namespace) -> RunResult:
             seed=args.seed,
         )
     runner = ClusterRunner(cluster, failure_config=failure_config)
-    result = runner.run(args.iterations)
+    trace_path = getattr(args, "trace", None)
+    sink = None
+    if trace_path:
+        from ..metrics.trace import BUS, JsonlSink
+
+        sink = BUS.attach(JsonlSink(trace_path, meta={"config": resolved}))
+    try:
+        result = runner.run(args.iterations)
+    finally:
+        if sink is not None:
+            BUS.detach(sink)
+            sink.close()
     result.cluster = cluster  # type: ignore[attr-defined]
     return result
 

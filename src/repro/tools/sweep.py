@@ -24,12 +24,14 @@ import csv
 import sys
 from typing import Dict, List, Sequence, Tuple
 
+from ..errors import ConfigError
 from ..exec.cache import ResultCache
 from ..exec.grid import GridReport, run_grid
 
 __all__ = [
     "parse_sweeps",
     "run_sweep",
+    "run_replay_sweep",
     "collect_fields",
     "write_csv",
     "main",
@@ -78,6 +80,52 @@ def run_sweep(
     ).records
 
 
+#: replay-mode sweep axes -> ReplayEngine.replay keyword arguments.
+#: Anything else needs a live simulation, so it is rejected loudly.
+REPLAY_AXES = {
+    "mode": ("mode", str),
+    "copy-granularity": ("copy_granularity", str),
+    "nvm-gbps": ("nvm_gbps", float),
+    "threshold-margin": ("threshold_margin", float),
+}
+
+
+def run_replay_sweep(
+    trace: str, axes: List[Tuple[str, List[str]]]
+) -> List[dict]:
+    """Sweep the cross product of *axes* over one captured trace.
+
+    No simulation runs: each cell is a trace-driven replay
+    (:class:`~repro.replay.ReplayEngine`), so a policy/bandwidth grid
+    that takes minutes live takes milliseconds here.  Only the axes in
+    :data:`REPLAY_AXES` are replayable — anything that changes the
+    *workload* (app, scale, intervals) needs a fresh capture."""
+    import itertools
+
+    from ..replay import ReplayEngine
+
+    for name, _ in axes:
+        if name not in REPLAY_AXES:
+            raise ConfigError(
+                f"axis {name!r} cannot be replayed from a trace; replayable "
+                f"axes: {', '.join(sorted(REPLAY_AXES))} (run a live sweep "
+                "for workload-shaping options)"
+            )
+    engine = ReplayEngine.from_jsonl(trace)
+    records: List[dict] = []
+    names = [name for name, _ in axes]
+    for combo in itertools.product(*(values for _, values in axes)):
+        kwargs = {}
+        for name, raw in zip(names, combo):
+            key, cast = REPLAY_AXES[name]
+            kwargs[key] = cast(raw)
+        record = engine.replay(**kwargs)
+        for name, raw in zip(names, combo):
+            record[f"sweep.{name}"] = raw
+        records.append(record)
+    return records
+
+
 def collect_fields(records: Sequence[dict], axes) -> List[str]:
     """The CSV column set: sweep coordinates, then the preferred
     ordering, then every remaining key in stable first-seen order —
@@ -108,6 +156,10 @@ def main(argv=None) -> int:
     )
     p.add_argument("--sweep", action="append", default=[], metavar="NAME=V1,V2",
                    help="axis to sweep (repeatable; cross product)")
+    p.add_argument("--replay", default=None, metavar="TRACE.jsonl",
+                   help="replay a captured trace instead of simulating: "
+                        "sweep mode/copy-granularity/nvm-gbps/"
+                        "threshold-margin over it without re-running the app")
     p.add_argument("--out", default="-", help="CSV path ('-' for stdout)")
     p.add_argument("--workers", default="1", metavar="N",
                    help="parallel worker processes ('auto' = one per CPU)")
@@ -121,15 +173,19 @@ def main(argv=None) -> int:
     if not args.sweep:
         p.error("at least one --sweep axis is required")
     axes = parse_sweeps(args.sweep)
-    cache = ResultCache(args.cache_dir) if args.cache_dir else None
-    report: GridReport = run_grid(
-        passthrough,
-        axes,
-        workers=args.workers,
-        cache=cache,
-        derive_seeds=not args.no_cell_seeds,
-    )
-    records = report.records
+    report: GridReport | None = None
+    if args.replay:
+        records = run_replay_sweep(args.replay, axes)
+    else:
+        cache = ResultCache(args.cache_dir) if args.cache_dir else None
+        report = run_grid(
+            passthrough,
+            axes,
+            workers=args.workers,
+            cache=cache,
+            derive_seeds=not args.no_cell_seeds,
+        )
+        records = report.records
 
     out = sys.stdout if args.out == "-" else open(args.out, "w", newline="", encoding="utf-8")
     try:
@@ -137,12 +193,18 @@ def main(argv=None) -> int:
     finally:
         if out is not sys.stdout:
             out.close()
-            ex = report.execution
-            print(
-                f"wrote {len(records)} rows to {args.out} "
-                f"({ex.cells_executed} executed, {ex.cache_hits} cached, "
-                f"{ex.workers} worker{'s' if ex.workers != 1 else ''})"
-            )
+            if report is not None:
+                ex = report.execution
+                print(
+                    f"wrote {len(records)} rows to {args.out} "
+                    f"({ex.cells_executed} executed, {ex.cache_hits} cached, "
+                    f"{ex.workers} worker{'s' if ex.workers != 1 else ''})"
+                )
+            else:
+                print(
+                    f"wrote {len(records)} replay rows to {args.out} "
+                    f"(trace {args.replay}, no simulation)"
+                )
     return 0
 
 

@@ -70,3 +70,23 @@ def run_proc(engine, gen, until=None):
     engine.run(until=until)
     assert proc.triggered, "process did not finish"
     return proc.value
+
+
+@pytest.fixture
+def assert_replay_matches():
+    """The differential-replay oracle as a reusable assertion: capture
+    a cell (or take an existing capture), replay it faithfully, and
+    fail with the full divergence report if any byte diverges."""
+    from repro.replay import CapturedRun, capture_cell, compare_to_run
+
+    def check(config_or_capture) -> CapturedRun:
+        cap = (
+            config_or_capture
+            if isinstance(config_or_capture, CapturedRun)
+            else capture_cell(config_or_capture)
+        )
+        report = compare_to_run(cap.engine().faithful(), cap.result)
+        assert report.matches, report.describe()
+        return cap
+
+    return check

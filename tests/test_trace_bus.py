@@ -19,6 +19,7 @@ from repro.config import PrecopyPolicy
 from repro.core import LocalCheckpointer, make_standalone_context
 from repro.metrics.trace import (
     BUS,
+    TRACE_VERSION,
     ChunkCopiedEvent,
     CommitEvent,
     CounterSink,
@@ -99,11 +100,14 @@ def test_ring_buffer_bounds_and_filters():
 
 def test_jsonl_sink_streams_sorted_records():
     buf = io.StringIO()
-    sink = JsonlSink(buf)
+    sink = JsonlSink(buf, meta={"config": {"mode": "cpc"}})
     for ev in _sample_events():
         sink.handle(ev)
     sink.close()
-    lines = [json.loads(line) for line in buf.getvalue().splitlines()]
+    header, *lines = [json.loads(line) for line in buf.getvalue().splitlines()]
+    assert header["kind"] == "trace.header"
+    assert header["trace_version"] == TRACE_VERSION
+    assert header["meta"] == {"config": {"mode": "cpc"}}
     assert [r["kind"] for r in lines] == [
         "policy.decision", "chunk.copied", "commit", "retry", "failover",
     ]
@@ -116,7 +120,8 @@ def test_jsonl_sink_owns_path_file(tmp_path):
     sink = JsonlSink(str(path))
     sink.handle(_sample_events()[0])
     sink.close()
-    [rec] = [json.loads(line) for line in path.read_text().splitlines()]
+    header, rec = [json.loads(line) for line in path.read_text().splitlines()]
+    assert header["kind"] == "trace.header" and header["meta"] == {}
     assert rec["kind"] == "policy.decision" and rec["policy"] == "cpc"
 
 
