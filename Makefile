@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test lint faults faults-matrix bench bench-json exec-smoke replay-smoke
+.PHONY: test lint faults faults-matrix bench bench-json exec-smoke replay-smoke scale-smoke
 
 # tier-1: the full deterministic suite
 test:
@@ -43,3 +43,9 @@ exec-smoke:
 # cells, replay each faithfully, fail on any byte divergence
 replay-smoke:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.tools.bench --replay-smoke
+
+# smallest end-to-end proof of the scale work: DES throughput is sane,
+# serial / persistent-pool / legacy-forkpool records are identical,
+# and the persistent pool out-dispatches forking a Pool per round
+scale-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.tools.bench --scale-smoke

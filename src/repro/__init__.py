@@ -24,6 +24,8 @@ Quick start (see ``examples/quickstart.py``)::
     assert app2.chunk("temperature").view(np.float64)[0] == 0.0
 """
 
+from typing import Any
+
 from ._version import __version__
 from .config import (
     CheckpointConfig,
@@ -36,8 +38,10 @@ from .config import (
     PrecopyPolicy,
 )
 from .core import (
+    CheckpointEngine,
     LocalCheckpointer,
     NVMCheckpoint,
+    OnlinePolicyTuner,
     PrecopyEngine,
     RemoteHelper,
     RestartManager,
@@ -47,8 +51,33 @@ from .alloc import Chunk, NVAllocator, genid
 from .memory import FileStore, InMemoryStore, NVMKernelManager
 from .cluster import Cluster, ClusterRunner, RunResult
 from .models import ModelParams, MultilevelModel
-# the execution engine imports the tools layer, so it must come last
-from .exec import ParallelExecutor, ResultCache, run_grid
+from .replay import ReplayEngine
+# the execution engine owns the cell surface the tools layer wraps
+from .exec import GridResult, GridSpec, ParallelExecutor, ResultCache, run_grid
+
+
+def checkpoint(target: Any, *, blocking: bool = True, **kwargs):
+    """Run one coordinated checkpoint on *target* — the stable
+    entry point over every checkpointer facade.
+
+    *target* is anything with the unified ``checkpoint()`` method
+    (:class:`CheckpointEngine`, :class:`LocalCheckpointer`,
+    ``TransparentCheckpointer``) or the Table-III ``nvchkptall()``
+    surface (:class:`NVMCheckpoint`).  With ``blocking=True`` (the
+    default) the stats are returned; ``blocking=False`` returns the DES
+    generator for embedding in a simulation.
+    """
+    fn = getattr(target, "checkpoint", None)
+    if callable(fn):
+        return fn(blocking=blocking, **kwargs)
+    fn = getattr(target, "nvchkptall", None)
+    if callable(fn) and blocking and not kwargs:
+        return fn()
+    raise TypeError(
+        f"{type(target).__name__} is not a checkpointer "
+        "(no checkpoint()/nvchkptall() method)"
+    )
+
 
 __all__ = [
     "__version__",
@@ -63,10 +92,13 @@ __all__ = [
     "FailureConfig",
     # core API
     "NVMCheckpoint",
+    "CheckpointEngine",
+    "checkpoint",
     "LocalCheckpointer",
     "PrecopyEngine",
     "RemoteHelper",
     "RestartManager",
+    "OnlinePolicyTuner",
     "make_standalone_context",
     # allocation
     "Chunk",
@@ -83,7 +115,11 @@ __all__ = [
     # execution engine
     "ParallelExecutor",
     "ResultCache",
+    "GridSpec",
+    "GridResult",
     "run_grid",
+    # trace-driven replay
+    "ReplayEngine",
     # analytic model
     "ModelParams",
     "MultilevelModel",

@@ -225,13 +225,14 @@ def recover_soft(runner, node: ClusterNode):
     )
     fetches = []
     for n in runner.cluster.active_nodes:
-        for state in n.ranks:
-            fetches.append(
-                n.ctx.nvm_bus.transfer(
-                    state.allocator.checkpoint_bytes * factor,
-                    tag=f"{state.rank}:restart",
-                )
+        fetches.extend(
+            n.ctx.nvm_bus.transfer_many(
+                [
+                    (state.allocator.checkpoint_bytes * factor, f"{state.rank}:restart")
+                    for state in n.ranks
+                ]
             )
+        )
     if fetches:
         yield engine.all_of(fetches)
 
@@ -322,12 +323,14 @@ def recover_hard(runner, node: ClusterNode):
     for n in runner.cluster.active_nodes:
         if n is node:
             continue
-        for state in n.ranks:
-            fetches.append(
-                n.ctx.nvm_bus.transfer(
-                    state.allocator.checkpoint_bytes, tag=f"{state.rank}:restart"
-                )
+        fetches.extend(
+            n.ctx.nvm_bus.transfer_many(
+                [
+                    (state.allocator.checkpoint_bytes, f"{state.rank}:restart")
+                    for state in n.ranks
+                ]
             )
+        )
     if fetches:
         yield engine.all_of(fetches)
     # new background machinery for the replacement node

@@ -133,6 +133,13 @@ class RunResult:
     #: final per-rank policy modes, comma-joined and deduplicated
     autotune_final_policy: str = ""
 
+    # -- engine throughput --
+    #: DES items (events + callbacks) the engine dispatched for this
+    #: run.  Host-dependent denominator for the bench ``scale`` block;
+    #: deliberately NOT part of ``to_dict()`` so cached records, sweep
+    #: CSVs and golden fixtures stay byte-identical across hosts.
+    sim_events: int = 0
+
     timeline: object = None
 
     @property
@@ -595,6 +602,7 @@ class ClusterRunner:
             iterations=iterations,
             total_time=engine.now if self._end_time is None else self._end_time,
             compute_per_iteration=self.app.iteration_compute_time,
+            sim_events=engine.events_processed,
             timeline=cluster.timeline,
         )
         # local

@@ -22,7 +22,6 @@ thin facades over this one engine.
 from __future__ import annotations
 
 import dataclasses
-import warnings
 from dataclasses import dataclass
 from typing import Iterable, List, Optional
 
@@ -396,17 +395,6 @@ class CheckpointEngine:
         stats.end = engine.now
         self._finish_interval(stats)
         return stats
-
-    def checkpoint_sync(self, only: Optional[Iterable[Chunk]] = None) -> CheckpointStats:
-        """Deprecated alias for :meth:`checkpoint` (``blocking=True``)."""
-        warnings.warn(
-            f"{type(self).__name__}.checkpoint_sync() is deprecated; use "
-            "checkpoint() (blocking by default) or "
-            "checkpoint(blocking=False) for the DES generator form",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.checkpoint(only)
 
     # ------------------------------------------------------------------
     # Interval bookkeeping.

@@ -21,7 +21,6 @@ application-initiated path.
 
 from __future__ import annotations
 
-import warnings
 from typing import List, Optional
 
 from ..alloc.nvmalloc import NVAllocator
@@ -131,16 +130,6 @@ class TransparentCheckpointer:
         :class:`CheckpointStats`; ``blocking=False`` returns the DES
         generator for embedding in a larger simulation."""
         return self._ck.checkpoint(blocking=blocking)
-
-    def checkpoint_sync(self) -> CheckpointStats:
-        """Deprecated alias for :meth:`checkpoint` (``blocking=True``)."""
-        warnings.warn(
-            "TransparentCheckpointer.checkpoint_sync() is deprecated; "
-            "use checkpoint() (blocking by default)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.checkpoint()
 
     # ------------------------------------------------------------------
     # Introspection.

@@ -2,43 +2,66 @@
 
 The paper's evaluation (Figs. 5–10) is a grid of *independent*
 simulations — the classic parameter-study shape.  This package turns
-that shape into wall-clock wins:
+that shape into wall-clock wins behind one public entry point,
+:func:`run_grid`:
 
+* :mod:`~repro.exec.cell` — the experiment-cell surface: argparse
+  options, canonical config resolution, and the picklable
+  ``run_cell`` worker function (``repro.tools.experiment`` is a thin
+  CLI wrapper over it);
+* :mod:`~repro.exec.pool` — :class:`WorkerPool`, persistent daemon
+  workers spawned once per session with batched cell dispatch and
+  worker-side trace capture;
 * :mod:`~repro.exec.executor` — :class:`ParallelExecutor` shards cells
-  across ``multiprocessing`` workers; results come back in submission
-  order, so ``workers=N`` is byte-identical to serial;
+  across the pool; results come back in submission order, so
+  ``workers=N`` is byte-identical to serial;
 * :mod:`~repro.exec.cache` — :class:`ResultCache`, a content-addressed
   store keyed by the resolved cell config + ``repro.__version__``;
   re-running a sweep executes only changed cells;
-* :mod:`~repro.exec.grid` — sweep-grid expansion with deterministic
-  per-cell RNG seed derivation, bridging the
-  ``repro.tools.experiment`` CLI surface onto the executor.
+* :mod:`~repro.exec.grid` — :class:`GridSpec` expansion with
+  deterministic per-cell RNG seed derivation, and the
+  :func:`run_grid` facade returning a :class:`GridResult`.
 
-``repro.tools.sweep`` and ``repro.tools.bench`` are the user-facing
-entry points.
+``repro.tools.sweep`` and ``repro.tools.bench`` are thin user-facing
+wrappers over :func:`run_grid`.
 """
 
 from .cache import ResultCache, cache_key
+from .cell import build_parser, resolve_config, run_cell
 from .executor import ExecutionReport, ParallelExecutor, resolve_workers
 from .grid import (
     GridCell,
     GridReport,
+    GridResult,
+    GridSpec,
     derive_cell_seed,
     expand_grid,
     flatten_record,
+    parse_sweeps,
     run_grid,
 )
+from .pool import WorkerPool, WorkerPoolError, shared_pool, shutdown_pools
 
 __all__ = [
     "ResultCache",
     "cache_key",
+    "build_parser",
+    "resolve_config",
+    "run_cell",
     "ParallelExecutor",
     "ExecutionReport",
     "resolve_workers",
+    "WorkerPool",
+    "WorkerPoolError",
+    "shared_pool",
+    "shutdown_pools",
     "GridCell",
+    "GridSpec",
+    "GridResult",
     "GridReport",
     "derive_cell_seed",
     "expand_grid",
     "flatten_record",
+    "parse_sweeps",
     "run_grid",
 ]

@@ -1,39 +1,70 @@
 """The parallel, cached cell executor.
 
 :class:`ParallelExecutor` runs a list of independent experiment cells
-through a picklable worker function, optionally sharded across
-``multiprocessing`` workers and optionally backed by a
-:class:`~repro.exec.cache.ResultCache`.
+through a picklable worker function, optionally sharded across a
+**persistent** worker pool (:mod:`repro.exec.pool`) and optionally
+backed by a :class:`~repro.exec.cache.ResultCache`.
 
 Determinism contract: results are returned **in submission order**, and
 each cell's output depends only on its own payload (every stochastic
 component inside a cell draws from seeds carried *in* the payload), so
 ``workers=N`` produces exactly the same result list as ``workers=1``
 for any N — worker scheduling can never leak into the output.
+
+Worker-count resolution clamps to the host by default: requesting 4
+workers on a 1-CPU box silently oversubscribing was how the original
+bench recorded ``workers: 4`` while *losing* wall-clock; the effective
+count is now ``min(requested, os.cpu_count())`` and both numbers are
+reported (:attr:`ExecutionReport.workers` /
+:attr:`ExecutionReport.workers_requested`).  Tests that exercise the
+multiprocess path regardless of host width pass ``clamp=False``.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import os
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from .cache import ResultCache
+from .pool import WorkerPool, shared_pool
 
 __all__ = ["ParallelExecutor", "ExecutionReport", "resolve_workers"]
 
 
-def resolve_workers(workers: int | str | None) -> int:
-    """Normalize a worker-count option: ``None``/``"auto"``/``0`` mean
-    one worker per available CPU; anything else must be a positive int."""
+def resolve_workers(
+    workers: int | str | None, *, clamp: bool = True
+) -> int:
+    """Normalize a worker-count option.
+
+    ``None``/``"auto"``/``0`` mean one worker per available CPU;
+    anything else must be a positive int.  With ``clamp`` (the default)
+    the result never exceeds ``os.cpu_count()`` — extra processes on an
+    oversubscribed host only add dispatch overhead.
+    """
+    host = max(1, os.cpu_count() or 1)
     if workers in (None, "auto", 0, "0"):
-        return max(1, os.cpu_count() or 1)
+        return host
     n = int(workers)
     if n < 1:
         raise ValueError(f"workers must be >= 1 (or 'auto'), got {workers}")
-    return n
+    return min(n, host) if clamp else n
+
+
+def _batch_indexes(pending: Sequence[int], n_batches: int) -> List[List[int]]:
+    """Split *pending* into at most *n_batches* contiguous batches of
+    near-equal size (deterministic; order-preserving)."""
+    n = len(pending)
+    n_batches = max(1, min(n_batches, n))
+    size, extra = divmod(n, n_batches)
+    out: List[List[int]] = []
+    at = 0
+    for b in range(n_batches):
+        take = size + (1 if b < extra else 0)
+        out.append(list(pending[at : at + take]))
+        at += take
+    return out
 
 
 @dataclass
@@ -44,8 +75,17 @@ class ExecutionReport:
     cells_total: int = 0
     cells_executed: int = 0
     cache_hits: int = 0
+    #: effective worker count (after host clamping)
     workers: int = 1
+    #: the count the caller asked for, before clamping
+    workers_requested: int = 1
+    #: dispatch batches streamed to the pool (0 = in-process run)
+    batches: int = 0
     wall_s: float = 0.0
+    #: per-cell captured trace records, aligned with ``results``
+    #: (``None`` per cell unless tracing was requested; cache hits
+    #: never re-execute, so their entry is always ``None``)
+    trace_records: List[Optional[List[dict]]] = field(default_factory=list)
 
     @property
     def cache_hit_rate(self) -> float:
@@ -57,13 +97,20 @@ class ExecutionReport:
 
 
 class ParallelExecutor:
-    """Shards independent cells across processes, with result caching.
+    """Shards independent cells across persistent workers, with caching.
 
     ``fn`` must be an importable module-level function (it crosses the
     process boundary by pickle) taking one cell payload and returning a
     JSON-serializable result dict.  ``workers=1`` executes in-process —
     the reference serial path the parallel path must match byte for
     byte.
+
+    The multiprocess path uses the session-wide shared pool by default
+    (spawned once, reused by every grid); pass ``private_pool=True``
+    for an isolated pool owned — and closed — by this executor.
+    ``dispatch_batches`` bounds how many task messages a grid costs:
+    cells are split into ``min(dispatch_batches * workers, n)`` batches
+    pulled by whichever worker frees up first.
     """
 
     def __init__(
@@ -72,12 +119,40 @@ class ParallelExecutor:
         *,
         cache: Optional[ResultCache] = None,
         mp_start: Optional[str] = None,
+        clamp: bool = True,
+        private_pool: bool = False,
+        dispatch_batches: int = 4,
     ) -> None:
-        self.workers = resolve_workers(workers)
+        self.workers_requested = resolve_workers(workers, clamp=False)
+        self.workers = resolve_workers(workers, clamp=clamp)
         self.cache = cache
-        if mp_start is None:
-            mp_start = "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
         self.mp_start = mp_start
+        self.dispatch_batches = max(1, dispatch_batches)
+        self._private_pool = private_pool
+        self._pool: Optional[WorkerPool] = None
+
+    # -- pool lifecycle -----------------------------------------------------
+
+    def _ensure_pool(self) -> WorkerPool:
+        if self._private_pool:
+            if self._pool is None or self._pool.closed:
+                self._pool = WorkerPool(self.workers, self.mp_start)
+            return self._pool
+        return shared_pool(self.workers, self.mp_start)
+
+    def close(self) -> None:
+        """Close a private pool (the shared pool outlives executors)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- execution ----------------------------------------------------------
 
     def run(
         self,
@@ -85,18 +160,27 @@ class ParallelExecutor:
         payloads: Sequence[Any],
         *,
         keys: Optional[Sequence[Optional[str]]] = None,
+        capture_trace: bool = False,
     ) -> ExecutionReport:
         """Execute every payload (or serve it from cache) and return the
         ordered results.
 
         *keys* is an optional parallel sequence of cache keys; cells
         with a key of ``None`` (or when no cache is configured) always
-        execute.
+        execute.  With *capture_trace* each executed cell's trace-bus
+        events ride back as JSON-ready records
+        (:attr:`ExecutionReport.trace_records`), in-process and across
+        the pool alike.
         """
         t0 = time.perf_counter()
         n = len(payloads)
-        report = ExecutionReport(cells_total=n, workers=self.workers)
+        report = ExecutionReport(
+            cells_total=n,
+            workers=self.workers,
+            workers_requested=self.workers_requested,
+        )
         results: List[Optional[Dict[str, Any]]] = [None] * n
+        traces: List[Optional[List[dict]]] = [None] * n
 
         # 1. cache probe — hits never reach a worker
         pending: List[int] = []
@@ -109,16 +193,34 @@ class ParallelExecutor:
             else:
                 pending.append(i)
 
-        # 2. execute the misses, sharded across workers
+        # 2. execute the misses: batched over the persistent pool, or
+        # in-process when one worker (or one cell) makes sharding moot
         if pending:
-            todo = [payloads[i] for i in pending]
-            if self.workers > 1 and len(todo) > 1:
-                ctx = multiprocessing.get_context(self.mp_start)
-                with ctx.Pool(min(self.workers, len(todo))) as pool:
-                    # chunksize=1: cells are coarse; favour balance
-                    fresh = pool.map(fn, todo, chunksize=1)
+            if self.workers > 1 and len(pending) > 1:
+                batches = _batch_indexes(
+                    pending, self.dispatch_batches * self.workers
+                )
+                report.batches = len(batches)
+                pool = self._ensure_pool()
+                answered = pool.run_batches(
+                    fn,
+                    [[(i, payloads[i]) for i in batch] for batch in batches],
+                    capture=capture_trace,
+                )
+                fresh = [answered[i][0] for i in pending]
+                for i in pending:
+                    traces[i] = answered[i][1]
             else:
-                fresh = [fn(p) for p in todo]
+                fresh = []
+                for i in pending:
+                    if capture_trace:
+                        from .pool import _run_one
+
+                        result, events = _run_one(fn, payloads[i], True)
+                        traces[i] = events
+                    else:
+                        result = fn(payloads[i])
+                    fresh.append(result)
             for i, result in zip(pending, fresh):
                 if result is None:
                     raise ValueError("executor fn returned None for a cell")
@@ -128,5 +230,6 @@ class ParallelExecutor:
             report.cells_executed = len(pending)
 
         report.results = results  # type: ignore[assignment]  (all filled)
+        report.trace_records = traces
         report.wall_s = time.perf_counter() - t0
         return report

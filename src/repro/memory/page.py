@@ -28,6 +28,27 @@ from ..units import PAGE_SIZE, pages_of
 __all__ = ["PageTable", "StalePageMap"]
 
 
+def _mask_extents(mask: np.ndarray, page_size: int, nbytes: int) -> List[Tuple[int, int]]:
+    """Coalesce a page bitmap into ``(offset, nbytes)`` byte runs.
+
+    Adjacent set pages merge into one extent; the final extent is
+    clipped to the region size (the last page may be partial).
+    """
+    idx = np.flatnonzero(mask)
+    if idx.size == 0:
+        return []
+    # run breaks: positions where the page index jumps by > 1
+    breaks = np.flatnonzero(np.diff(idx) > 1) + 1
+    starts = idx[np.concatenate(([0], breaks))]
+    ends = idx[np.concatenate((breaks - 1, [idx.size - 1]))] + 1
+    extents: List[Tuple[int, int]] = []
+    for s, e in zip(starts.tolist(), ends.tolist()):
+        off = s * page_size
+        end_b = min(e * page_size, nbytes)
+        extents.append((off, end_b - off))
+    return extents
+
+
 class PageTable:
     """Per-region page state: write-protection and nvdirty bits.
 
@@ -146,18 +167,7 @@ class PageTable:
         With ``clear``, the read doubles as the kernel's
         read-and-reset.
         """
-        idx = np.flatnonzero(self._nvdirty)
-        if idx.size == 0:
-            return []
-        # run breaks: positions where the page index jumps by > 1
-        breaks = np.flatnonzero(np.diff(idx) > 1) + 1
-        starts = idx[np.concatenate(([0], breaks))]
-        ends = idx[np.concatenate((breaks - 1, [idx.size - 1]))] + 1
-        extents: List[Tuple[int, int]] = []
-        for s, e in zip(starts.tolist(), ends.tolist()):
-            off = s * self.page_size
-            end_b = min(e * self.page_size, self.nbytes)
-            extents.append((off, end_b - off))
+        extents = _mask_extents(self._nvdirty, self.page_size, self.nbytes)
         if clear:
             self._nvdirty[:] = False
         return extents
@@ -180,63 +190,85 @@ class StalePageMap:
     direction is over-copying, never under-copying.
     """
 
-    __slots__ = ("nbytes", "page_size", "_slots")
+    __slots__ = ("nbytes", "page_size", "n_pages", "_stale")
 
     def __init__(self, nbytes: int, n_slots: int, page_size: int = PAGE_SIZE) -> None:
         if n_slots < 1:
             raise ValueError("need at least one version slot")
+        if nbytes < 0:
+            raise ValueError("region size must be >= 0")
         self.nbytes = nbytes
         self.page_size = page_size
-        self._slots: List[PageTable] = []
-        for _ in range(n_slots):
-            self._append_stale_slot()
+        self.n_pages = pages_of(nbytes, page_size)
+        # one row per version slot over a single 2D bitmap, so the hot
+        # operation — mark() on every application write — is one
+        # column-slice assignment instead of a Python loop over slots
+        self._stale = np.ones((n_slots, self.n_pages), dtype=bool)
 
-    def _append_stale_slot(self) -> None:
-        table = PageTable(self.nbytes, self.page_size)
-        table.mark_all_nvdirty()
-        self._slots.append(table)
+    def _page_range(self, offset: int, nbytes: int) -> Tuple[int, int]:
+        if offset < 0 or nbytes < 0 or offset + nbytes > self.nbytes:
+            raise InvalidAddress(
+                f"access [{offset}, {offset + nbytes}) outside region of {self.nbytes} bytes"
+            )
+        if nbytes == 0:
+            return (0, 0)
+        first = offset // self.page_size
+        last = (offset + nbytes - 1) // self.page_size
+        return (first, last + 1)
 
     @property
     def n_slots(self) -> int:
-        return len(self._slots)
+        return self._stale.shape[0]
 
     def ensure_slots(self, n_slots: int) -> None:
         """Grow to *n_slots*; new slots start fully stale."""
-        while len(self._slots) < n_slots:
-            self._append_stale_slot()
+        if n_slots > self.n_slots:
+            extra = np.ones((n_slots - self.n_slots, self.n_pages), dtype=bool)
+            self._stale = np.vstack((self._stale, extra))
 
     def mark(self, offset: int, nbytes: int) -> None:
         """A write landed on [offset, offset+nbytes): every slot's copy
         of those pages is now behind DRAM."""
-        for table in self._slots:
-            table.mark_nvdirty(offset, nbytes)
+        first, last = self._page_range(offset, nbytes)
+        self._stale[:, first:last] = True
 
     def mark_all(self) -> None:
-        for table in self._slots:
-            table.mark_all_nvdirty()
+        self._stale[:] = True
 
     def extents(self, slot: int, clear: bool = False) -> List[Tuple[int, int]]:
         """Coalesced stale byte runs for one version slot."""
-        return self._slots[slot].nvdirty_extents(clear=clear)
+        row = self._stale[slot]
+        extents = _mask_extents(row, self.page_size, self.nbytes)
+        if clear:
+            row[:] = False
+        return extents
 
     def clear_extents(self, slot: int, extents: List[Tuple[int, int]]) -> None:
         """Mark exactly *extents* copied into *slot* (writes that raced
         the copy keep their stale bits — only the listed runs clear)."""
-        table = self._slots[slot]
+        row = self._stale[slot]
         for off, n in extents:
-            table.clear_nvdirty_range(off, n)
+            first, last = self._page_range(off, n)
+            row[first:last] = False
 
     def clear_all(self, slot: int) -> None:
         """A full-chunk copy refreshed *slot* entirely."""
-        self._slots[slot].clear_nvdirty()
+        self._stale[slot, :] = False
 
     def stale_bytes(self, slot: int) -> int:
-        return self._slots[slot].nvdirty_bytes()
+        row = self._stale[slot]
+        n_dirty = int(row.sum())
+        if n_dirty == 0:
+            return 0
+        total = n_dirty * self.page_size
+        # the final page may be partial
+        if bool(row[-1]) and self.nbytes % self.page_size:
+            total -= self.page_size - (self.nbytes % self.page_size)
+        return total
 
     def resize(self, nbytes: int) -> None:
         """Chunk was reallocated: every slot's region content is suspect
         until re-copied, so all slots go fully stale at the new size."""
         self.nbytes = nbytes
-        for table in self._slots:
-            table.resize(nbytes)
-            table.mark_all_nvdirty()
+        self.n_pages = pages_of(nbytes, self.page_size)
+        self._stale = np.ones((self.n_slots, self.n_pages), dtype=bool)

@@ -32,12 +32,16 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from .. import __version__
 from ..exec.cache import ResultCache
-from ..exec.executor import resolve_workers
-from ..exec.grid import GridReport, run_grid
+from ..exec.cell import run_cell, run_experiment
+from ..exec.executor import ParallelExecutor, resolve_workers
+from ..exec.grid import GridReport, expand_grid, run_grid
 from ..metrics.trace import BUS, CounterSink, JsonlSink
 from .sweep import parse_sweeps
 
-__all__ = ["PINNED_GRID", "FIGURE_GRIDS", "run_benchmark", "run_smoke", "main"]
+__all__ = [
+    "PINNED_GRID", "FIGURE_GRIDS", "SCALE_GRID",
+    "run_benchmark", "run_scale_block", "run_smoke", "run_scale_smoke", "main",
+]
 
 #: the headline grid: 16 cells of the paper's LAMMPS testbed with the
 #: remote (buddy) tier on — the heaviest per-cell configuration the
@@ -73,6 +77,18 @@ FIGURE_GRIDS: Dict[str, Tuple[List[str], List[str]]] = {
         ["mode=none,dcpcp", "nvm-gbps=1.0,2.0"],
     ),
 }
+
+
+#: the throughput grid behind the ``scale`` block: 4 local-only LAMMPS
+#: cells, small enough to re-run through both executor generations
+SCALE_GRID: Tuple[List[str], List[str]] = (
+    [
+        "--app", "lammps", "--nodes", "2", "--ranks-per-node", "4",
+        "--iterations", "3", "--local-interval", "20",
+        "--remote-interval", "60", "--no-remote",
+    ],
+    ["mode=none,dcpcp", "nvm-gbps=1.0,2.0"],
+)
 
 
 def _grid_cells(axes_specs: Sequence[str]) -> int:
@@ -114,8 +130,9 @@ def run_benchmark(
 
     *trace_path* streams the serial reference run's structured trace
     (policy decisions, chunk copies, commits...) as JSONL.  Tracing is
-    scoped to the serial run only: fork-pool workers inherit a snapshot
-    of the bus but their events never reach the parent process.
+    scoped to the serial run only — it doubles as the reference count
+    for the census; grid-level merged worker traces are available via
+    ``run_grid(..., trace=path)`` instead.
     """
     base, axes_specs = PINNED_GRID
     axes = parse_sweeps(axes_specs)
@@ -221,8 +238,121 @@ def run_benchmark(
         # byte-compared against its own replay, plus the wall-clock win
         # of what-if policy sweeps over captured traces
         "replay": run_replay_block(base, axes_specs),
+        # DES + executor throughput: events/sec and nodes/sec of the
+        # vectorized hot loops, and the persistent pool's dispatch
+        # win over the pre-1.1 fork-a-Pool-per-run shape
+        "scale": run_scale_block(),
     }
     return record
+
+
+def _dispatch_probe(x):
+    """Near-zero-work worker payload: what's left is pure dispatch."""
+    return x
+
+
+def run_scale_block(
+    workers_requested: int = 4, *, dispatch_rounds: int = 12
+) -> dict:
+    """DES + executor throughput: the ``scale`` block of the baseline.
+
+    Three families of numbers:
+
+    * **simulation throughput** — the :data:`SCALE_GRID` cells run
+      in-process via :func:`run_experiment`, counting the engine's
+      dispatched DES items (``RunResult.sim_events``): events/sec,
+      node-simulations/sec and cells/sec of the single-process hot
+      path (zero-delay fast lane + vectorized flow advance).
+    * **worker accounting** — ``workers_requested`` vs the effective
+      clamped count on this host (``resolve_workers``), so a 1-CPU CI
+      runner is legible in the record instead of silently odd.
+    * **pool dispatch** — ``dispatch_rounds`` rounds of a near-empty
+      payload through (a) one persistent :class:`ParallelExecutor`
+      pool, spawned once, and (b) the pre-1.1 dispatch shape: a fresh
+      ``multiprocessing.Pool`` forked per round with ``chunksize=1``.
+      Zero-work payloads isolate exactly what the redesign changed —
+      per-round pool lifecycle + IPC — so the number is stable even
+      when real cell work would drown it;
+      ``pool_speedup_vs_forkpool > 1`` is the persistent pool paying
+      off.  The real :data:`SCALE_GRID` cells additionally run once
+      through each generation and must reproduce the serial records
+      byte-for-byte (``deterministic``).
+    """
+    import multiprocessing
+
+    base, axes_specs = SCALE_GRID
+    cells = expand_grid(base, parse_sweeps(list(axes_specs)))
+    configs = [cell.config for cell in cells]
+
+    # 1. single-process simulation throughput
+    events = nodes = 0
+    t0 = time.perf_counter()
+    serial_records = []
+    for config in configs:
+        res = run_experiment(argparse.Namespace(**dict(config)))
+        events += res.sim_events
+        nodes += res.n_nodes
+        serial_records.append(res.to_dict())
+    sim_wall = time.perf_counter() - t0
+
+    mp_start = (
+        "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+    )
+    probe_items = list(range(workers_requested))
+
+    # 2. persistent pool: spawn once, then real cells + dispatch rounds
+    t1 = time.perf_counter()
+    with ParallelExecutor(
+        workers_requested, clamp=False, private_pool=True, mp_start=mp_start
+    ) as ex:
+        pool_report = ex.run(run_cell, configs)
+        pool_cells_wall = time.perf_counter() - t1
+        t2 = time.perf_counter()
+        for _ in range(dispatch_rounds):
+            ex.run(_dispatch_probe, probe_items)
+        pool_dispatch_wall = time.perf_counter() - t2
+
+    # 3. the legacy shape: fork a fresh Pool per round, one task per IPC
+    ctx = multiprocessing.get_context(mp_start)
+    t3 = time.perf_counter()
+    with ctx.Pool(processes=workers_requested) as legacy:
+        legacy_records = legacy.map(run_cell, configs, chunksize=1)
+    legacy_cells_wall = time.perf_counter() - t3
+    t4 = time.perf_counter()
+    for _ in range(dispatch_rounds):
+        with ctx.Pool(processes=workers_requested) as legacy:
+            legacy.map(_dispatch_probe, probe_items, chunksize=1)
+    legacy_dispatch_wall = time.perf_counter() - t4
+
+    deterministic = serial_records == pool_report.results == legacy_records
+    return {
+        "grid": {"axes": list(axes_specs), "cells": len(configs)},
+        "sim": {
+            "wall_s": round(sim_wall, 4),
+            "events": events,
+            "events_per_sec": round(events / sim_wall, 1) if sim_wall > 0 else 0.0,
+            "nodes_per_sec": round(nodes / sim_wall, 3) if sim_wall > 0 else 0.0,
+            "cells_per_sec": round(len(configs) / sim_wall, 3)
+            if sim_wall > 0 else 0.0,
+        },
+        "workers": {
+            "requested": workers_requested,
+            "effective": resolve_workers(workers_requested),
+            "host_cpus": os.cpu_count(),
+        },
+        "pool": {
+            "dispatch_rounds": dispatch_rounds,
+            "persistent_dispatch_wall_s": round(pool_dispatch_wall, 4),
+            "forkpool_dispatch_wall_s": round(legacy_dispatch_wall, 4),
+            "pool_speedup_vs_forkpool": round(
+                legacy_dispatch_wall / pool_dispatch_wall, 3
+            ) if pool_dispatch_wall > 0 else 0.0,
+            "persistent_cells_wall_s": round(pool_cells_wall, 4),
+            "forkpool_cells_wall_s": round(legacy_cells_wall, 4),
+            "batches": pool_report.batches,
+        },
+        "deterministic": deterministic,
+    }
 
 
 def run_replay_block(
@@ -305,6 +435,32 @@ def run_replay_smoke() -> int:
     return 0 if ok else 1
 
 
+def run_scale_smoke() -> int:
+    """CI-sized scale proof: one pass of the scale block; fails if the
+    simulation throughput numbers are degenerate, if serial /
+    persistent-pool / legacy-forkpool records diverge, or if the
+    persistent pool's dispatch loses to re-forking a Pool per round."""
+    t0 = time.perf_counter()
+    block = run_scale_block()
+    wall = time.perf_counter() - t0
+    ok = (
+        block["sim"]["events"] > 0
+        and block["sim"]["events_per_sec"] > 0
+        and block["deterministic"]
+        and block["pool"]["pool_speedup_vs_forkpool"] >= 1.0
+    )
+    print(
+        f"scale smoke: {block['sim']['events']} DES events at "
+        f"{block['sim']['events_per_sec']:.0f}/s, "
+        f"{block['sim']['cells_per_sec']:.2f} cells/s serial, "
+        f"pool speedup vs forkpool {block['pool']['pool_speedup_vs_forkpool']}x "
+        f"({block['workers']['effective']}/{block['workers']['requested']} "
+        f"workers effective), deterministic={block['deterministic']}, "
+        f"{wall:.1f}s -> {'OK' if ok else 'FAIL'}"
+    )
+    return 0 if ok else 1
+
+
 def run_smoke(workers: int) -> int:
     """One cached sweep cell under the executor, cold then warm."""
     base, _ = PINNED_GRID
@@ -334,8 +490,8 @@ def main(argv=None) -> int:
     p.add_argument("--out", default="BENCH_baseline.json",
                    help="JSON output path ('-' for stdout)")
     p.add_argument("--workers", default="auto",
-                   help="parallel worker processes ('auto' = one per CPU, "
-                        "minimum 4 so sharding is exercised everywhere)")
+                   help="parallel worker processes ('auto' = one per CPU; "
+                        "requests above the host CPU count are clamped)")
     p.add_argument("--cache-dir", default=None,
                    help="reuse a persistent cache dir (default: fresh temp dir)")
     p.add_argument("--smoke", action="store_true",
@@ -343,18 +499,24 @@ def main(argv=None) -> int:
     p.add_argument("--replay-smoke", action="store_true",
                    help="capture 2 pinned cells, replay them, assert "
                         "byte-exact accounting, and exit")
+    p.add_argument("--scale-smoke", action="store_true",
+                   help="run the scale grid serial + persistent-pool + "
+                        "legacy-forkpool, assert identical records and "
+                        "pool speedup >= 1, and exit")
     p.add_argument("--trace", default=None, metavar="OUT.JSONL",
                    help="stream the serial reference run's structured "
                         "trace (policy decisions, copies, commits) as "
                         "JSON lines to this path")
     args = p.parse_args(argv)
+    # honour the host: 'auto' and over-requests both land on the CPU
+    # count (the old `max(workers, 4)` floor oversubscribed 1-CPU CI)
     workers = resolve_workers(args.workers)
-    if args.workers == "auto":
-        workers = max(workers, 4)
     if args.smoke:
         return run_smoke(workers)
     if args.replay_smoke:
         return run_replay_smoke()
+    if args.scale_smoke:
+        return run_scale_smoke()
 
     t0 = time.perf_counter()
     record = run_benchmark(workers, cache_dir=args.cache_dir, trace_path=args.trace)

@@ -1,4 +1,4 @@
-"""Experiment driver CLI.
+"""Experiment driver CLI — a thin wrapper over :mod:`repro.exec.cell`.
 
 Run one checkpointing experiment on the simulated testbed and print a
 summary (optionally machine-readable JSON)::
@@ -14,27 +14,26 @@ summary (optionally machine-readable JSON)::
         --checkpoint-mb 300 --hot-fraction 0.5 --mtbf-local 600 \
         --mtbf-remote 2400 --timeline
 
-Every run is deterministic for a given ``--seed``.
+Every run is deterministic for a given ``--seed``.  The option surface,
+config resolution and cell execution all live in
+:mod:`repro.exec.cell` (re-exported here for compatibility); this
+module owns only the human-facing output.
 """
 
 from __future__ import annotations
 
-import argparse
-import dataclasses
 import json
 import sys
-from typing import Optional
 
-from ..apps import CM1Model, GTCModel, LammpsModel, SyntheticModel
-from ..cluster import Cluster, ClusterRunner, RunResult
-from ..config import (
-    AutotuneConfig,
-    CheckpointConfig,
-    ClusterConfig,
-    FailureConfig,
-    PrecopyPolicy,
+from ..exec.cell import (  # noqa: F401  (public compatibility re-exports)
+    APPS,
+    NON_SEMANTIC_OPTIONS,
+    build_parser,
+    resolve_config,
+    result_to_dict,
+    run_cell,
+    run_experiment,
 )
-from ..units import GB_per_sec
 
 __all__ = [
     "build_parser",
@@ -44,178 +43,6 @@ __all__ = [
     "result_to_dict",
     "main",
 ]
-
-#: options that shape *output*, not the experiment itself — excluded
-#: from the resolved config so they never perturb cache keys
-NON_SEMANTIC_OPTIONS = frozenset({"json", "timeline", "trace"})
-
-APPS = {
-    "gtc": lambda args: GTCModel(small_chunks=args.small_chunks),
-    "lammps": lambda args: LammpsModel(),
-    "cm1": lambda args: CM1Model(small_chunks=args.small_chunks),
-    "synthetic": lambda args: SyntheticModel(
-        checkpoint_mb_per_rank=args.checkpoint_mb,
-        chunk_mb=args.chunk_mb,
-        hot_fraction=args.hot_fraction,
-        write_once_fraction=args.write_once_fraction,
-        iteration_compute_time=args.local_interval,
-        comm_mb_per_iteration=args.comm_mb,
-    ),
-}
-
-
-def build_parser() -> argparse.ArgumentParser:
-    p = argparse.ArgumentParser(
-        prog="repro.tools.experiment",
-        description="Run one NVM-checkpoints experiment on the simulated testbed.",
-    )
-    p.add_argument("--app", choices=sorted(APPS), default="lammps")
-    p.add_argument("--mode", choices=["none", "cpc", "dcpc", "dcpcp"],
-                   default="dcpcp", help="local pre-copy policy")
-    p.add_argument("--granularity", choices=["chunk", "page"], default="chunk",
-                   help="dirty-tracking granularity")
-    p.add_argument("--copy-granularity", choices=["chunk", "page"], default="chunk",
-                   help="copy granularity: 'page' moves only the stale "
-                        "dirty-page extents (incremental checkpoints)")
-    p.add_argument("--nodes", type=int, default=4)
-    p.add_argument("--ranks-per-node", type=int, default=12)
-    p.add_argument("--iterations", type=int, default=6)
-    p.add_argument("--nvm-gbps", type=float, default=2.0,
-                   help="NVM device write bandwidth (Table I default: 2.0)")
-    p.add_argument("--local-interval", type=float, default=40.0)
-    p.add_argument("--remote-interval", type=float, default=120.0)
-    p.add_argument("--no-remote", action="store_true",
-                   help="disable remote (buddy) checkpointing")
-    p.add_argument("--pfs-gbps", type=float, default=None,
-                   help="checkpoint to a shared PFS at this aggregate GB/s "
-                        "instead of node-local NVM (implies --no-remote)")
-    p.add_argument("--no-remote-precopy", action="store_true",
-                   help="asynchronous no-pre-copy remote baseline")
-    p.add_argument("--compress-ratio", type=float, default=None,
-                   help="compress remote checkpoint traffic at this "
-                        "compressed/original ratio (mcrengine-style)")
-    p.add_argument("--mtbf-local", type=float, default=None,
-                   help="per-node soft-failure MTBF (s); enables failure injection")
-    p.add_argument("--mtbf-remote", type=float, default=None,
-                   help="per-node hard-failure MTBF (s)")
-    p.add_argument("--seed", type=int, default=1)
-    p.add_argument("--autotune", action="store_true",
-                   help="run the online policy tuner: a per-rank bandit "
-                        "over the policy modes, hot-swapped between intervals")
-    p.add_argument("--autotune-strategy", choices=["epsilon", "ucb"],
-                   default="epsilon", help="bandit strategy for --autotune")
-    p.add_argument("--timeline", action="store_true",
-                   help="print the phase timeline (Fig. 5 style)")
-    p.add_argument("--json", metavar="PATH", default=None,
-                   help="write the result as JSON to PATH ('-' for stdout)")
-    p.add_argument("--trace", metavar="PATH", default=None,
-                   help="stream the run's trace events to PATH as "
-                        "versioned Jsonl (replayable with sweep --replay)")
-    # synthetic-model knobs
-    p.add_argument("--checkpoint-mb", type=float, default=400.0)
-    p.add_argument("--chunk-mb", type=float, default=25.0)
-    p.add_argument("--hot-fraction", type=float, default=0.0)
-    p.add_argument("--write-once-fraction", type=float, default=0.0)
-    p.add_argument("--comm-mb", type=float, default=100.0)
-    p.add_argument("--small-chunks", type=int, default=24,
-                   help="small-bucket chunk count for gtc/cm1 (0 = faithful)")
-    return p
-
-
-def resolve_config(args: argparse.Namespace) -> dict:
-    """The canonical resolved configuration of one experiment cell:
-    every semantic option after argparse defaulting, sorted by name.
-    This dict is the cache-key input and the worker payload of the
-    execution engine (JSON-serializable and picklable by design)."""
-    return {
-        k: v for k, v in sorted(vars(args).items()) if k not in NON_SEMANTIC_OPTIONS
-    }
-
-
-def run_cell(config: dict) -> dict:
-    """Execute one resolved cell and return its summary dict.
-
-    Module-level and dict-in/dict-out so
-    :class:`repro.exec.ParallelExecutor` can ship it across process
-    boundaries; the input is copied, so a cell can never leak mutations
-    into its siblings.
-    """
-    args = argparse.Namespace(**dict(config))
-    result = run_experiment(args)
-    return result_to_dict(result)
-
-
-def run_experiment(args: argparse.Namespace) -> RunResult:
-    resolved = resolve_config(args)
-    if args.small_chunks == 0:
-        args.small_chunks = None  # faithful layouts
-    app = APPS[args.app](args)
-    app.iteration_compute_time = args.local_interval
-    autotune = AutotuneConfig()
-    if getattr(args, "autotune", False):
-        autotune = AutotuneConfig(
-            enabled=True,
-            strategy=getattr(args, "autotune_strategy", "epsilon"),
-            seed=args.seed,
-        )
-    config = CheckpointConfig(
-        local_interval=args.local_interval,
-        remote_interval=args.remote_interval,
-        precopy=PrecopyPolicy(
-            mode=args.mode,
-            granularity=args.granularity,
-            copy_granularity=args.copy_granularity,
-        ),
-        remote_precopy=not args.no_remote_precopy,
-        autotune=autotune,
-    )
-    cluster = Cluster(
-        ClusterConfig(nodes=args.nodes),
-        nvm_write_bandwidth=GB_per_sec(args.nvm_gbps),
-        seed=args.seed,
-    )
-    pfs = None
-    if args.pfs_gbps is not None:
-        from ..baselines import PfsModel
-
-        pfs = PfsModel(cluster.engine, aggregate_bandwidth=GB_per_sec(args.pfs_gbps))
-        args.no_remote = True
-    compression = None
-    if args.compress_ratio is not None:
-        from ..core import CompressionModel
-
-        compression = CompressionModel(phantom_ratio=args.compress_ratio)
-    cluster.build(
-        app, config, ranks_per_node=args.ranks_per_node,
-        with_remote=not args.no_remote, pfs=pfs, compression=compression,
-    )
-    failure_config: Optional[FailureConfig] = None
-    if args.mtbf_local is not None or args.mtbf_remote is not None:
-        failure_config = FailureConfig(
-            mtbf_local=args.mtbf_local or 1e12,
-            mtbf_remote=args.mtbf_remote or 1e12,
-            seed=args.seed,
-        )
-    runner = ClusterRunner(cluster, failure_config=failure_config)
-    trace_path = getattr(args, "trace", None)
-    sink = None
-    if trace_path:
-        from ..metrics.trace import BUS, JsonlSink
-
-        sink = BUS.attach(JsonlSink(trace_path, meta={"config": resolved}))
-    try:
-        result = runner.run(args.iterations)
-    finally:
-        if sink is not None:
-            BUS.detach(sink)
-            sink.close()
-    result.cluster = cluster  # type: ignore[attr-defined]
-    return result
-
-
-def result_to_dict(result: RunResult) -> dict:
-    """JSON-friendly summary of a run (see :meth:`RunResult.to_dict`)."""
-    return result.to_dict()
 
 
 def main(argv=None) -> int:
@@ -244,7 +71,7 @@ def main(argv=None) -> int:
               f"{fail['iterations_recomputed']} iterations recomputed")
     if args.timeline:
         actors = ["r0"]
-        helpers = [f"n0:helper"] if rem["rounds"] else []
+        helpers = ["n0:helper"] if rem["rounds"] else []
         print("\n" + result.timeline.ascii_art(width=100, actors=actors + helpers))
     if args.json:
         payload = json.dumps(summary, indent=2)

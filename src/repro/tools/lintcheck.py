@@ -10,7 +10,9 @@ walks the AST of every non-test module under ``src/`` and fails on:
 * importing ``CheckpointStats`` from ``repro.core.local`` (it lives in
   :mod:`repro.core.engine`; the ``local`` re-export exists only for
   old callers);
-* calling ``checkpoint_sync`` (use ``checkpoint()`` /
+* any mention of ``checkpoint_sync`` — the shim was removed in 1.1.0,
+  and *defining* a method of that name is banned too, so the alias
+  cannot quietly come back (use ``checkpoint()`` /
   ``checkpoint(blocking=False)``).
 
 Runs on the plain stdlib so ``make lint`` works in environments without
@@ -45,10 +47,11 @@ BANNED_FROM = {
     (".local", "CheckpointStats"): "import it from .engine",
 }
 
-#: files allowed to mention a banned name (they define/re-export it)
+#: files allowed to mention a banned name (they define/re-export it).
+#: ``checkpoint_sync`` has no entry on purpose: the shim is deleted, so
+#: *no* module may define or reference it.
 DEFINING_MODULES = {
     "make_pfs_transfer": ("baselines/pfs.py", "baselines/__init__.py"),
-    "checkpoint_sync": ("core/engine.py",),
     "CheckpointStats": ("core/local.py",),
 }
 
@@ -86,6 +89,12 @@ def check_file(path: str) -> List[Violation]:
                         (path, node.lineno,
                          f"deprecated import: {alias.name} — {BANNED_NAMES[alias.name]}")
                     )
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and node.name in BANNED_NAMES:
+            if not _is_exempt(path, node.name):
+                out.append(
+                    (path, node.lineno,
+                     f"banned definition: def {node.name} — {BANNED_NAMES[node.name]}")
+                )
         elif isinstance(node, ast.Attribute) and node.attr in BANNED_NAMES:
             if not _is_exempt(path, node.attr):
                 out.append(

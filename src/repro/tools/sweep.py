@@ -1,4 +1,4 @@
-"""Parameter-sweep CLI: run a grid of experiments, emit CSV.
+"""Parameter-sweep CLI — a thin wrapper over :func:`repro.exec.run_grid`.
 
 Example — Fig. 7 as a CSV, sharded over 4 workers with a warm cache::
 
@@ -10,23 +10,28 @@ Any scalar option of ``repro.tools.experiment`` can be swept; the
 cross product of all ``--sweep`` axes runs on the
 :mod:`repro.exec` engine — parallel execution is byte-identical to
 serial, a populated ``--cache-dir`` re-executes only changed cells —
-and one CSV row is written per cell.
-
-CSV columns are derived from the union of all result keys (stable,
-first-seen order after the preferred prefix below), so new metrics
-surface in sweeps without editing this file.
+and one CSV row is written per cell.  Grid expansion, dispatch, and
+CSV field selection all live in :mod:`repro.exec.grid` (re-exported
+here for compatibility); this module owns only argument parsing and
+the replay-mode sweep.
 """
 
 from __future__ import annotations
 
 import argparse
-import csv
 import sys
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Tuple
 
 from ..errors import ConfigError
-from ..exec.cache import ResultCache
-from ..exec.grid import GridReport, run_grid
+from ..exec.grid import (  # noqa: F401  (public compatibility re-exports)
+    CSV_FIELDS,
+    GridReport,
+    GridSpec,
+    collect_fields,
+    parse_sweeps,
+    run_grid,
+    write_csv,
+)
 
 __all__ = [
     "parse_sweeps",
@@ -37,41 +42,13 @@ __all__ = [
     "main",
 ]
 
-#: preferred CSV column ordering; columns present in the results are
-#: emitted in this order first, every other key follows in the stable
-#: first-seen order of the records (nothing is ever dropped)
-CSV_FIELDS = [
-    "app", "policy", "remote_precopy", "n_nodes", "n_ranks", "iterations",
-    "total_time_s", "ideal_time_s", "overhead_fraction",
-    "local.checkpoints", "local.avg_blocking_s", "local.coordinated_gb",
-    "local.precopy_gb", "local.fault_time_s",
-    "remote.rounds", "remote.round_gb", "remote.stream_gb",
-    "remote.helper_utilization",
-    "fabric.ckpt_peak_1s_mb", "fabric.app_gb", "fabric.ckpt_gb",
-    "failures.soft", "failures.hard", "failures.recovery_s",
-]
-
-
-def parse_sweeps(specs: Sequence[str]) -> List[Tuple[str, List[str]]]:
-    """``["nvm-gbps=0.5,1.0", "mode=none,dcpcp"]`` -> axis list."""
-    axes: List[Tuple[str, List[str]]] = []
-    for spec in specs:
-        if "=" not in spec:
-            raise ValueError(f"sweep spec {spec!r} must look like name=v1,v2")
-        name, _, values = spec.partition("=")
-        vals = [v for v in values.split(",") if v]
-        if not vals:
-            raise ValueError(f"sweep spec {spec!r} has no values")
-        axes.append((name.strip(), vals))
-    return axes
-
 
 def run_sweep(
     base_args: List[str],
     axes: List[Tuple[str, List[str]]],
     *,
     workers: int | str | None = 1,
-    cache: ResultCache | None = None,
+    cache=None,
     derive_seeds: bool = True,
 ) -> List[dict]:
     """Run the cross product; returns one flat record per cell."""
@@ -126,29 +103,6 @@ def run_replay_sweep(
     return records
 
 
-def collect_fields(records: Sequence[dict], axes) -> List[str]:
-    """The CSV column set: sweep coordinates, then the preferred
-    ordering, then every remaining key in stable first-seen order —
-    the union over *all* records, so no metric is silently dropped."""
-    sweep_cols = [f"sweep.{name}" for name, _ in axes]
-    seen: Dict[str, None] = {}
-    for record in records:
-        for key in record:
-            if key not in seen:
-                seen[key] = None
-    preferred = [f for f in CSV_FIELDS if f in seen]
-    rest = [k for k in seen if k not in preferred and k not in sweep_cols]
-    return sweep_cols + preferred + rest
-
-
-def write_csv(records: Sequence[dict], axes, stream) -> None:
-    """Write the sweep records as CSV to an open text *stream*."""
-    writer = csv.DictWriter(stream, fieldnames=collect_fields(records, axes))
-    writer.writeheader()
-    for record in records:
-        writer.writerow(record)
-
-
 def main(argv=None) -> int:
     p = argparse.ArgumentParser(
         prog="repro.tools.sweep",
@@ -162,10 +116,14 @@ def main(argv=None) -> int:
                         "threshold-margin over it without re-running the app")
     p.add_argument("--out", default="-", help="CSV path ('-' for stdout)")
     p.add_argument("--workers", default="1", metavar="N",
-                   help="parallel worker processes ('auto' = one per CPU)")
+                   help="parallel worker processes ('auto' = one per CPU; "
+                        "clamped to the host CPU count)")
     p.add_argument("--cache-dir", default=None, metavar="DIR",
                    help="content-addressed result cache; reruns execute "
                         "only changed cells")
+    p.add_argument("--trace", default=None, metavar="PATH",
+                   help="stream every executed cell's trace events to PATH "
+                        "as one versioned Jsonl file")
     p.add_argument("--no-cell-seeds", action="store_true",
                    help="do not derive per-cell RNG seeds; every cell "
                         "uses the base --seed verbatim")
@@ -177,12 +135,12 @@ def main(argv=None) -> int:
     if args.replay:
         records = run_replay_sweep(args.replay, axes)
     else:
-        cache = ResultCache(args.cache_dir) if args.cache_dir else None
         report = run_grid(
             passthrough,
             axes,
             workers=args.workers,
-            cache=cache,
+            cache=args.cache_dir,
+            trace=args.trace,
             derive_seeds=not args.no_cell_seeds,
         )
         records = report.records

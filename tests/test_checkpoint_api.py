@@ -47,23 +47,32 @@ class TestUnifiedCheckpointVerb:
         assert stats.chunks_copied == 1
         assert stats.bytes_copied == MB(4)
 
-    def test_checkpoint_sync_shim_warns_and_delegates(self):
+    def test_legacy_sync_alias_is_gone(self):
+        """The 1.0 DeprecationWarning shim was removed in 1.1.0: the
+        old spelling fails loudly instead of warning."""
         ctx, alloc, ck = make_local_rig()
         alloc.nvalloc("a", MB(4))
-        with pytest.warns(DeprecationWarning, match="checkpoint_sync"):
-            stats = ck.checkpoint_sync()
-        assert isinstance(stats, CheckpointStats)
-        assert stats.chunks_copied == 1
-
-    def test_transparent_shim_warns_and_delegates(self):
-        ctx = make_standalone_context(name="xp")
-        tc = TransparentCheckpointer(ctx, "p0", MB(8))
-        with pytest.warns(DeprecationWarning, match="checkpoint_sync"):
-            stats = tc.checkpoint_sync()
-        assert stats.bytes_copied == MB(8)
-        # and the unified verb itself stays warning-free
+        assert not hasattr(ck, "checkpoint_" + "sync")
+        ctx2 = make_standalone_context(name="xp")
+        tc = TransparentCheckpointer(ctx2, "p0", MB(8))
+        assert not hasattr(tc, "checkpoint_" + "sync")
+        # the unified verb stays warning-free
         tc.mark_activity()
         assert tc.checkpoint().bytes_copied == MB(8)
+
+    def test_top_level_checkpoint_helper(self):
+        import repro
+
+        ctx, alloc, ck = make_local_rig()
+        alloc.nvalloc("a", MB(4))
+        stats = repro.checkpoint(ck)
+        assert isinstance(stats, CheckpointStats)
+        assert stats.chunks_copied == 1
+        gen = repro.checkpoint(ck, blocking=False)
+        assert hasattr(gen, "send")
+        gen.close()
+        with pytest.raises(TypeError):
+            repro.checkpoint(object())
 
     def test_facade_checkpoint_all_and_single(self):
         app = NVMCheckpoint("p0")

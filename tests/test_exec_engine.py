@@ -4,14 +4,17 @@ from __future__ import annotations
 
 import io
 import json
+import os
 
 import pytest
 
 from repro import __version__
 from repro.exec import (
     ExecutionReport,
+    GridSpec,
     ParallelExecutor,
     ResultCache,
+    WorkerPool,
     cache_key,
     derive_cell_seed,
     expand_grid,
@@ -19,6 +22,7 @@ from repro.exec import (
     resolve_workers,
     run_grid,
 )
+from repro.exec.executor import _batch_indexes
 from repro.tools.sweep import collect_fields, parse_sweeps, write_csv
 
 #: a fast, fully deterministic base cell (no remote tier, tiny sizes)
@@ -29,10 +33,24 @@ BASE = [
 ]
 THREE_AXES = ["nvm-gbps=1.0,2.0", "mode=none,dcpcp", "ranks-per-node=1,2"]
 
+HOST_CPUS = max(1, os.cpu_count() or 1)
+
 
 def _square(payload):
     """Module-level so the fork/spawn pool can pickle it."""
     return {"value": payload["x"] ** 2}
+
+
+def _boom(payload):
+    """Module-level failing cell for error-propagation tests."""
+    if payload["x"] == 2:
+        raise RuntimeError("cell 2 exploded")
+    return {"value": payload["x"]}
+
+
+def _pid(payload):
+    """Report which worker process ran the cell."""
+    return {"pid": os.getpid(), "x": payload["x"]}
 
 
 class TestResultCache:
@@ -64,6 +82,52 @@ class TestResultCache:
         assert cache.get(key) is None
 
 
+class TestWorkerPool:
+    """The persistent pool itself (forced multiprocess via clamp=False)."""
+
+    def test_batched_dispatch_reassembles_submission_order(self):
+        with ParallelExecutor(workers=2, clamp=False, private_pool=True) as ex:
+            report = ex.run(_square, [{"x": i} for i in range(10)])
+        assert [r["value"] for r in report.results] == [i * i for i in range(10)]
+        assert report.cells_executed == 10
+        assert report.batches > 1  # really went through batched dispatch
+
+    def test_workers_persist_across_runs(self):
+        """The tentpole: the second grid reuses the same worker
+        processes — no per-grid interpreter forks."""
+        with ParallelExecutor(workers=2, clamp=False, private_pool=True) as ex:
+            first = ex.run(_pid, [{"x": i} for i in range(8)])
+            second = ex.run(_pid, [{"x": i} for i in range(8)])
+        pids_first = {r["pid"] for r in first.results}
+        pids_second = {r["pid"] for r in second.results}
+        parent = os.getpid()
+        assert parent not in pids_first  # really ran out-of-process
+        assert pids_second <= pids_first  # spawned once, reused
+
+    def test_cell_error_propagates_and_pool_survives(self):
+        with ParallelExecutor(workers=2, clamp=False, private_pool=True) as ex:
+            with pytest.raises(RuntimeError, match="cell 2 exploded"):
+                ex.run(_boom, [{"x": i} for i in range(6)])
+            # the pool is still serviceable after a cell failure
+            report = ex.run(_square, [{"x": i} for i in range(4)])
+            assert [r["value"] for r in report.results] == [0, 1, 4, 9]
+
+    def test_dead_pool_rejects_work(self):
+        pool = WorkerPool(1)
+        pool.close()
+        from repro.exec import WorkerPoolError
+
+        with pytest.raises(WorkerPoolError):
+            pool.run_batches(_square, [[(0, {"x": 1})]])
+
+    def test_batch_indexes_cover_exactly_once(self):
+        for n, b in [(1, 4), (7, 3), (16, 16), (5, 100)]:
+            batches = _batch_indexes(list(range(n)), b)
+            flat = [i for batch in batches for i in batch]
+            assert flat == list(range(n))
+            assert len(batches) <= max(1, min(b, n))
+
+
 class TestParallelExecutor:
     def test_results_in_submission_order(self):
         ex = ParallelExecutor(workers=4)
@@ -74,7 +138,8 @@ class TestParallelExecutor:
     def test_serial_equals_parallel(self):
         payloads = [{"x": i} for i in range(8)]
         serial = ParallelExecutor(workers=1).run(_square, payloads)
-        parallel = ParallelExecutor(workers=4).run(_square, payloads)
+        with ParallelExecutor(workers=4, clamp=False, private_pool=True) as ex:
+            parallel = ex.run(_square, payloads)
         assert serial.results == parallel.results
 
     def test_cache_short_circuits(self, tmp_path):
@@ -89,12 +154,23 @@ class TestParallelExecutor:
         assert second.cache_hit_rate == 1.0
         assert second.results == first.results
 
-    def test_resolve_workers(self):
-        assert resolve_workers(3) == 3
-        assert resolve_workers("auto") >= 1
-        assert resolve_workers(None) >= 1
+    def test_resolve_workers_clamps_to_host(self):
+        """The host_cpus=1 bugfix: requesting more workers than CPUs
+        must not oversubscribe (that is how the original bench lost
+        wall-clock at 'workers: 4' on a 1-CPU box)."""
+        assert resolve_workers(1) == 1
+        assert resolve_workers(HOST_CPUS + 3) == HOST_CPUS
+        assert resolve_workers(HOST_CPUS + 3, clamp=False) == HOST_CPUS + 3
+        assert resolve_workers("auto") == HOST_CPUS
+        assert resolve_workers(None) == HOST_CPUS
         with pytest.raises(ValueError):
             resolve_workers(-1)
+
+    def test_report_records_requested_and_effective(self):
+        ex = ParallelExecutor(workers=HOST_CPUS + 7)
+        report = ex.run(_square, [{"x": 1}])
+        assert report.workers == HOST_CPUS
+        assert report.workers_requested == HOST_CPUS + 7
 
 
 class TestGrid:
@@ -106,6 +182,13 @@ class TestGrid:
         )
         # every cell resolved to a full picklable/JSON-able config
         json.dumps(cells[0].config)
+
+    def test_gridspec_normalizes_both_axis_shapes(self):
+        from_specs = GridSpec.of(BASE, THREE_AXES)  # "name=v1,v2" strings
+        from_pairs = GridSpec.of(BASE, parse_sweeps(THREE_AXES))
+        assert from_specs == from_pairs
+        assert from_specs.n_cells == 8
+        assert expand_grid(from_specs) == expand_grid(BASE, parse_sweeps(THREE_AXES))
 
     def test_cell_seeds_are_derived_and_stable(self):
         cells = expand_grid(BASE, parse_sweeps(THREE_AXES))
@@ -135,7 +218,8 @@ class TestGridDeterminism:
     def test_parallel_equals_serial_three_axis_grid(self):
         axes = parse_sweeps(THREE_AXES)
         serial = run_grid(BASE, axes, workers=1)
-        parallel = run_grid(BASE, axes, workers=4)
+        # clamp=False forces the real multiprocess pool even on 1 CPU
+        parallel = run_grid(BASE, axes, workers=4, clamp=False)
         assert serial.records == parallel.records
         # and the CSVs are byte-identical, not merely equal as dicts
         a, b = io.StringIO(), io.StringIO()
@@ -147,7 +231,8 @@ class TestGridDeterminism:
         axes = parse_sweeps(["nvm-gbps=1.0,2.0", "mode=none,dcpcp"])
         cold = run_grid(BASE, axes, workers=2, cache=ResultCache(tmp_path))
         assert cold.execution.cells_executed == 4
-        warm = run_grid(BASE, axes, workers=2, cache=ResultCache(tmp_path))
+        # cache accepts a plain path too (facade convenience)
+        warm = run_grid(BASE, axes, workers=2, cache=str(tmp_path))
         assert warm.execution.cells_executed == 0
         assert warm.execution.cache_hits == 4
         assert warm.records == cold.records
@@ -159,6 +244,123 @@ class TestGridDeterminism:
         second = run_grid(BASE, grown, workers=1, cache=ResultCache(tmp_path))
         assert second.execution.cache_hits == 2
         assert second.execution.cells_executed == 1  # only the new cell
+
+    def test_parallel_no_slower_than_serial_on_clamped_host(self):
+        """Regression pin for the oversubscription bug: with clamping,
+        a 'parallel' cold run of an 8-cell grid must not lose
+        wall-clock vs serial (the legacy fork pool ran at 0.45x)."""
+        axes = parse_sweeps(THREE_AXES)
+        serial = run_grid(BASE, axes, workers=1)
+        cold = run_grid(BASE, axes, workers=4)  # clamps to HOST_CPUS
+        assert cold.records == serial.records
+        assert cold.execution.workers == HOST_CPUS
+        assert cold.execution.workers_requested == 4
+        # generous bound: catches the 2x pathology, tolerates jitter
+        assert cold.execution.wall_s <= serial.execution.wall_s * 1.5 + 0.5
+
+
+class TestRunGridFacade:
+    def test_gridspec_run_equals_legacy_form(self):
+        spec = GridSpec.of(BASE, ["mode=none,dcpcp"])
+        a = run_grid(spec)
+        b = run_grid(BASE, ["mode=none,dcpcp"])
+        assert a.records == b.records
+        assert [c.key for c in a.cells] == [c.key for c in b.cells]
+
+    def test_grid_result_write_csv(self):
+        result = run_grid(BASE, ["mode=none"])
+        out = io.StringIO()
+        result.write_csv(out)
+        lines = out.getvalue().splitlines()
+        assert lines[0].startswith("sweep.mode")
+        assert len(lines) == 2
+
+    def test_trace_kwarg_writes_versioned_jsonl(self, tmp_path):
+        trace = tmp_path / "grid.jsonl"
+        result = run_grid(BASE, ["mode=none,dcpcp"], trace=str(trace))
+        assert result.trace_path == str(trace)
+        lines = trace.read_text().splitlines()
+        header = json.loads(lines[0])
+        assert header["kind"] == "trace.header"
+        assert header["meta"]["source"] == "repro.exec.run_grid"
+        assert len(header["meta"]["cells"]) == 2
+        events = [json.loads(line) for line in lines[1:]]
+        assert events  # executed cells really shipped their events
+        assert all("kind" in e for e in events)
+
+    def test_trace_capture_works_across_the_pool(self, tmp_path):
+        """Worker-side capture: the old fork pool silently dropped
+        child trace events; the persistent pool ships them back."""
+        serial = tmp_path / "serial.jsonl"
+        pooled = tmp_path / "pooled.jsonl"
+        run_grid(BASE, ["mode=none,dcpcp"], trace=str(serial))
+        run_grid(BASE, ["mode=none,dcpcp"], trace=str(pooled),
+                 workers=2, clamp=False)
+        assert serial.read_text() == pooled.read_text()
+
+
+AXIS_POOL = {
+    "nvm-gbps": ["0.5", "1.0", "2.0"],
+    "mode": ["none", "cpc", "dcpc", "dcpcp"],
+    "ranks-per-node": ["1", "2"],
+    "local-interval": ["8", "12"],
+}
+
+
+def _axes_strategy():
+    """Random 1-2 axis grids (<= 4 cells) over the experiment surface."""
+    from hypothesis import strategies as st
+
+    def axis(name):
+        values = AXIS_POOL[name]
+        return st.lists(
+            st.sampled_from(values), min_size=1, max_size=2, unique=True
+        ).map(lambda vs: (name, vs))
+
+    return (
+        st.lists(st.sampled_from(sorted(AXIS_POOL)), min_size=1, max_size=2,
+                 unique=True)
+        .flatmap(lambda names: st.tuples(*(axis(n) for n in names)))
+        .map(list)
+    )
+
+
+class TestGridProperty:
+    """Property test: serial, persistent-pool parallel, and
+    batched-dispatch-shaped runs agree byte-for-byte on random grids."""
+
+    @pytest.mark.filterwarnings("ignore::UserWarning")
+    def test_three_execution_shapes_agree(self):
+        from hypothesis import HealthCheck, given, settings
+
+        @settings(max_examples=4, deadline=None,
+                  suppress_health_check=list(HealthCheck))
+        @given(axes=_axes_strategy())
+        def check(axes):
+            self._assert_shapes_agree(axes)
+
+        check()
+
+    def _assert_shapes_agree(self, axes):
+        serial = run_grid(BASE, axes, workers=1)
+        pooled = run_grid(BASE, axes, workers=2, clamp=False)
+        # a different batching shape must not leak into the output
+        wide = run_grid(
+            BASE, axes,
+            executor=ParallelExecutor(workers=2, clamp=False,
+                                      dispatch_batches=1),
+        )
+        assert serial.records == pooled.records == wide.records
+        # identical content-addressed cache keys across all three
+        keys = [[c.key for c in r.cells] for r in (serial, pooled, wide)]
+        assert keys[0] == keys[1] == keys[2]
+        # and byte-identical CSVs
+        csvs = []
+        for r in (serial, pooled, wide):
+            out = io.StringIO()
+            write_csv(r.records, axes, out)
+            csvs.append(out.getvalue())
+        assert csvs[0] == csvs[1] == csvs[2]
 
 
 class TestDynamicCsvColumns:

@@ -45,6 +45,22 @@ def test_flags_checkpoint_sync_call(tmp_path):
     assert len(vs) == 1 and "checkpoint_sync" in vs[0][2]
 
 
+def test_flags_checkpoint_sync_definition(tmp_path):
+    """Since 1.1.0 the shim is deleted outright — *defining* a method
+    of that name anywhere (even its old home) is a violation, so the
+    alias cannot be quietly reintroduced."""
+    vs = _check_source(
+        tmp_path,
+        "class Ck:\n    def checkpoint_sync(self):\n        return None\n",
+    )
+    assert any("banned definition" in v[2] for v in vs)
+    engine_home = tmp_path / "core"
+    engine_home.mkdir()
+    path = engine_home / "engine.py"
+    path.write_text("def checkpoint_sync():\n    return None\n")
+    assert check_file(str(path)) != []  # the old exemption is gone
+
+
 def test_clean_module_passes(tmp_path):
     vs = _check_source(
         tmp_path,
