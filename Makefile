@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test lint faults faults-matrix bench bench-json exec-smoke replay-smoke scale-smoke
+.PHONY: test lint faults faults-matrix bench bench-json exec-smoke replay-smoke scale-smoke elastic-smoke
 
 # tier-1: the full deterministic suite
 test:
@@ -49,3 +49,9 @@ replay-smoke:
 # and the persistent pool out-dispatches forking a Pool per round
 scale-smoke:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.tools.bench --scale-smoke
+
+# smallest end-to-end proof of elastic membership: join + live migration
+# + drain + newcomer failure; incremental failover must beat the
+# full-resync baseline and the checkpoint-latency SLO must hold
+elastic-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.tools.bench --elastic-smoke

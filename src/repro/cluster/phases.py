@@ -31,6 +31,8 @@ __all__ = [
     "orphan_failover",
     "repair_orphan",
     "resync_proc",
+    "start_migration",
+    "migration_proc",
     "recover_soft",
     "fetch_source_for",
     "recover_hard",
@@ -112,24 +114,47 @@ def handle_failure(runner, ev: FailureEvent, procs):
         rollback = yield from recover_hard(runner, node)
     runner.iterations_recomputed += max(0, runner.committed_iteration - rollback)
     runner.committed_iteration = rollback
-    # reset chunk dirty state: DRAM now matches the rollback point
+    # reset chunk dirty state: DRAM now matches the rollback point.
+    # With migration bookkeeping on, a chunk whose current buddy holds
+    # its latest commit generation is *provably* still covered (rollback
+    # restores committed state, which is exactly what was streamed), so
+    # only epoch-mismatched chunks re-dirty — the incremental-failover
+    # saving.  Without it, conservatively re-dirty everything.
+    held_by_pid = {}
+    if runner.migration_enabled:
+        for n in runner.cluster.active_nodes:
+            h = n.helper
+            if h is None:
+                continue
+            held = h._replicated.get(h.buddy_id, {})
+            for a in h.ranks:
+                held_by_pid[a.pid] = (h, held)
     for state in runner.cluster.all_ranks():
+        entry = held_by_pid.get(state.allocator.pid)
         for chunk in state.allocator.chunks():
             fresh = chunk.committed_version < 0
             chunk.dirty_local = fresh
-            chunk.dirty_remote = True
+            if entry is None:
+                chunk.dirty_remote = True
+            else:
+                h, held = entry
+                key = (state.allocator.pid, chunk.chunk_id)
+                chunk.dirty_remote = held.get(key) != h._dirty_epoch.get(key, 0)
             chunk.protected = not fresh
             chunk.begin_interval()
         if state.checkpointer.precopy is not None:
             state.checkpointer.precopy.begin_interval()
             state.checkpointer.precopy.resume()
         state.checkpointer.last_checkpoint_end = engine.now
-    # the dirty-state reset above re-dirtied every chunk; nodes
-    # mid-re-sync must re-cover them through the same drain
+    # the dirty-state reset above re-dirtied chunks; nodes mid-re-sync
+    # must re-cover them through the same drain
     for nid in runner._resyncing:
         h = runner.cluster.nodes[nid].helper
         if h is not None:
-            h.enqueue_all()
+            if runner.migration_enabled:
+                h.enqueue_unreplicated()
+            else:
+                h.enqueue_all()
     runner.recovery_time += engine.now - t0
     if runner.cluster.timeline is not None:
         runner.cluster.timeline.record(f"n{ev.node}", tl.RESTART, t0, engine.now)
@@ -183,7 +208,14 @@ def repair_orphan(runner, orphan_id: int, new_buddy: int) -> None:
     helper = node.helper
     if helper is None:
         return
-    helper.retarget(new_buddy, runner.cluster.nodes[new_buddy].ctx)
+    # with migration bookkeeping on, failing over to a buddy that was
+    # streamed to before re-sends only the chunks whose commit
+    # generation moved — not the full footprint
+    helper.retarget(
+        new_buddy,
+        runner.cluster.nodes[new_buddy].ctx,
+        incremental=runner.migration_enabled,
+    )
     monitor = runner.monitors.get(orphan_id)
     if monitor is not None:
         monitor.retarget(new_buddy)
@@ -213,6 +245,73 @@ def resync_proc(runner, node_id: int, task):
         ctrl = runner.controllers.get(node_id)
         if ctrl is not None:
             ctrl.exit()
+    elif task.failure_limited:
+        # the failure budget ran out (not a newer retarget): the node
+        # is still unprotected — keep it in degraded mode until a later
+        # repair or recovery succeeds
+        runner.resyncs_aborted += 1
+        ctrl = runner.controllers.get(node_id)
+        if ctrl is not None:
+            ctrl.enter("resync-aborted")
+
+
+def start_migration(runner, plan, done) -> bool:
+    """Launch a bounded-batch live migration for one plan (the
+    membership controller's hook).  Returns False when the plan can no
+    longer start — source helper gone, or its pairing already moved on
+    from what the planner saw."""
+    from ..resilience.migration import MigrationTask
+
+    engine = runner.cluster.engine
+    node = runner.cluster.nodes[plan.node]
+    helper = node.helper
+    if helper is None or helper.buddy_id != plan.from_buddy:
+        return False
+    if plan.node in runner._resyncing:
+        # a re-sync owns the helper's queue right now; migrating the
+        # pairing out from under it would race the drain
+        return False
+    mcfg = runner.ckpt_config.resilience.migration
+
+    def on_cutover(task) -> None:
+        runner.migrations_completed += 1
+        runner.migration_bytes_total += task.bytes_sent
+        runner.directory.rebind(plan.node, plan.to_buddy)
+        monitor = runner.monitors.get(plan.node)
+        if monitor is not None:
+            monitor.retarget(plan.to_buddy)
+        done(plan, True)
+
+    def on_abort(task) -> None:
+        runner.migrations_aborted += 1
+        done(plan, False)
+
+    task = MigrationTask(
+        helper,
+        plan,
+        runner.cluster.nodes[plan.to_buddy].ctx,
+        batch_bytes=mcfg.batch_bytes,
+        guard=runner.slo_guard,
+        timeline=runner.cluster.timeline,
+        check_interval=mcfg.slo_check_interval,
+        pace_fraction=mcfg.pace_fraction,
+        failure_limit=mcfg.failure_limit,
+        retry_pause=mcfg.retry_pause,
+        on_cutover=on_cutover,
+        on_abort=on_abort,
+    )
+    runner._migrations.append(task)
+    runner._bg_procs.append(
+        engine.process(
+            migration_proc(runner, task),
+            name=f"n{plan.node}:migrate->{plan.to_buddy}",
+        )
+    )
+    return True
+
+
+def migration_proc(runner, task):
+    yield from task.run()
 
 
 def recover_soft(runner, node: ClusterNode):
@@ -271,14 +370,21 @@ def recover_hard(runner, node: ClusterNode):
     engine = runner.cluster.engine
     # which iteration did the buddy last capture for this node?
     rollback = 0
-    if node.helper is not None and node.helper.history:
+    if not node.ranks:
+        # a rank-less buddy host (a spare admitted via membership) lost
+        # no application state: survivors keep their committed progress
+        # and only the copies it hosted must be re-covered (failover)
+        rollback = runner.committed_iteration
+    elif node.helper is not None and node.helper.history:
         last_start = node.helper.history[-1].start
         for t, it in runner._committed_log:
             if t <= last_start:
                 rollback = it
     old_helper = node.helper
     old_rank_indices = [s.rank_index for s in node.ranks]
-    buddy_id = fetch_source_for(runner, node, old_helper)
+    # a rank-less node has no state to fetch — and asking the directory
+    # would spuriously re-pair it as a source
+    buddy_id = fetch_source_for(runner, node, old_helper) if node.ranks else None
     # stop machinery owned by the dead node
     for state in node.ranks:
         state.checkpointer.stop_background()
@@ -356,6 +462,7 @@ def recover_hard(runner, node: ClusterNode):
             state.checkpointer.on_complete.append(
                 runner.cluster._make_local_ckpt_hook(node, state.rank)
             )
+            runner._attach_slo_observer(state)
         if runner.directory is not None:
             runner.directory._buddy[node.node_id] = buddy_id
             monitor = runner.monitors.get(node.node_id)

@@ -133,6 +133,28 @@ class RunResult:
     #: final per-rank policy modes, comma-joined and deduplicated
     autotune_final_policy: str = ""
 
+    # -- elastic membership / live migration --
+    #: set when the run had a membership schedule; gates the extra
+    #: ``membership`` block in :meth:`to_dict` so runs without elastic
+    #: membership (goldens, caches, sweeps) stay byte-identical
+    elastic: bool = False
+    membership_joins: int = 0
+    membership_drains: int = 0
+    membership_departs: int = 0
+    migrations_planned: int = 0
+    migrations_completed: int = 0
+    migrations_aborted: int = 0
+    migration_batches: int = 0
+    migration_bytes: int = 0
+    #: batches delayed because checkpoint latency neared the SLO
+    migration_slo_pauses: int = 0
+    migration_throttled_batches: int = 0
+    #: worst per-interval coordinated-checkpoint latency observed
+    migration_max_ckpt_latency: float = 0.0
+    #: re-sync tasks that exhausted their failure budget (node left
+    #: degraded) — also surfaced as ``resync.aborted`` trace events
+    resyncs_aborted: int = 0
+
     # -- engine throughput --
     #: DES items (events + callbacks) the engine dispatched for this
     #: run.  Host-dependent denominator for the bench ``scale`` block;
@@ -166,7 +188,7 @@ class RunResult:
         execution engine caches, shards and flattens into sweep CSVs."""
         from ..units import to_GB, to_MB
 
-        return {
+        out = {
             "app": self.app_name,
             "policy": self.policy_mode,
             "remote_precopy": self.remote_precopy,
@@ -220,6 +242,22 @@ class RunResult:
                 "final_policy": self.autotune_final_policy,
             },
         }
+        if self.elastic:
+            out["membership"] = {
+                "joins": self.membership_joins,
+                "drains": self.membership_drains,
+                "departs": self.membership_departs,
+                "migrations_planned": self.migrations_planned,
+                "migrations_completed": self.migrations_completed,
+                "migrations_aborted": self.migrations_aborted,
+                "migration_batches": self.migration_batches,
+                "migration_gb": to_GB(self.migration_bytes),
+                "slo_pauses": self.migration_slo_pauses,
+                "throttled_batches": self.migration_throttled_batches,
+                "max_ckpt_latency_s": self.migration_max_ckpt_latency,
+                "resyncs_aborted": self.resyncs_aborted,
+            }
+        return out
 
 
 class ClusterRunner:
@@ -234,6 +272,7 @@ class ClusterRunner:
         fail_until_iteration: Optional[int] = None,
         archive=None,
         injector=None,
+        membership=None,
     ) -> None:
         if cluster.app is None or cluster.ckpt_config is None:
             raise ClusterError("cluster must be built before running")
@@ -279,16 +318,37 @@ class ClusterRunner:
         self._pending_failure: Optional[FailureEvent] = None
         self.resyncs_completed = 0
         self.resync_bytes = 0
+        self.resyncs_aborted = 0
+        # -- elastic membership / live migration --
+        #: planned join/drain schedule (sequence of MembershipEvent)
+        self._membership_schedule = list(membership) if membership else []
+        self.membership_controller = None
+        self.slo_guard = None
+        self._migrations: List = []
+        self.migrations_completed = 0
+        self.migrations_aborted = 0
+        self.migration_bytes_total = 0
 
     @property
     def resilience_active(self) -> bool:
         """The resilience layer only activates for runs that inject
-        failures: without an injector there is nothing to survive and
-        the run stays byte-identical to the pre-resilience runner."""
+        failures or play a membership schedule: without either there is
+        nothing to survive or rebalance and the run stays byte-identical
+        to the pre-resilience runner."""
         return (
-            self.injector is not None
+            (self.injector is not None or bool(self._membership_schedule))
             and self.ckpt_config.resilience.enabled
             and any(n.helper is not None for n in self.cluster.active_nodes)
+        )
+
+    @property
+    def migration_enabled(self) -> bool:
+        """Live migration / incremental-failover bookkeeping is opt-in
+        (``resilience.migration.enabled``) so the default failover path
+        stays byte-identical to the pre-migration runner."""
+        return (
+            self.directory is not None
+            and self.ckpt_config.resilience.migration.enabled
         )
 
     # ------------------------------------------------------------------
@@ -338,6 +398,8 @@ class ClusterRunner:
                 )
         if self.resilience_active:
             self._start_resilience()
+        if self._membership_schedule and self.directory is not None:
+            self._start_membership()
         if self.archive is not None:
             self._bg_procs.append(engine.process(self.archive.run(), name="archive"))
 
@@ -390,6 +452,51 @@ class ClusterRunner:
             )
             self.monitors[nid] = monitor
             self._bg_procs.append(engine.process(monitor.run(), name=f"n{nid}:hb"))
+
+    def _start_membership(self) -> None:
+        from ..resilience.migration import MigrationPlanner, SloGuard
+        from .membership import MembershipController
+
+        engine = self.cluster.engine
+        mcfg = self.ckpt_config.resilience.migration
+        self.slo_guard = SloGuard(
+            latency_slo=mcfg.slo_checkpoint_latency,
+            risk_fraction=mcfg.slo_risk_fraction,
+            throttle_fraction=mcfg.slo_throttle_fraction,
+        )
+        for state in self.cluster.all_ranks():
+            self._attach_slo_observer(state)
+        planner = None
+        launch = None
+        if mcfg.enabled:
+            planner = MigrationPlanner(
+                self.directory,
+                fits=lambda orphan, cand: phases.buddy_capacity_ok(
+                    self, orphan, cand
+                ),
+            )
+            launch = lambda plan, done: phases.start_migration(self, plan, done)
+        self.membership_controller = MembershipController(
+            engine,
+            self.directory,
+            self._membership_schedule,
+            planner=planner,
+            launch_migration=launch,
+        )
+        self._bg_procs.append(
+            engine.process(self.membership_controller.run(), name="membership")
+        )
+
+    def _attach_slo_observer(self, state) -> None:
+        """Feed every coordinated-checkpoint duration of this rank into
+        the SLO guard (re-attached for replacement ranks after a hard
+        failure)."""
+        guard = self.slo_guard
+        if guard is None:
+            return
+        state.checkpointer.on_complete.append(
+            lambda stats, g=guard: g.observe(stats.duration)
+        )
 
     def _make_interval_hook(self, node_id: int):
         """Apply a (degraded or restored) local interval to the node's
@@ -630,7 +737,7 @@ class ClusterRunner:
                 h.helper_utilization(t_end) for h in helpers
             ) / len(helpers)
         # fabric
-        CKPT_KINDS = ["rckpt", "rprecopy", "rfetch", "resync"]
+        CKPT_KINDS = ["rckpt", "rprecopy", "rfetch", "resync", "migrate"]
         res.fabric_peak_window_bytes = cluster.fabric.peak_window_usage(1.0, t_end)
         res.fabric_ckpt_peak_window_bytes = cluster.fabric.peak_window_usage(
             1.0, t_end, kinds=CKPT_KINDS
@@ -663,6 +770,25 @@ class ClusterRunner:
             res.buddy_repairs = len(self.directory.repairs)
         res.resyncs_completed = self.resyncs_completed
         res.resync_bytes = self.resync_bytes
+        res.resyncs_aborted = self.resyncs_aborted
+        # elastic membership / live migration
+        ctrl = self.membership_controller
+        if ctrl is not None:
+            res.elastic = True
+            res.membership_joins = ctrl.joins
+            res.membership_drains = ctrl.drains
+            res.membership_departs = ctrl.departs
+            res.migrations_planned = ctrl.plans_issued
+        res.migrations_completed = self.migrations_completed
+        res.migrations_aborted = self.migrations_aborted
+        res.migration_bytes = self.migration_bytes_total
+        res.migration_batches = sum(t.batches for t in self._migrations)
+        res.migration_slo_pauses = sum(t.slo_pauses for t in self._migrations)
+        res.migration_throttled_batches = sum(
+            t.throttled_batches for t in self._migrations
+        )
+        if self.slo_guard is not None:
+            res.migration_max_ckpt_latency = self.slo_guard.max_latency
         # autotuning
         if self.tuners:
             res.autotune_switches = sum(len(t.switches) for t in self.tuners)

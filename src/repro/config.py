@@ -38,6 +38,7 @@ __all__ = [
     "ClusterConfig",
     "PrecopyPolicy",
     "AutotuneConfig",
+    "MigrationConfig",
     "ResilienceConfig",
     "CheckpointConfig",
     "FailureConfig",
@@ -339,6 +340,54 @@ class AutotuneConfig:
 
 
 @dataclass(frozen=True)
+class MigrationConfig:
+    """Knobs for planned live chunk migration
+    (:mod:`repro.resilience.migration`): bounded-batch moves of a
+    node's remote copies to a new buddy while the old pairing stays
+    live, with an SLO guard that pauses batches when per-interval
+    checkpoint latency is at risk.  Off by default — runs without
+    elastic membership stay byte-identical to the pre-migration
+    pipeline."""
+
+    enabled: bool = False
+    #: max bytes staged per migration batch (Megaphone-style bound:
+    #: small batches cap the latency a migration can add at once).
+    batch_bytes: int = 64 * 1024 * 1024
+    #: per-interval coordinated-checkpoint latency SLO (seconds).
+    #: ``inf`` disables the guard entirely.
+    slo_checkpoint_latency: float = float("inf")
+    #: fraction of the SLO at which migration batches *pause*.
+    slo_risk_fraction: float = 0.8
+    #: fraction of the SLO at which batch pacing *throttles* (halves).
+    slo_throttle_fraction: float = 0.5
+    #: seconds between SLO re-checks while a migration is paused.
+    slo_check_interval: float = 2.0
+    #: migration stream rate as a fraction of the helper's pace rate
+    #: (migration yields bandwidth to the pre-copy stream).
+    pace_fraction: float = 0.5
+    #: consecutive send failures before a migration aborts.
+    failure_limit: int = 10
+    #: pause after a failed batch send before retrying.
+    retry_pause: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.batch_bytes <= 0:
+            raise ConfigError("batch_bytes must be positive")
+        if self.slo_checkpoint_latency <= 0:
+            raise ConfigError("slo_checkpoint_latency must be positive")
+        if not 0.0 < self.slo_risk_fraction <= 1.0:
+            raise ConfigError("slo_risk_fraction must be in (0, 1]")
+        if not 0.0 < self.slo_throttle_fraction <= 1.0:
+            raise ConfigError("slo_throttle_fraction must be in (0, 1]")
+        if self.slo_check_interval <= 0:
+            raise ConfigError("slo_check_interval must be positive")
+        if not 0.0 < self.pace_fraction <= 1.0:
+            raise ConfigError("pace_fraction must be in (0, 1]")
+        if self.failure_limit < 1:
+            raise ConfigError("failure_limit must be >= 1")
+
+
+@dataclass(frozen=True)
 class ResilienceConfig:
     """Knobs for the resilience layer (:mod:`repro.resilience`): retry
     policy around remote transfers, buddy heartbeats, and degraded-mode
@@ -376,6 +425,8 @@ class ResilienceConfig:
     #: give up on a re-sync after this many consecutive send failures
     #: (the node then stays degraded until the next repair attempt).
     resync_failure_limit: int = 25
+    # -- planned live migration (elastic membership) --
+    migration: MigrationConfig = MigrationConfig()
 
 
 @dataclass(frozen=True)

@@ -310,6 +310,18 @@ class RemoteHelper:
         self._wake: Optional[Event] = None
         self.stream_bytes = 0
         self.stream_chunks = 0
+        # -- replication bookkeeping (incremental failover/migration) --
+        #: (pid, chunk_id) -> commit generation; bumped every time a
+        #: local commit (re-)queues the chunk, so a buddy's copy is
+        #: provably current iff its recorded generation matches.
+        self._dirty_epoch: Dict[Tuple[str, int], int] = {}
+        #: buddy node id -> {(pid, chunk_id) -> generation sent}; which
+        #: content each buddy (past or present) actually holds.
+        self._replicated: Dict[int, Dict[Tuple[str, int], int]] = {}
+        #: buddy node id -> its RemoteTarget map from when it was (or is
+        #: being prepared as) a pairing; valid for reuse only while the
+        #: buddy's context is unchanged (hardware replacement voids it).
+        self._known_targets: Dict[int, Dict[str, RemoteTarget]] = {}
 
     def _make_destination(self, pid: str, target: RemoteTarget) -> RemoteBuddyDestination:
         def send_fn(chunk: Chunk, extents=None, pid: str = pid) -> Event:
@@ -362,7 +374,11 @@ class RemoteHelper:
                 continue
             for chunk in alloc.persistent_chunks():
                 if chunk.dirty_remote and chunk.committed_version >= 0:
-                    self._queue.setdefault((pid, chunk.chunk_id), chunk)
+                    key = (pid, chunk.chunk_id)
+                    self._queue.setdefault(key, chunk)
+                    # a fresh commit changed the content to send, even
+                    # if the chunk was already queued (coalesced)
+                    self._dirty_epoch[key] = self._dirty_epoch.get(key, 0) + 1
             break
         self._kick()
 
@@ -376,6 +392,34 @@ class RemoteHelper:
                 if chunk.committed_version >= 0:
                     self._queue.setdefault((alloc.pid, chunk.chunk_id), chunk)
         self._kick()
+
+    def enqueue_unreplicated(self) -> None:
+        """Queue only the committed chunks the *current* buddy does not
+        already hold at their latest commit generation — the incremental
+        alternative to :meth:`enqueue_all` when failing over (or cutting
+        over) to a buddy that was streamed to before."""
+        held = self._replicated.get(self.buddy_id, {})
+        for alloc in self.ranks:
+            for chunk in alloc.persistent_chunks():
+                if chunk.committed_version < 0:
+                    continue
+                key = (alloc.pid, chunk.chunk_id)
+                if held.get(key) == self._dirty_epoch.get(key, 0):
+                    continue
+                chunk.dirty_remote = True
+                chunk.mark_all_stale("remote")
+                self._queue.setdefault(key, chunk)
+        self._kick()
+
+    def _record_replicated(
+        self, pid: str, chunk: Chunk, buddy_id: Optional[int] = None
+    ) -> None:
+        """Note that *buddy_id* (default: the current buddy) now holds
+        this chunk at its current commit generation (call right after a
+        successful stage)."""
+        key = (pid, chunk.chunk_id)
+        b = self.buddy_id if buddy_id is None else buddy_id
+        self._replicated.setdefault(b, {})[key] = self._dirty_epoch.get(key, 0)
 
     def _kick(self) -> None:
         if self._wake is not None and not self._wake.triggered:
@@ -463,21 +507,54 @@ class RemoteHelper:
         self._paused = False
         self._kick()
 
-    def retarget(self, new_buddy_id: int, new_buddy_ctx: NodeContext) -> None:
-        """Re-point this helper at a new buddy node (the old one died).
+    def retarget(
+        self,
+        new_buddy_id: int,
+        new_buddy_ctx: NodeContext,
+        *,
+        incremental: bool = False,
+        reason: str = "buddy replaced",
+    ) -> None:
+        """Re-point this helper at a new buddy node.
 
-        All remote copies on the old buddy are gone from this node's
-        point of view, so every committed chunk is re-queued; a
+        Default (``incremental=False``): all remote copies on the new
+        target count as lost, so every committed chunk is re-queued; a
         :class:`~repro.resilience.resync.ResyncTask` (or the next
-        rounds) will rebuild protection on the new target."""
+        rounds) rebuilds protection from scratch.
+
+        With ``incremental=True`` the helper reuses the new buddy's
+        cached :class:`RemoteTarget` state when it is still valid (same
+        node context — hardware replacement voids it) and re-queues
+        *only* chunks whose commit generation moved past what that
+        buddy holds: a migration cutover, or a failover back onto a
+        previously-streamed buddy, re-sends just the delta."""
         old_buddy = self.buddy_id
+        # keep the old pairing's targets: a later failover *back* onto
+        # this buddy can reuse the copies still sitting on it
+        self._known_targets[old_buddy] = self.targets
         self.epoch += 1
         self.buddy_id = new_buddy_id
         self.buddy_ctx = new_buddy_ctx
-        self.targets = {
-            a.pid: RemoteTarget(a.pid, new_buddy_ctx, two_versions=self.config.two_versions)
-            for a in self.ranks
-        }
+        cached = self._known_targets.get(new_buddy_id)
+        reuse = (
+            incremental
+            and cached is not None
+            and set(cached) == {a.pid for a in self.ranks}
+            and all(t.dst_ctx is new_buddy_ctx for t in cached.values())
+        )
+        if reuse:
+            self.targets = cached
+        else:
+            # fresh hardware (or never seen): whatever we thought the
+            # buddy held is void
+            self._replicated.pop(new_buddy_id, None)
+            self._known_targets.pop(new_buddy_id, None)
+            self.targets = {
+                a.pid: RemoteTarget(
+                    a.pid, new_buddy_ctx, two_versions=self.config.two_versions
+                )
+                for a in self.ranks
+            }
         for pid, target in self.targets.items():
             dest = self.destinations.get(pid)
             if dest is not None:
@@ -491,10 +568,13 @@ class RemoteHelper:
                     actor=self.owner,
                     from_target=f"n{old_buddy}",
                     to_target=f"n{new_buddy_id}",
-                    reason="buddy replaced",
+                    reason=reason,
                 )
             )
-        self.enqueue_all()
+        if reuse:
+            self.enqueue_unreplicated()
+        else:
+            self.enqueue_all()
 
     def start_background(self) -> None:
         """The stream runs inside :meth:`run`; nothing extra to spawn.
@@ -577,6 +657,7 @@ class RemoteHelper:
                 self._queue.setdefault((pid, chunk.chunk_id), chunk)
                 continue
             self.destinations[pid].stage(chunk, extents)
+            self._record_replicated(pid, chunk)
             fire(
                 "remote.stream.after_stage",
                 chunk=chunk,
@@ -664,6 +745,7 @@ class RemoteHelper:
                         aborted = True
                         break
                     dest.stage(chunk, extents)
+                    self._record_replicated(alloc.pid, chunk)
                     fire(
                         "remote.round.after_stage",
                         chunk=chunk,

@@ -42,6 +42,7 @@ __all__ = [
     "LAYER_RESTART",
     "LAYER_CHUNK",
     "LAYER_STORE",
+    "LAYER_MIGRATE",
     "BITROT_CAPABLE",
 ]
 
@@ -51,6 +52,7 @@ LAYER_REMOTE = "remote"
 LAYER_RESTART = "restart"
 LAYER_CHUNK = "chunk"
 LAYER_STORE = "store"
+LAYER_MIGRATE = "migrate"
 
 
 @dataclass(frozen=True)
@@ -157,6 +159,24 @@ register("remote.commit.before_meta", LAYER_REMOTE,
          "buddy pointers flipped in memory; buddy metadata not yet durable")
 register("remote.commit.done", LAYER_REMOTE,
          "buddy commit point passed")
+
+# -- live migration (resilience/migration.py) -------------------------------
+# These fire inside cluster runs (the standalone CrashConsistencyHarness
+# has no membership layer), so faults/harness.py excludes the migrate
+# layer from matrix_points(); tests/test_migration.py covers them with a
+# cluster-level matrix instead.
+register("migrate.batch.before_send", LAYER_MIGRATE,
+         "migration chunk about to cross the fabric to the new buddy",
+         per_chunk=True)
+register("migrate.batch.after_stage", LAYER_MIGRATE,
+         "migration chunk staged on the new buddy, batch commit pending",
+         per_chunk=True)
+register("migrate.batch.commit", LAYER_MIGRATE,
+         "one bounded batch committed on the new buddy (old pairing still owns)")
+register("migrate.cutover.before", LAYER_MIGRATE,
+         "all batches committed; buddy ownership not yet switched")
+register("migrate.cutover.done", LAYER_MIGRATE,
+         "ownership switched atomically to the new buddy")
 
 # -- restart/recovery (core/restart.py) -------------------------------------
 register("restart.begin", LAYER_RESTART,

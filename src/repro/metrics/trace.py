@@ -49,6 +49,12 @@ __all__ = [
     "RetryEvent",
     "FailoverEvent",
     "AutotuneSwitchEvent",
+    "MembershipChangeEvent",
+    "MigrationPlannedEvent",
+    "MigrationBatchEvent",
+    "MigrationCutoverEvent",
+    "MigrationAbortEvent",
+    "ResyncAbortedEvent",
     "TraceSink",
     "RingBufferSink",
     "JsonlSink",
@@ -64,7 +70,10 @@ __all__ = [
 #: schema version of the Jsonl wire format.  Bump when an event gains,
 #: loses or renames a field; register an upgrader in
 #: :data:`_UPGRADERS` when old traces can be mechanically converted.
-TRACE_VERSION = 1
+#: Version 2 added the elastic-membership kinds (``membership.change``,
+#: ``migration.*``, ``resync.aborted``); every version-1 kind is
+#: unchanged, so the 1->2 upgrader is the identity.
+TRACE_VERSION = 2
 
 
 # ---------------------------------------------------------------------------
@@ -159,6 +168,76 @@ class AutotuneSwitchEvent(TraceEvent):
     reward: float = 0.0
 
 
+@dataclass(frozen=True)
+class MembershipChangeEvent(TraceEvent):
+    """A planned membership event was applied by the
+    :class:`~repro.cluster.membership.MembershipController`."""
+
+    node: int
+    #: "join" | "drain" | "depart"
+    action: str
+    #: re-pairings / migrations the event triggered
+    moves: int = 0
+
+
+@dataclass(frozen=True)
+class MigrationPlannedEvent(TraceEvent):
+    """The planner derived one per-node migration from the live
+    buddy directory (source node's copies move between buddies)."""
+
+    node: int
+    from_target: str
+    to_target: str
+    #: "join" | "drain" | "failover"
+    reason: str
+    chunks: int = 0
+    nbytes: int = 0
+
+
+@dataclass(frozen=True)
+class MigrationBatchEvent(TraceEvent):
+    """One bounded migration batch staged and committed on the new
+    buddy (t is the span end)."""
+
+    seq: int
+    chunks: int
+    nbytes: int
+    start: float
+    #: batch ran at reduced pace because latency neared the SLO
+    throttled: bool = False
+
+
+@dataclass(frozen=True)
+class MigrationCutoverEvent(TraceEvent):
+    """Atomic buddy-ownership switch after the final batch commit."""
+
+    from_target: str
+    to_target: str
+    batches: int
+    nbytes: int
+
+
+@dataclass(frozen=True)
+class MigrationAbortEvent(TraceEvent):
+    """A migration gave up before cutover; ownership stays with the
+    old buddy (or falls back to a full re-sync on failover)."""
+
+    reason: str
+    batches: int = 0
+    nbytes: int = 0
+
+
+@dataclass(frozen=True)
+class ResyncAbortedEvent(TraceEvent):
+    """A :class:`~repro.resilience.resync.ResyncTask` exhausted its
+    failure budget: the node stays unprotected (degraded) until the
+    next repair attempt."""
+
+    failures: int
+    bytes_sent: int = 0
+    chunks_sent: int = 0
+
+
 _KINDS: Dict[type, str] = {
     PolicyDecisionEvent: "policy.decision",
     ChunkCopiedEvent: "chunk.copied",
@@ -166,6 +245,12 @@ _KINDS: Dict[type, str] = {
     RetryEvent: "retry",
     FailoverEvent: "failover",
     AutotuneSwitchEvent: "autotune.switch",
+    MembershipChangeEvent: "membership.change",
+    MigrationPlannedEvent: "migration.planned",
+    MigrationBatchEvent: "migration.batch",
+    MigrationCutoverEvent: "migration.cutover",
+    MigrationAbortEvent: "migration.aborted",
+    ResyncAbortedEvent: "resync.aborted",
 }
 
 #: kind -> event class (the reader's inverse of :data:`_KINDS`)
@@ -179,10 +264,17 @@ _CLASSES: Dict[str, type] = {kind: cls for cls, kind in _KINDS.items()}
 #: header-record wire name (never an event kind)
 _HEADER_KIND = "trace.header"
 
-#: version -> record upgrader to the *next* version.  Empty today: the
-#: only released schema is version 1.  When version 2 lands, add
-#: ``1: _upgrade_1_to_2`` here and old traces load transparently.
-_UPGRADERS: Dict[int, Callable[[Dict[str, Any]], Dict[str, Any]]] = {}
+def _upgrade_1_to_2(record: Dict[str, Any]) -> Dict[str, Any]:
+    """Version 2 only *added* event kinds; every version-1 record is
+    already a valid version-2 record."""
+    return record
+
+
+#: version -> record upgrader to the *next* version.  Old traces walk
+#: the chain until they reach :data:`TRACE_VERSION`.
+_UPGRADERS: Dict[int, Callable[[Dict[str, Any]], Dict[str, Any]]] = {
+    1: _upgrade_1_to_2,
+}
 
 
 def event_from_record(record: Dict[str, Any]) -> TraceEvent:

@@ -18,12 +18,17 @@ produces into failure *behaviour* the runtime tolerates:
   background re-send of all committed chunks to a new buddy;
 * :mod:`~repro.resilience.degraded` — :class:`DegradedModeController`,
   local-only checkpointing with the interval re-solved from the §III
-  model while no healthy remote target exists.
+  model while no healthy remote target exists;
+* :mod:`~repro.resilience.migration` — :class:`MigrationPlanner`,
+  :class:`MigrationTask` and :class:`SloGuard`: bounded-batch live
+  migration of buddy-hosted copies for planned membership changes,
+  throttled against a checkpoint-latency SLO.
 """
 
 from .degraded import DegradedModeController, degraded_local_interval
 from .directory import BuddyDirectory
 from .health import HealthMonitor
+from .migration import MigrationPlan, MigrationPlanner, MigrationTask, SloGuard
 from .resync import ResyncTask
 from .retry import (
     ResilientTransport,
@@ -37,9 +42,13 @@ __all__ = [
     "BuddyDirectory",
     "DegradedModeController",
     "HealthMonitor",
+    "MigrationPlan",
+    "MigrationPlanner",
+    "MigrationTask",
     "ResilientTransport",
     "ResyncTask",
     "RetryPolicy",
+    "SloGuard",
     "TransferStats",
     "degraded_local_interval",
     "resilient_get",

@@ -52,6 +52,11 @@ class BuddyDirectory:
         self._failed: Set[int] = set()
         #: re-pairings performed, as (orphan, old_buddy, new_buddy)
         self.repairs: List[tuple] = []
+        #: draining nodes: still hosting copies, but no longer eligible
+        #: as a re-pair / rebalance target
+        self._retired: Set[int] = set()
+        #: planned re-bindings performed, as (node, old_buddy, new_buddy)
+        self.migrations: List[tuple] = []
 
     # ------------------------------------------------------------------
     # State.
@@ -74,6 +79,54 @@ class BuddyDirectory:
         self._failed.discard(node)
 
     # ------------------------------------------------------------------
+    # Elastic membership (planned join / drain / depart).
+    # ------------------------------------------------------------------
+
+    def is_participant(self, node: int) -> bool:
+        return node in self.nodes
+
+    def is_retired(self, node: int) -> bool:
+        return node in self._retired
+
+    def admit(self, node: int) -> bool:
+        """A planned join: the node becomes a healthy re-pair /
+        rebalance target.  It hosts nothing yet and sources to nobody
+        until a migration (or repair) binds it.  Returns False if the
+        node already participates."""
+        if node in self.nodes:
+            self._retired.discard(node)
+            return False
+        self.nodes.append(node)
+        self._failed.discard(node)
+        return True
+
+    def retire(self, node: int) -> None:
+        """Begin a planned drain: the node stops being a candidate for
+        new pairings, but keeps hosting its current orphans until they
+        are migrated off."""
+        self._retired.add(node)
+
+    def depart(self, node: int) -> bool:
+        """Complete a drain: remove the node from the pairing entirely.
+        Refuses (returns False) while any other node still checkpoints
+        to it — evacuate first."""
+        if self.orphans_of(node):
+            return False
+        if node in self.nodes:
+            self.nodes.remove(node)
+        self._buddy.pop(node, None)
+        self._retired.discard(node)
+        self._failed.discard(node)
+        return True
+
+    def rebind(self, node: int, new_buddy: int) -> None:
+        """Apply a *planned* pairing change (migration cutover) —
+        unlike :meth:`repair`, the caller chose the target."""
+        old = self._buddy.get(node)
+        self._buddy[node] = new_buddy
+        self.migrations.append((node, old, new_buddy))
+
+    # ------------------------------------------------------------------
     # Re-pairing.
     # ------------------------------------------------------------------
 
@@ -86,7 +139,7 @@ class BuddyDirectory:
         cands = [
             m
             for m in self.nodes
-            if m != node and self.is_healthy(m)
+            if m != node and self.is_healthy(m) and m not in self._retired
         ]
         cands.sort(
             key=lambda m: (
@@ -115,3 +168,43 @@ class BuddyDirectory:
         self.repairs.append((node, current, new_buddy))
         self._buddy[node] = new_buddy
         return new_buddy
+
+    # ------------------------------------------------------------------
+    # Invariants (the membership property test's oracle).
+    # ------------------------------------------------------------------
+
+    def check_invariants(self, max_load: Optional[int] = None) -> List[str]:
+        """Structural invariants that must hold after any repair sweep:
+        no node is its own buddy (unless alone), every *healthy,
+        non-retired* node with a healthy candidate available is paired
+        with a healthy buddy, and no target hosts more than *max_load*
+        sources (when given).  Returns human-readable violations."""
+        problems: List[str] = []
+        healthy = [
+            n for n in self.nodes if self.is_healthy(n) and n not in self._retired
+        ]
+        for n, b in self._buddy.items():
+            if n not in self.nodes:
+                problems.append(f"pairing for departed node {n}")
+            if b == n and len(self.nodes) > 1:
+                problems.append(f"node {n} is its own buddy")
+        for n in healthy:
+            b = self._buddy.get(n)
+            if b is not None and self.is_healthy(b):
+                continue
+            # unpaired (e.g. a freshly-admitted spare) or paired with a
+            # failed buddy: only a violation if a repair could fix it
+            if self.candidates_for(n):
+                problems.append(
+                    f"healthy node {n} has no pairing"
+                    if b is None
+                    else f"healthy node {n} paired with failed buddy {b}"
+                )
+        if max_load is not None:
+            for n in self.nodes:
+                load = self._load(n)
+                if load > max_load:
+                    problems.append(
+                        f"node {n} hosts {load} sources (capacity bound {max_load})"
+                    )
+        return problems

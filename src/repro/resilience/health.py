@@ -66,6 +66,11 @@ class HealthMonitor:
         self.stats = HeartbeatStats()
         self._stop = False
         self._seq = 0
+        #: pairing generation: bumped by :meth:`retarget` so a beat in
+        #: flight to the *old* buddy cannot apply its outcome to the
+        #: new pairing (it would spuriously flip ``buddy_healthy`` or
+        #: fire ``on_down`` against a buddy it never probed)
+        self._retarget_epoch = 0
 
     def stop(self) -> None:
         self._stop = True
@@ -73,6 +78,7 @@ class HealthMonitor:
     def retarget(self, new_buddy: int) -> None:
         """Point the monitor at a replacement buddy (assumed healthy
         until proven otherwise)."""
+        self._retarget_epoch += 1
         self.buddy_id = new_buddy
         self.buddy_healthy = True
         self.misses = 0
@@ -93,19 +99,26 @@ class HealthMonitor:
         engine = self.fabric.engine
         self._seq += 1
         tag = f"hb{self._seq}~n{self.node_id}:hb"
+        # pin the pairing this beat probes: a retarget while the beat
+        # is in flight makes its outcome meaningless for the new buddy
+        epoch = self._retarget_epoch
+        buddy = self.buddy_id
         ok = True
         try:
             ev = self.fabric.transfer(
-                self.node_id, self.buddy_id, self.payload_bytes, tag=tag
+                self.node_id, buddy, self.payload_bytes, tag=tag
             )
             idx, _ = yield engine.any_of([ev, engine.timeout(self.timeout)])
             if idx == 1:
                 # stalled heartbeat: tear it down so it does not linger
                 self.fabric.links[self.node_id].egress.cancel_tag(tag)
-                self.fabric.links[self.buddy_id].ingress.cancel_tag(tag)
+                self.fabric.links[buddy].ingress.cancel_tag(tag)
                 ok = False
         except TransferCancelled:
             ok = False
+        if epoch != self._retarget_epoch:
+            # retargeted mid-beat: discard the stale outcome entirely
+            return
         self.stats.beats += 1
         if ok:
             self.misses = 0

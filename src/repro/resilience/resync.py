@@ -26,6 +26,7 @@ from typing import Callable, Optional
 from ..errors import TransferCancelled, TransferFailed
 from ..metrics import timeline as tl
 from ..metrics.timeline import Timeline
+from ..metrics.trace import BUS, ResyncAbortedEvent
 
 __all__ = ["ResyncTask"]
 
@@ -41,6 +42,7 @@ class ResyncTask:
         failure_limit: int = 25,
         retry_pause: float = 2.0,
         on_complete: Optional[Callable[["ResyncTask"], None]] = None,
+        on_abort: Optional[Callable[["ResyncTask"], None]] = None,
     ) -> None:
         self.helper = helper
         self.timeline = timeline
@@ -49,10 +51,17 @@ class ResyncTask:
         #: pause after a failed send before trying the next chunk
         self.retry_pause = retry_pause
         self.on_complete = on_complete
+        #: fired only when the task gives up on its *failure budget*
+        #: (not when a newer retarget makes it stale) — the node is
+        #: still unprotected and callers must escalate, e.g. keep it
+        #: in degraded mode
+        self.on_abort = on_abort
         self.bytes_sent = 0
         self.chunks_sent = 0
         self.completed = False
         self.aborted = False
+        #: the abort was a failure-budget exhaustion (vs. staleness)
+        self.failure_limited = False
         self.start = None
         self.end = None
         #: pairing generation this task belongs to
@@ -83,6 +92,19 @@ class ResyncTask:
                     failures += 1
                     if failures >= self.failure_limit:
                         self.aborted = True
+                        self.failure_limited = True
+                        if BUS.active:
+                            BUS.emit(
+                                ResyncAbortedEvent(
+                                    t=engine.now,
+                                    actor=helper.owner,
+                                    failures=failures,
+                                    bytes_sent=self.bytes_sent,
+                                    chunks_sent=self.chunks_sent,
+                                )
+                            )
+                        if self.on_abort is not None:
+                            self.on_abort(self)
                         return self
                     yield engine.timeout(self.retry_pause)
                     continue
@@ -93,6 +115,7 @@ class ResyncTask:
                     # the queue now
                     break
                 helper.targets[pid].stage(chunk)
+                helper._record_replicated(pid, chunk)
                 chunk.dirty_remote = False
                 self.bytes_sent += chunk.nbytes
                 self.chunks_sent += 1

@@ -36,6 +36,7 @@ from ..exec.cell import run_cell, run_experiment
 from ..exec.executor import ParallelExecutor, resolve_workers
 from ..exec.grid import GridReport, expand_grid, run_grid
 from ..metrics.trace import BUS, CounterSink, JsonlSink
+from .elastic import run_elastic_block, run_elastic_smoke
 from .sweep import parse_sweeps
 
 __all__ = [
@@ -242,6 +243,10 @@ def run_benchmark(
         # vectorized hot loops, and the persistent pool's dispatch
         # win over the pre-1.1 fork-a-Pool-per-run shape
         "scale": run_scale_block(),
+        # elastic membership: the grow/shrink-under-load scenario —
+        # live bounded-batch migration under an SLO, and incremental
+        # failover bytes vs the full-resync baseline
+        "elastic": run_elastic_block(),
     }
     return record
 
@@ -503,6 +508,10 @@ def main(argv=None) -> int:
                    help="run the scale grid serial + persistent-pool + "
                         "legacy-forkpool, assert identical records and "
                         "pool speedup >= 1, and exit")
+    p.add_argument("--elastic-smoke", action="store_true",
+                   help="run the elastic grow/shrink scenario, assert "
+                        "incremental failover beats full resync and the "
+                        "checkpoint-latency SLO held, and exit")
     p.add_argument("--trace", default=None, metavar="OUT.JSONL",
                    help="stream the serial reference run's structured "
                         "trace (policy decisions, copies, commits) as "
@@ -517,6 +526,8 @@ def main(argv=None) -> int:
         return run_replay_smoke()
     if args.scale_smoke:
         return run_scale_smoke()
+    if args.elastic_smoke:
+        return run_elastic_smoke()
 
     t0 = time.perf_counter()
     record = run_benchmark(workers, cache_dir=args.cache_dir, trace_path=args.trace)

@@ -273,6 +273,30 @@ class TestHealthMonitor:
         assert mon.buddy_healthy
         assert mon.misses == 0
 
+    def test_retarget_mid_beat_discards_stale_outcome(self):
+        # a beat in flight to the OLD buddy must not apply its outcome
+        # to the new pairing: without the retarget epoch, the beat
+        # launched at t=1.0 (stalling past its 0.5 s timeout thanks to
+        # the oversized payload) would count its t=1.5 miss — and with
+        # miss_threshold=1, fire on_down — against freshly-healthy
+        # node 2, retargeted to at t=1.2 while the probe was in flight
+        engine = Engine()
+        fabric = Fabric(engine, 3)
+        downs = []
+        mon = HealthMonitor(
+            0, 1, fabric, interval=1.0, timeout=0.5, miss_threshold=1,
+            payload_bytes=10**9, on_down=downs.append,
+        )
+        engine.process(mon.run())
+        engine.call_at(1.2, lambda: mon.retarget(2))  # mid-beat
+        engine.call_at(2.0, mon.stop)
+        engine.run(until=6.0)
+        assert downs == []
+        assert mon.buddy_id == 2
+        assert mon.buddy_healthy
+        assert mon.misses == 0
+        assert mon.stats.missed == 0  # the stale beat vanished entirely
+
     def test_validation(self):
         engine = Engine()
         fabric = Fabric(engine, 2)
@@ -521,6 +545,41 @@ class TestResyncTask:
         assert task.aborted and not task.completed
         # chunks went back on the queue for the next attempt
         assert helper.queued_bytes > 0
+
+    def test_failure_limit_abort_escalates(self):
+        from repro.metrics.trace import BUS
+
+        engine, src, dst, fabric, alloc, ck, helper = make_helper_world()
+        self.prime(engine, alloc, ck)
+        helper.enqueue_all()
+        fabric.begin_outage(1)
+        escalated = []
+        task = ResyncTask(
+            helper, failure_limit=2, retry_pause=0.5, on_abort=escalated.append
+        )
+        with BUS.capture() as ring:
+            engine.process(task.run())
+            engine.run()
+        # budget exhaustion (vs. staleness) is flagged, announced on the
+        # trace bus, and escalated through on_abort so the runner can
+        # keep the node in degraded mode
+        assert task.failure_limited
+        assert escalated == [task]
+        events = ring.of_kind("resync.aborted")
+        assert len(events) == 1
+        assert events[0].failures >= 2
+
+    def test_stale_abort_does_not_escalate(self):
+        engine, src, dst, fabric, alloc, ck, helper = make_helper_world()
+        self.prime(engine, alloc, ck)
+        helper.enqueue_all()
+        escalated = []
+        task = ResyncTask(helper, on_abort=escalated.append)
+        helper.epoch += 1  # a newer retarget owns the pairing now
+        engine.process(task.run())
+        engine.run()
+        assert task.aborted and not task.failure_limited
+        assert escalated == []
 
 
 # ---------------------------------------------------------------------------
