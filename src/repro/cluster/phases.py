@@ -160,18 +160,23 @@ def handle_failure(runner, ev: FailureEvent, procs):
         runner.cluster.timeline.record(f"n{ev.node}", tl.RESTART, t0, engine.now)
 
 
-def buddy_capacity_ok(runner, orphan_id: int, candidate_id: int) -> bool:
+def buddy_capacity_ok(runner, orphan_id: int, candidate_id: int, pending=()) -> bool:
     """Can the candidate's NVM hold the orphan's remote copies on
     top of what it already hosts?  Re-pairing doubles the buddy
     load, and on capacity-tight configs the only viable host is the
-    (empty) replacement hardware — the deferred-repair path."""
-    helper = runner.cluster.nodes[orphan_id].helper
-    if helper is None:
-        return True
+    (empty) replacement hardware — the deferred-repair path.
+    ``pending`` names sources a planner sweep has already routed onto
+    the candidate; their copies are in flight but not yet on the
+    device, so the gate must hold for the combined footprint."""
     n_versions = 2 if runner.ckpt_config.two_versions else 1
-    needed = n_versions * sum(
-        sum(c.nbytes for c in a.persistent_chunks()) for a in helper.ranks
-    )
+    needed = 0
+    for nid in (orphan_id, *pending):
+        helper = runner.cluster.nodes[nid].helper
+        if helper is None:
+            continue
+        needed += n_versions * sum(
+            sum(c.nbytes for c in a.persistent_chunks()) for a in helper.ranks
+        )
     return runner.cluster.nodes[candidate_id].ctx.nvmm.device.free >= needed
 
 

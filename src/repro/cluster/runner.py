@@ -471,8 +471,8 @@ class ClusterRunner:
         if mcfg.enabled:
             planner = MigrationPlanner(
                 self.directory,
-                fits=lambda orphan, cand: phases.buddy_capacity_ok(
-                    self, orphan, cand
+                fits=lambda orphan, cand, pending: phases.buddy_capacity_ok(
+                    self, orphan, cand, pending
                 ),
             )
             launch = lambda plan, done: phases.start_migration(self, plan, done)

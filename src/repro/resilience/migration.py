@@ -8,9 +8,10 @@ protecting the source while its chunks move, Megaphone-style, in
 **bounded batches** that interleave with the ongoing pre-copy stream
 under the shared bandwidth model.  Buddy ownership switches atomically
 only after the final batch commit, and the switch is *incremental*: the
-helper's replication bookkeeping proves which chunks the new buddy
-already holds, so only chunks re-committed during the migration are
-re-queued.
+task's per-chunk replication records — kept private until cutover, so
+an aborted move never claims copies it discarded — prove which chunks
+the new buddy already holds, and only chunks re-committed during the
+migration are re-queued.
 
 Three pieces:
 
@@ -31,9 +32,8 @@ Three pieces:
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Deque, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..core.remote import RemoteTarget
 from ..errors import TransferCancelled, TransferFailed
@@ -78,14 +78,22 @@ class MigrationPlanner:
     :class:`MigrationTask` actually owns the copies on the new buddy.
     """
 
-    def __init__(self, directory, *, fits: Optional[Callable[[int, int], bool]] = None) -> None:
+    def __init__(
+        self,
+        directory,
+        *,
+        fits: Optional[Callable[[int, int, Sequence[int]], bool]] = None,
+    ) -> None:
         self.directory = directory
-        #: optional capacity gate ``fits(source, candidate)`` — same
-        #: contract as :meth:`BuddyDirectory.repair`
+        #: optional capacity gate ``fits(source, candidate, pending)``.
+        #: Like the :meth:`BuddyDirectory.repair` predicate, but with a
+        #: third argument: the source nodes this *sweep* already planned
+        #: onto the candidate — their copies are in flight, so the gate
+        #: must hold for the combined footprint, not each move alone.
         self.fits = fits
 
-    def _fits(self, source: int, candidate: int) -> bool:
-        return self.fits is None or self.fits(source, candidate)
+    def _fits(self, source: int, candidate: int, pending: Sequence[int] = ()) -> bool:
+        return self.fits is None or self.fits(source, candidate, tuple(pending))
 
     def plan_join(self, newcomer: int) -> List[MigrationPlan]:
         """A node joined the buddy pool: offload sources from the
@@ -97,6 +105,10 @@ class MigrationPlanner:
         topo = d.topology
         plans: List[MigrationPlan] = []
         load: Dict[int, int] = {n: d._load(n) for n in d.nodes}
+        #: sources already planned this sweep — the directory is not
+        #: mutated until cutover, so without this a donor asked to
+        #: donate twice would offer the same source again
+        planned: Set[int] = set()
         while True:
             donors = [
                 n
@@ -113,7 +125,10 @@ class MigrationPlanner:
                 sources = [
                     s
                     for s in d.orphans_of(donor)
-                    if s != newcomer and d.is_healthy(s) and self._fits(s, newcomer)
+                    if s != newcomer
+                    and s not in planned
+                    and d.is_healthy(s)
+                    and self._fits(s, newcomer, tuple(planned))
                 ]
                 # prefer a source in a different rack from the newcomer
                 # (keep the cross-rack placement rule), then lowest id
@@ -134,6 +149,7 @@ class MigrationPlanner:
                         reason=REASON_JOIN,
                     )
                 )
+                planned.add(src)
                 load[donor] = load.get(donor, 0) - 1
                 load[newcomer] = load.get(newcomer, 0) + 1
                 moved = True
@@ -150,10 +166,18 @@ class MigrationPlanner:
         incomplete and the caller must not depart the node."""
         d = self.directory
         plans: List[MigrationPlan] = []
+        #: candidate -> sources this sweep already planned onto it, so
+        #: the capacity gate sees the combined in-flight footprint
+        planned_onto: Dict[int, List[int]] = {}
         for src in d.orphans_of(node):
-            cands = [c for c in d.candidates_for(src) if c != node and self._fits(src, c)]
+            cands = [
+                c
+                for c in d.candidates_for(src)
+                if c != node and self._fits(src, c, planned_onto.get(c, ()))
+            ]
             if not cands:
                 continue
+            planned_onto.setdefault(cands[0], []).append(src)
             plans.append(
                 MigrationPlan(
                     node=src,
@@ -171,7 +195,11 @@ class SloGuard:
 
     Wire :meth:`observe` into the rank checkpointers' ``on_complete``
     hooks (the runner does this); the executor polls :attr:`at_risk` /
-    :attr:`throttled` between batches.
+    :attr:`throttled` between batches.  The guard reacts to the
+    **latest** interval only — deliberately twitchy: one breach pauses
+    batches immediately, one clean interval resumes them (migration
+    favors protecting the SLO over its own progress, and a pause costs
+    nothing but migration time).
     """
 
     def __init__(
@@ -180,24 +208,20 @@ class SloGuard:
         latency_slo: float = float("inf"),
         risk_fraction: float = 0.8,
         throttle_fraction: float = 0.5,
-        window: int = 8,
     ) -> None:
         self.latency_slo = latency_slo
         self.risk_fraction = risk_fraction
         self.throttle_fraction = throttle_fraction
-        self.recent: Deque[float] = deque(maxlen=window)
+        #: most recent interval latency (0 until the first observation)
+        self.latest = 0.0
         self.max_latency = 0.0
         self.observations = 0
 
     def observe(self, duration: float) -> None:
-        self.recent.append(duration)
+        self.latest = duration
         self.observations += 1
         if duration > self.max_latency:
             self.max_latency = duration
-
-    @property
-    def latest(self) -> float:
-        return self.recent[-1] if self.recent else 0.0
 
     @property
     def at_risk(self) -> bool:
@@ -261,6 +285,13 @@ class MigrationTask:
             a.pid: RemoteTarget(a.pid, to_ctx, two_versions=helper.config.two_versions)
             for a in helper.ranks
         }
+        #: (pid, chunk_id) -> commit generation sent, recorded at stage
+        #: time but published into the helper's ``_replicated`` map only
+        #: at cutover: until then the staged copies live on this task's
+        #: private targets, which an abort discards — claiming them
+        #: early would let a later incremental retarget skip re-sending
+        #: chunks the buddy does not actually hold
+        self._staged_replicated: Dict[Tuple[str, int], int] = {}
         self.bytes_sent = 0
         self.chunks_sent = 0
         self.batches = 0
@@ -400,7 +431,8 @@ class MigrationTask:
                         self._abort("stale")
                         return self
                     self.targets[pid].stage(chunk)
-                    helper._record_replicated(pid, chunk, buddy_id=self.plan.to_buddy)
+                    key = (pid, chunk.chunk_id)
+                    self._staged_replicated[key] = helper._dirty_epoch.get(key, 0)
                     fire(
                         "migrate.batch.after_stage",
                         chunk=chunk,
@@ -451,6 +483,10 @@ class MigrationTask:
             # targets and re-queues just the chunks committed since
             # their migration send.
             fire("migrate.cutover.before", plan=self.plan)
+            # publish what the new buddy holds, replacing any records
+            # from an older pairing: those referred to copies on the
+            # cached target set this cutover supersedes
+            helper._replicated[self.plan.to_buddy] = dict(self._staged_replicated)
             helper._known_targets[self.plan.to_buddy] = self.targets
             helper.retarget(
                 self.plan.to_buddy,

@@ -196,6 +196,9 @@ class TestDrainEvacuation:
         helper = cluster.nodes[0].helper
         for target in helper.targets.values():
             assert target.committed_chunks()
+        # ...and the cutover published the replication claims backing
+        # later incremental retargets onto it
+        assert helper._replicated.get(3)
         # no failover machinery ran: this was planned, not reactive
         assert res.buddy_repairs == 0
         assert res.resyncs_completed == 0
@@ -252,6 +255,16 @@ class TestAbortedEvacuation:
         assert d.is_participant(1)
         assert res.membership_departs == 0
 
+    def test_abort_leaves_no_replication_claims(self, scenario):
+        cluster, runner, res = scenario
+        # the staged copies died with the task's private targets; if
+        # the per-chunk records leaked into the helper, a later
+        # incremental retarget onto node 3 would skip re-sending chunks
+        # it does not actually hold
+        (task,) = runner._migrations
+        assert task.aborted
+        assert task.plan.to_buddy not in task.helper._replicated
+
     def test_source_recovers_under_old_pairing(self, scenario):
         cluster, runner, res = scenario
         assert cluster.nodes[0].helper.buddy_id == 1
@@ -289,8 +302,25 @@ class TestMigrationPlanner:
     def test_plan_join_respects_capacity_gate(self):
         d = self.overloaded_directory()
         d.admit(4)
-        planner = MigrationPlanner(d, fits=lambda src, cand: False)
+        planner = MigrationPlanner(d, fits=lambda src, cand, pending: False)
         assert planner.plan_join(4) == []
+
+    def test_plan_join_never_plans_a_source_twice(self):
+        # a donor far above the newcomer must donate repeatedly; the
+        # directory is not mutated until cutover, so the planner has to
+        # exclude already-planned sources itself or it re-picks the
+        # same one (duplicate plans -> doubled traffic, one always
+        # aborts stale after the other's cutover)
+        d = BuddyDirectory(Topology(8, 2), nodes=[0, 1, 2, 3, 4, 5])
+        for n in [1, 2, 3, 4, 5]:
+            d.rebind(n, 0)  # load(0) == 5
+        d.admit(6)
+        plans = MigrationPlanner(d).plan_join(6)
+        sources = [p.node for p in plans]
+        assert len(sources) == len(set(sources))
+        # 5 vs 0 rebalances 5->4->3 donations: two distinct moves
+        assert len(plans) == 2
+        assert all(p.from_buddy == 0 and p.to_buddy == 6 for p in plans)
 
     def test_plan_drain_evacuates_every_orphan(self):
         d = BuddyDirectory(Topology(6, 2), nodes=[0, 1, 2, 3])
@@ -304,8 +334,21 @@ class TestMigrationPlanner:
     def test_plan_drain_skips_unplaceable_orphans(self):
         d = BuddyDirectory(Topology(6, 2), nodes=[0, 1, 2, 3])
         d.retire(1)
-        planner = MigrationPlanner(d, fits=lambda src, cand: False)
+        planner = MigrationPlanner(d, fits=lambda src, cand, pending: False)
         assert planner.plan_drain(1) == []
+
+    def test_capacity_gate_sees_in_flight_moves(self):
+        # node 1 hosts two sources; a gate admitting one source per
+        # candidate must spread the evacuation, not stack both moves on
+        # the same best candidate (each gated as if it were alone)
+        d = BuddyDirectory(Topology(6, 2), nodes=[0, 1, 2, 3])
+        d.rebind(2, 1)  # 1 now hosts 0 (static) and 2
+        d.retire(1)
+        planner = MigrationPlanner(d, fits=lambda src, cand, pending: not pending)
+        plans = planner.plan_drain(1)
+        assert len(plans) == 2
+        targets = [p.to_buddy for p in plans]
+        assert len(targets) == len(set(targets))
 
     def test_planner_never_mutates_directory(self):
         d = self.overloaded_directory()
