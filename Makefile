@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test lint faults faults-matrix bench bench-json exec-smoke replay-smoke scale-smoke elastic-smoke
+.PHONY: test lint faults faults-matrix bench bench-json exec-smoke replay-smoke scale-smoke elastic-smoke dedup-smoke
 
 # tier-1: the full deterministic suite
 test:
@@ -55,3 +55,9 @@ scale-smoke:
 # full-resync baseline and the checkpoint-latency SLO must hold
 elastic-smoke:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.tools.bench --elastic-smoke
+
+# smallest end-to-end proof of the payload codec: a paired
+# incremental-vs-codec grid (wire bytes must drop on every cell) plus
+# a real-payload checkpoint -> crash -> digest-verified restart
+dedup-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.tools.bench --dedup-smoke

@@ -22,6 +22,7 @@ NVM interface.  It owns:
 
 from __future__ import annotations
 
+import itertools
 import zlib
 from enum import Enum
 from typing import Any, Callable, List, Optional
@@ -51,6 +52,13 @@ class Chunk:
     Callers never construct chunks directly — use
     :class:`repro.alloc.nvmalloc.NVAllocator`.
     """
+
+    #: global monotonic incarnation source: a fresh value per chunk
+    #: construction and per event that breaks the id->content mapping
+    #: (restore, lazy-restart migration, resize), so caches keyed by
+    #: ``(chunk_id, incarnation, ...)`` can never serve stale data
+    #: across a free/realloc or restart.
+    _incarnations = itertools.count()
 
     def __init__(
         self,
@@ -129,6 +137,12 @@ class Chunk:
         #: wrong predicate).  The remote map is created lazily when a
         #: buddy target first adopts the chunk.
         self._stale = {"local": StalePageMap(nbytes, max(1, len(self.versions)))}
+        #: content-identity generation (see ``_incarnations``).
+        self.incarnation = next(Chunk._incarnations)
+        #: optional :class:`repro.core.codec.ContentModel` — attached
+        #: lazily by the codec layer for phantom chunks; ``None`` keeps
+        #: the raw path's write barrier at a single attribute check.
+        self._content = None
 
     # ------------------------------------------------------------------
     # Application write barrier.
@@ -264,6 +278,8 @@ class Chunk:
             return
         for pmap in self._stale.values():
             pmap.mark(offset, end - offset)
+        if self._content is not None:
+            self._content.record_write(offset, end - offset)
 
     def _stale_map(self, stream: str) -> StalePageMap:
         try:
@@ -292,6 +308,9 @@ class Chunk:
         stale at the new size (old region tails are garbage)."""
         for pmap in self._stale.values():
             pmap.resize(nbytes)
+        # the old buffer's content identity is gone with its tail
+        self.incarnation = next(Chunk._incarnations)
+        self._content = None
 
     def copy_extents(
         self, stream: str = "local", slot: Optional[int] = None
@@ -452,6 +471,7 @@ class Chunk:
         # the DRAM copy was just replaced wholesale; every version
         # slot's incremental state is suspect until re-copied
         self.mark_all_stale()
+        self.incarnation = next(Chunk._incarnations)
         return self.nbytes
 
     def restore_lazy(self) -> None:
@@ -475,6 +495,7 @@ class Chunk:
             self.dram[:] = data
         self.nvm_resident = False
         self.mark_all_stale()
+        self.incarnation = next(Chunk._incarnations)
         self._migration_bytes_pending += self.nbytes
         for fn in self.on_migrate:
             fn(self, self.nbytes)

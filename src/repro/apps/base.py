@@ -157,11 +157,21 @@ class ApplicationModel:
         raise NotImplementedError
 
     def allocate(self, binding: RankBinding, rank_index: int) -> List[Chunk]:
-        """Materialize the layout through the Table-III interface."""
-        return [
-            binding.allocator.nvalloc(spec.name, spec.nbytes, pflag=True)
-            for spec in self.chunk_specs(rank_index)
-        ]
+        """Materialize the layout through the Table-III interface.
+
+        Each chunk is annotated with its write pattern's content
+        *novelty* (how often a rewrite genuinely changes the bytes) so
+        the payload codec layer can model delta/dedup yield for phantom
+        chunks — see :data:`repro.core.codec.PATTERN_NOVELTY`.
+        """
+        from ..core.codec import DEFAULT_NOVELTY, PATTERN_NOVELTY
+
+        chunks = []
+        for spec in self.chunk_specs(rank_index):
+            chunk = binding.allocator.nvalloc(spec.name, spec.nbytes, pflag=True)
+            chunk.content_novelty = PATTERN_NOVELTY.get(spec.pattern, DEFAULT_NOVELTY)
+            chunks.append(chunk)
+        return chunks
 
     def checkpoint_bytes(self, rank_index: int = 0) -> int:
         return sum(s.nbytes for s in self.chunk_specs(rank_index))

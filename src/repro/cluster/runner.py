@@ -133,6 +133,21 @@ class RunResult:
     #: final per-rank policy modes, comma-joined and deduplicated
     autotune_final_policy: str = ""
 
+    # -- payload codec (delta/dedup representation layer) --
+    #: set when a non-raw codec was configured; gates the extra
+    #: ``codec`` block in :meth:`to_dict` so raw runs (goldens, caches,
+    #: sweeps) stay byte-identical
+    codec: bool = False
+    codec_name: str = "raw"
+    #: pre-encoding bytes the copy paths would have moved raw
+    codec_logical_bytes: int = 0
+    #: bytes actually charged to the NVM bus / fabric
+    codec_wire_bytes: int = 0
+    #: delta payloads' genuinely-changed bytes
+    codec_delta_bytes: int = 0
+    codec_blocks_new: int = 0
+    codec_blocks_ref: int = 0
+
     # -- elastic membership / live migration --
     #: set when the run had a membership schedule; gates the extra
     #: ``membership`` block in :meth:`to_dict` so runs without elastic
@@ -242,6 +257,20 @@ class RunResult:
                 "final_policy": self.autotune_final_policy,
             },
         }
+        if self.codec:
+            blocks = self.codec_blocks_new + self.codec_blocks_ref
+            out["codec"] = {
+                "name": self.codec_name,
+                "logical_gb": to_GB(self.codec_logical_bytes),
+                "wire_gb": to_GB(self.codec_wire_bytes),
+                "saved_gb": to_GB(
+                    max(0, self.codec_logical_bytes - self.codec_wire_bytes)
+                ),
+                "delta_changed_gb": to_GB(self.codec_delta_bytes),
+                "blocks_new": self.codec_blocks_new,
+                "blocks_ref": self.codec_blocks_ref,
+                "dedup_hit_rate": self.codec_blocks_ref / blocks if blocks else 0.0,
+            }
         if self.elastic:
             out["membership"] = {
                 "joins": self.membership_joins,
@@ -736,6 +765,20 @@ class ClusterRunner:
             res.helper_utilization = sum(
                 h.helper_utilization(t_end) for h in helpers
             ) / len(helpers)
+        # payload codec (local engines + remote helpers share counters)
+        codec_on = [
+            s
+            for s in [state.checkpointer for state in ranks] + list(helpers)
+            if getattr(s, "codec", None) is not None
+        ]
+        if codec_on:
+            res.codec = True
+            res.codec_name = codec_on[0].codec.name
+            res.codec_logical_bytes = sum(s.codec_logical_bytes for s in codec_on)
+            res.codec_wire_bytes = sum(s.codec_wire_bytes for s in codec_on)
+            res.codec_delta_bytes = sum(s.codec_delta_bytes for s in codec_on)
+            res.codec_blocks_new = sum(s.codec_blocks_new for s in codec_on)
+            res.codec_blocks_ref = sum(s.codec_blocks_ref for s in codec_on)
         # fabric
         CKPT_KINDS = ["rckpt", "rprecopy", "rfetch", "resync", "migrate"]
         res.fabric_peak_window_bytes = cluster.fabric.peak_window_usage(1.0, t_end)

@@ -261,6 +261,14 @@ class PrecopyPolicy:
     #: the coalesced dirty-page extents recorded since each version
     #: slot was last refreshed (the kernel nvdirty path, §V).
     copy_granularity: str = "chunk"
+    #: payload representation on the wire: "raw" ships extent bytes
+    #: verbatim (the golden baseline); "delta" XORs against the
+    #: committed shadow version; "dedup" references a content-addressed
+    #: block store; "auto" picks the cheapest per chunk per round and
+    #: emits ``codec.decision`` trace events.
+    codec: str = "raw"
+    #: content block size for digesting/delta (bytes; power of two).
+    codec_block: int = 4096
 
     def __post_init__(self) -> None:
         valid = {self.NONE, self.CPC, self.DCPC, self.DCPCP}
@@ -274,11 +282,25 @@ class PrecopyPolicy:
             raise ConfigError(
                 f"unknown copy granularity {self.copy_granularity!r}"
             )
+        if self.codec not in ("raw", "delta", "dedup", "auto"):
+            raise ConfigError(
+                f"unknown codec {self.codec!r}; expected one of "
+                "['auto', 'dedup', 'delta', 'raw']"
+            )
+        if self.codec_block <= 0 or self.codec_block & (self.codec_block - 1):
+            raise ConfigError(
+                f"codec_block must be a positive power of two, got {self.codec_block}"
+            )
 
     @property
     def incremental(self) -> bool:
         """True when page-granular incremental copy is on."""
         return self.copy_granularity == "page"
+
+    @property
+    def codec_enabled(self) -> bool:
+        """True when a non-raw payload codec is on the wire."""
+        return self.codec != "raw"
 
 
 @dataclass(frozen=True)

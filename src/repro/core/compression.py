@@ -5,8 +5,13 @@ checkpoint data before it leaves the node trades helper CPU for
 interconnect volume.  This module adds that trade to the remote path:
 
 * for **real-payload** chunks the model measures the *actual*
-  compressibility (zlib level 1 — an LZ-class fast codec stand-in),
-  cached per committed version so repeated sends don't recompress;
+  compressibility through the codec layer's shared
+  :class:`~repro.core.codec.EntropyProbe` (zlib level 1 over a bounded
+  sample — an LZ-class fast codec stand-in), cached per chunk
+  **incarnation**: the old ``(chunk_id, total_mods)`` cache could hand
+  a freed-and-reallocated chunk (or one restored/migrated at restart)
+  the ratio measured on a *different* buffer that happened to share its
+  id and mod count;
 * for **phantom** chunks a configured ratio applies (HPC checkpoint
   studies report ~1.2-2x for double-precision state);
 * compression/decompression CPU time is charged at LZ-class
@@ -18,11 +23,11 @@ buddy, exactly as the replication protocol expects.
 
 from __future__ import annotations
 
-import zlib
-from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from dataclasses import dataclass
+from typing import Optional
 
 from ..alloc.chunk import Chunk
+from .codec import EntropyProbe
 
 __all__ = ["CompressionModel"]
 
@@ -37,8 +42,9 @@ class CompressionModel:
     compress_rate: float = 1.5e9
     #: decompression throughput, bytes/second
     decompress_rate: float = 4.0e9
-    #: measured-ratio cache: (chunk_id, total_mods) -> ratio
-    _cache: Dict[Tuple[int, int], float] = field(default_factory=dict)
+    #: measurement backend; pass the codec layer's probe to share its
+    #: cache, or leave ``None`` for a private one
+    probe: Optional[EntropyProbe] = None
     #: accounting
     bytes_in: int = 0
     bytes_out: int = 0
@@ -48,26 +54,28 @@ class CompressionModel:
             raise ValueError("phantom_ratio must be in (0, 1]")
         if self.compress_rate <= 0 or self.decompress_rate <= 0:
             raise ValueError("codec rates must be positive")
+        if self.probe is None:
+            self.probe = EntropyProbe(default_ratio=self.phantom_ratio)
+
+    @property
+    def _cache(self):
+        """The probe's ratio cache (one live entry per chunk id)."""
+        return self.probe._cache
 
     # ------------------------------------------------------------------
     # Ratios.
     # ------------------------------------------------------------------
 
     def ratio_for(self, chunk: Chunk) -> float:
-        """Compressed/original ratio for the chunk's current payload."""
+        """Compressed/original ratio for the chunk's current payload.
+
+        Measured ratios are cached keyed by ``(incarnation,
+        total_mods)``, so a ratio can never outlive the buffer it was
+        measured on (free/realloc, restore-from-committed and lazy
+        restart migration all bump the incarnation)."""
         if chunk.phantom or chunk.dram is None:
             return self.phantom_ratio
-        key = (chunk.chunk_id, chunk.total_mods)
-        cached = self._cache.get(key)
-        if cached is None:
-            compressed = zlib.compress(chunk.dram.tobytes(), level=1)
-            cached = min(1.0, len(compressed) / max(1, chunk.nbytes))
-            self._cache[key] = cached
-            # keep the cache bounded: one live entry per chunk
-            stale = [k for k in self._cache if k[0] == chunk.chunk_id and k != key]
-            for k in stale:
-                del self._cache[k]
-        return cached
+        return self.probe.ratio_for(chunk)
 
     def wire_bytes(self, chunk: Chunk) -> int:
         """Bytes that actually cross the fabric for *chunk*."""

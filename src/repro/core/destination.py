@@ -28,6 +28,7 @@ import numpy as np
 from ..alloc.chunk import Chunk, batch_commit
 from ..alloc.nvmalloc import NVAllocator
 from ..errors import CheckpointError
+from .codec import DEFAULT_BLOCK, BlockStore, Payload
 from .context import NodeContext
 
 __all__ = [
@@ -37,7 +38,27 @@ __all__ = [
     "RamdiskDestination",
     "RemoteBuddyDestination",
     "TransferFnDestination",
+    "validate_extents",
 ]
+
+
+def validate_extents(chunk: Chunk, extents: List[Tuple[int, int]]) -> None:
+    """Shared range-write contract: every backend rejects out-of-range,
+    overlapping or unsorted extents with the *same* error, so callers
+    can switch destinations without re-learning edge behaviour."""
+    prev_end = 0
+    for off, n in extents:
+        if n < 0 or off < 0 or off + n > chunk.nbytes:
+            raise CheckpointError(
+                f"extent [{off}, {off + n}) outside chunk "
+                f"{chunk.name!r} ({chunk.nbytes} bytes)"
+            )
+        if off < prev_end:
+            raise CheckpointError(
+                f"overlapping or unsorted extent at offset {off} "
+                f"in chunk {chunk.name!r}"
+            )
+        prev_end = off + n
 
 
 class Destination:
@@ -54,6 +75,9 @@ class Destination:
     #: whether this backend keeps two shadow versions needing an
     #: explicit stage+commit flip (False for flat baselines)
     two_version: bool = True
+    #: content-addressed digest index, attached when a payload codec is
+    #: configured (``None`` on the raw path — zero overhead)
+    block_store: Optional[BlockStore] = None
 
     def write(self, chunk: Chunk, *, tag: str = ""):
         """Move the chunk's payload to this destination; returns the
@@ -67,6 +91,26 @@ class Destination:
         *extents* (the chunk's stale pages).  Backends without a range
         path fall back to a full :meth:`write`."""
         return self.write(chunk, tag=tag)
+
+    def write_payload(self, chunk: Chunk, payload: Payload, *, tag: str = ""):
+        """Move an encoded payload: charge its *wire* bytes on this
+        backend's transport (the content still stages in full through
+        :meth:`stage` — the codec changes the unit of transfer, not the
+        recoverable representation)."""
+        return self.write_at(chunk, [(0, min(payload.wire_bytes, chunk.nbytes))], tag=tag)
+
+    def ensure_block_store(self, block: int = DEFAULT_BLOCK) -> BlockStore:
+        """Attach (idempotently) the content-addressed block store a
+        payload codec plans against."""
+        if self.block_store is None or self.block_store.block != block:
+            self.block_store = BlockStore(block=block)
+        return self.block_store
+
+    def codec_slots(self, chunk: Chunk) -> Tuple[int, int]:
+        """``(write_slot, delta_base_slot)`` for this backend's digest
+        maps.  Flat single-version backends overwrite slot 0 and delta
+        against the previous checkpoint's content in that same slot."""
+        return (0, 0)
 
     def pending_extents(self, chunk: Chunk) -> List[Tuple[int, int]]:
         """The coalesced stale extents an incremental copy of *chunk*
@@ -129,7 +173,14 @@ class NVMArenaDestination(Destination):
     def write_at(
         self, chunk: Chunk, extents: List[Tuple[int, int]], *, tag: str = ""
     ):
+        validate_extents(chunk, extents)
         return self.ctx.copy_to_nvm(sum(n for _, n in extents), tag=tag)
+
+    def write_payload(self, chunk: Chunk, payload: Payload, *, tag: str = ""):
+        return self.ctx.copy_to_nvm(payload.wire_bytes, tag=tag)
+
+    def codec_slots(self, chunk: Chunk) -> Tuple[int, int]:
+        return (chunk.inprogress_index(), chunk.committed_version)
 
     def stage(self, chunk: Chunk, extents: Optional[List[Tuple[int, int]]] = None) -> None:
         chunk.stage_to_nvm(extents)
@@ -182,9 +233,13 @@ class PfsDestination(Destination):
     def write_at(
         self, chunk: Chunk, extents: List[Tuple[int, int]], *, tag: str = ""
     ):
+        validate_extents(chunk, extents)
         return self.pfs.write(
             sum(n for _, n in extents), tag=f"{self.rank}:pfsckpt"
         )
+
+    def write_payload(self, chunk: Chunk, payload: Payload, *, tag: str = ""):
+        return self.pfs.write(payload.wire_bytes, tag=f"{self.rank}:pfsckpt")
 
     def flush(self) -> float:
         return self.ctx.nvmm.cache_flush()
@@ -220,10 +275,16 @@ class RamdiskDestination(Destination):
     def write_at(
         self, chunk: Chunk, extents: List[Tuple[int, int]], *, tag: str = ""
     ):
+        validate_extents(chunk, extents)
         cost = self.model.checkpoint_time(
             sum(n for _, n in extents), writers=self.writers
         )
         # the file keeps its full logical size; only the write shrinks
+        self._written[chunk.name] = chunk.nbytes
+        return self.ctx.engine.timeout(cost)
+
+    def write_payload(self, chunk: Chunk, payload: Payload, *, tag: str = ""):
+        cost = self.model.checkpoint_time(payload.wire_bytes, writers=self.writers)
         self._written[chunk.name] = chunk.nbytes
         return self.ctx.engine.timeout(cost)
 
@@ -256,13 +317,30 @@ class RemoteBuddyDestination(Destination):
         """Point at a new buddy's :class:`RemoteTarget` after failover."""
         self.target = target
 
+    @property
+    def block_store(self) -> Optional[BlockStore]:  # type: ignore[override]
+        # the digest index lives with the buddy's arena, so a failover
+        # to a fresh target starts from an empty (honest) index
+        return getattr(self.target, "block_store", None)
+
+    def ensure_block_store(self, block: int = DEFAULT_BLOCK) -> BlockStore:
+        return self.target.ensure_block_store(block)
+
+    def codec_slots(self, chunk: Chunk) -> Tuple[int, int]:
+        self.target.ensure_chunk(chunk)
+        return self.target.codec_slots(chunk.name)
+
     def write(self, chunk: Chunk, *, tag: str = ""):
         return self._send_fn(chunk)
 
     def write_at(
         self, chunk: Chunk, extents: List[Tuple[int, int]], *, tag: str = ""
     ):
+        validate_extents(chunk, extents)
         return self._send_fn(chunk, extents)
+
+    def write_payload(self, chunk: Chunk, payload: Payload, *, tag: str = ""):
+        return self._send_fn(chunk, payload.extents, wire=payload.wire_bytes)
 
     def pending_extents(self, chunk: Chunk) -> List[Tuple[int, int]]:
         # ensure_chunk creates the buddy regions *and* the chunk's

@@ -32,8 +32,15 @@ from ..errors import CheckpointError
 from ..faults.crashpoints import fire
 from ..metrics import timeline as tl
 from ..metrics.timeline import Timeline
-from ..metrics.trace import BUS, ChunkCopiedEvent, CommitEvent, PolicyDecisionEvent
+from ..metrics.trace import (
+    BUS,
+    ChunkCopiedEvent,
+    CodecDecisionEvent,
+    CommitEvent,
+    PolicyDecisionEvent,
+)
 from ..units import pages_of
+from .codec import EntropyProbe, Payload, current_digests, resolve_codec
 from .context import NodeContext
 from .destination import Destination, NVMArenaDestination
 from .policy import CheckpointPolicy, policy_class, resolve_policy
@@ -98,6 +105,19 @@ class CheckpointEngine:
         #: remote helper hooks its per-rank pre-copy rhythm here)
         self.on_complete: List = []
 
+        #: payload codec (None on the raw default path: no content
+        #: models, no block store, no per-write overhead)
+        self.codec = resolve_codec(self.policy.codec) if self.policy.codec_enabled else None
+        self.entropy_probe = EntropyProbe() if self.codec is not None else None
+        if self.codec is not None:
+            self.destination.ensure_block_store(self.policy.codec_block)
+        # codec wire accounting (aggregated into RunResult when on)
+        self.codec_logical_bytes = 0
+        self.codec_wire_bytes = 0
+        self.codec_delta_bytes = 0
+        self.codec_blocks_new = 0
+        self.codec_blocks_ref = 0
+
         self.threshold: Optional[ThresholdEstimator] = None
         self.prediction: Optional[PredictionTable] = None
         self.precopy: Optional[PrecopyEngine] = None
@@ -127,6 +147,7 @@ class CheckpointEngine:
                 threshold=self.threshold,
                 prediction=self.prediction,
                 decision_policy=self.decision_policy,
+                codec_hooks=self if self.codec is not None else None,
             )
         self._precopy_proc = None
         self._background_started = False
@@ -203,6 +224,7 @@ class CheckpointEngine:
                 threshold=self.threshold,
                 prediction=self.prediction,
                 decision_policy=self.decision_policy,
+                codec_hooks=self if self.codec is not None else None,
             )
             if self._background_started:
                 self.precopy.wire_chunks()
@@ -269,6 +291,73 @@ class CheckpointEngine:
                 )
             )
 
+    # ------------------------------------------------------------------
+    # Payload codec hooks (shared with the pre-copy engine).
+    # ------------------------------------------------------------------
+
+    def plan_payload(self, chunk: Chunk, extents) -> Optional[Payload]:
+        """Plan what actually crosses the wire for *chunk*'s dirty
+        extents; ``None`` on the raw path.  Emits the ``codec.decision``
+        trace event when the auto policy axis made a choice."""
+        if self.codec is None:
+            return None
+        slot, base_slot = self.destination.codec_slots(chunk)
+        payload = self.codec.plan(
+            chunk,
+            extents,
+            store=self.destination.block_store,
+            slot=slot,
+            base_slot=base_slot,
+            probe=self.entropy_probe,
+        )
+        payload.slot = slot
+        if payload.candidates is not None and BUS.active:
+            BUS.emit(
+                CodecDecisionEvent(
+                    t=self.ctx.engine.now,
+                    actor=str(self.rank),
+                    chunk=chunk.name,
+                    chosen=payload.codec,
+                    raw_bytes=payload.candidates.get("raw", 0),
+                    delta_bytes=payload.candidates.get("delta", 0),
+                    dedup_bytes=payload.candidates.get("dedup", 0),
+                    entropy=payload.entropy,
+                    density=payload.density,
+                )
+            )
+        return payload
+
+    def account_payload(self, payload: Payload) -> None:
+        """Wire accounting for a payload whose bytes moved (counted
+        even for torn pre-copies, exactly like raw byte accounting)."""
+        self.codec_logical_bytes += payload.logical_bytes
+        self.codec_wire_bytes += payload.wire_bytes
+        if payload.kind == "delta":
+            self.codec_delta_bytes += payload.changed_bytes
+        self.codec_blocks_new += payload.blocks_new
+        self.codec_blocks_ref += payload.blocks_ref
+
+    def publish_payload(self, chunk: Chunk, payload: Payload) -> None:
+        """Stage the payload's block digests into the destination's
+        store (refcounted at the coordinated commit).  Digests are
+        re-derived at stage time: writes that raced a pre-copy transfer
+        land in the staged version, and the index must describe what
+        actually landed."""
+        if payload.block_index is not None and len(payload.block_index):
+            store = self.destination.block_store
+            store.stage(
+                chunk.name,
+                payload.slot,
+                payload.block_index,
+                current_digests(chunk, payload.block_index, store.block),
+            )
+
+    @property
+    def codec_saved_bytes(self) -> int:
+        """Bytes the payload codec kept off the wire (on top of the
+        incremental-extent savings already counted in bytes_saved)."""
+        return max(0, self.codec_logical_bytes - self.codec_wire_bytes)
+
     def _checkpoint_proc(self, only: Optional[Iterable[Chunk]] = None):
         """The checkpoint generator body behind :meth:`checkpoint`."""
         engine = self.ctx.engine
@@ -310,8 +399,11 @@ class CheckpointEngine:
                 else:
                     nbytes_moved = sum(n for _, n in extents)
                     pages = sum(pages_of(n) for _, n in extents)
+                payload = self.plan_payload(chunk, extents)
                 try:
-                    if extents is None:
+                    if payload is not None:
+                        yield dest.write_payload(chunk, payload, tag=f"{self.tag}:lckpt")
+                    elif extents is None:
                         yield dest.write(chunk, tag=f"{self.tag}:lckpt")
                     else:
                         yield dest.write_at(chunk, extents, tag=f"{self.tag}:lckpt")
@@ -325,7 +417,12 @@ class CheckpointEngine:
                     # flat backends have no stage step; record the copy
                     # against the stale map here
                     chunk.mark_extents_copied("local", extents)
-                stats.bytes_copied += nbytes_moved
+                wire_bytes = nbytes_moved
+                if payload is not None:
+                    wire_bytes = payload.wire_bytes
+                    self.account_payload(payload)
+                    self.publish_payload(chunk, payload)
+                stats.bytes_copied += wire_bytes
                 stats.bytes_saved += chunk.nbytes - nbytes_moved
                 stats.chunks_copied += 1
                 if BUS.active:
@@ -334,13 +431,15 @@ class CheckpointEngine:
                             t=engine.now,
                             actor=str(self.rank),
                             chunk=chunk.name,
-                            nbytes=nbytes_moved,
+                            nbytes=wire_bytes,
                             start=copy_start,
                             stream="local",
                             phase="coordinated",
                             destination=dest.name,
                             pages=pages,
                             bytes_saved=chunk.nbytes - nbytes_moved,
+                            codec=payload.codec if payload is not None else "raw",
+                            logical_bytes=nbytes_moved,
                         )
                     )
                 if self.tracks_dirty:
@@ -365,6 +464,11 @@ class CheckpointEngine:
                         "local.commit.after_flip", chunk=chunk, rank=self.rank
                     ),
                 )
+            if self.codec is not None and dest.block_store is not None:
+                # the digest index commits with the data it describes:
+                # after the version flip, before the metadata flush
+                # (codec.store.commit.* crash points fire inside)
+                dest.block_store.commit()
             dest.persist_metadata()
             fire("local.commit.before_meta_flush", rank=self.rank)
             flush_cost2 = dest.flush()

@@ -73,6 +73,7 @@ class PrecopyEngine:
         threshold: Optional[ThresholdEstimator] = None,
         prediction: Optional[PredictionTable] = None,
         decision_policy: Optional[CheckpointPolicy] = None,
+        codec_hooks=None,
     ) -> None:
         if stream not in ("local", "remote"):
             raise ValueError(f"unknown stream {stream!r}")
@@ -91,6 +92,14 @@ class PrecopyEngine:
             and stream == "local"
             and transfer_fn is None
             and finalize_fn is None
+        )
+        #: payload-codec hooks (plan/account/publish — duck-typed to
+        #: the owning CheckpointEngine); like incremental extents, the
+        #: codec applies only to the default local DRAM→NVM path
+        self._codec = (
+            codec_hooks
+            if stream == "local" and transfer_fn is None and finalize_fn is None
+            else None
         )
         self.threshold = threshold
         self.prediction = prediction
@@ -337,12 +346,17 @@ class PrecopyEngine:
         else:
             nbytes_moved = sum(n for _, n in extents)
             pages = sum(pages_of(n) for _, n in extents)
+        payload = (
+            self._codec.plan_payload(chunk, extents) if self._codec is not None else None
+        )
         chunk.set_state(self.stream, ChunkState.PRECOPYING)
         self._inflight_chunk = chunk
         self._inflight_done = self.ctx.engine.event("precopy.inflight")
         cancelled = False
         try:
-            if extents is None:
+            if payload is not None:
+                yield self.ctx.copy_to_nvm(payload.wire_bytes, tag=self.tag)
+            elif extents is None:
                 yield self._transfer_fn(chunk)
             else:
                 yield self.ctx.copy_to_nvm(nbytes_moved, tag=self.tag)
@@ -360,7 +374,11 @@ class PrecopyEngine:
             return
         fire("precopy.copy.after", chunk=chunk, stream=self.stream)
         self.stats.copies += 1
-        self.stats.bytes_copied += nbytes_moved
+        wire_bytes = nbytes_moved
+        if payload is not None:
+            wire_bytes = payload.wire_bytes
+            self._codec.account_payload(payload)
+        self.stats.bytes_copied += wire_bytes
         # the copy event fires for torn copies too: the bytes *did*
         # move (and count against the stats), the data just stayed
         # stale — replay accounting must see every byte the stats saw
@@ -370,12 +388,14 @@ class PrecopyEngine:
                     t=self.ctx.engine.now,
                     actor=self.tag,
                     chunk=chunk.name,
-                    nbytes=nbytes_moved,
+                    nbytes=wire_bytes,
                     start=copy_start,
                     stream=self.stream,
                     phase="precopy",
                     pages=pages,
                     bytes_saved=chunk.nbytes - nbytes_moved,
+                    codec=payload.codec if payload is not None else "raw",
+                    logical_bytes=nbytes_moved,
                 )
             )
         if chunk.total_mods != mods_before:
@@ -389,6 +409,10 @@ class PrecopyEngine:
             self._finalize_fn(chunk)
         else:
             chunk.stage_to_nvm(extents)
+        if payload is not None:
+            # digests publish only for copies that actually staged —
+            # a torn copy's digests describe content that never landed
+            self._codec.publish_payload(chunk, payload)
         chunk.mark_precopied(self.stream)
         self._pending_clean[chunk.chunk_id] = chunk
         fire("precopy.finalize.after", chunk=chunk, stream=self.stream)

@@ -41,11 +41,20 @@ from ..errors import CheckpointError, TransferCancelled, TransferFailed
 from ..faults.crashpoints import fire
 from ..metrics import timeline as tl
 from ..metrics.timeline import Timeline
-from ..metrics.trace import BUS, ChunkCopiedEvent, FailoverEvent
+from ..metrics.trace import BUS, ChunkCopiedEvent, CodecDecisionEvent, FailoverEvent
 from ..net.interconnect import Fabric
 from ..net.rdma import rdma_put
 from ..sim.events import Event
 from ..units import pages_of, usec
+from .codec import (
+    DEFAULT_BLOCK,
+    BlockStore,
+    EntropyProbe,
+    Payload,
+    blocks_of_extents,
+    current_digests,
+    resolve_codec,
+)
 from .context import NodeContext
 from .destination import RemoteBuddyDestination
 
@@ -101,6 +110,24 @@ class RemoteTarget:
         #: the scrubber detect a corrupted buddy copy before trusting it.
         self.checksums: Dict[str, Optional[int]] = {}
         self._staged_crc: Dict[str, Optional[int]] = {}
+        #: the byte runs the most recent :meth:`stage` actually wrote
+        #: (``None`` = whole chunk).  Staging re-reads the stale map, so
+        #: raced writes land too; the codec publish path derives the
+        #: digest coverage from this, not from its pre-transfer plan.
+        self.last_staged_runs: Optional[List[Tuple[int, int]]] = None
+        #: content-addressed digest index over the buddy-side versions
+        #: (one store per target, so same-named chunks of different
+        #: source ranks can never alias).  None until a codec asks.
+        self.block_store: Optional[BlockStore] = None
+
+    def ensure_block_store(self, block: int = DEFAULT_BLOCK) -> BlockStore:
+        if self.block_store is None or self.block_store.block != block:
+            self.block_store = BlockStore(block=block)
+        return self.block_store
+
+    def codec_slots(self, chunk_name: str) -> Tuple[int, int]:
+        """(in-progress slot, committed base slot) for codec planning."""
+        return self._inprogress(chunk_name), self.committed.get(chunk_name, -1)
 
     # -- region plumbing ------------------------------------------------------
 
@@ -154,6 +181,7 @@ class RemoteTarget:
                 region.write(0, chunk.dram)
             moved = chunk.nbytes
             chunk.mark_extents_copied("remote", None, slot=v)
+            self.last_staged_runs = None
         else:
             runs = chunk.copy_extents("remote", slot=v)
             moved = 0
@@ -165,6 +193,7 @@ class RemoteTarget:
                     region.write(off, chunk.dram[off : off + n])
                 moved += n
             chunk.mark_extents_copied("remote", runs, slot=v)
+            self.last_staged_runs = runs
         chunk.bytes_copied_remote += moved
         self._staged[chunk.name] = v
         self._staged_crc[chunk.name] = (
@@ -182,6 +211,10 @@ class RemoteTarget:
             self.checksums[name] = self._staged_crc.get(name)
         self._staged.clear()
         self._staged_crc.clear()
+        if self.block_store is not None:
+            # the digest index commits with the versions it describes:
+            # after the pointer flip, before the metadata flush
+            self.block_store.commit()
         fire("remote.commit.before_meta", target=self, pid=self.src_pid)
         self.dst_ctx.nvmm.store.put_meta(
             f"remote/proc:{self.src_pid}",
@@ -297,6 +330,23 @@ class RemoteHelper:
             pid: self._make_destination(pid, target)
             for pid, target in self.targets.items()
         }
+        #: payload codec on the fabric path (None on the raw default;
+        #: also off under compression, whose wire volume is the
+        #: compressor's business — same gate as incremental sends)
+        self.codec = (
+            resolve_codec(self.config.precopy.codec)
+            if self.config.precopy.codec_enabled and compression is None
+            else None
+        )
+        self.entropy_probe = EntropyProbe() if self.codec is not None else None
+        if self.codec is not None:
+            for dest in self.destinations.values():
+                dest.ensure_block_store(self.config.precopy.codec_block)
+        self.codec_logical_bytes = 0
+        self.codec_wire_bytes = 0
+        self.codec_delta_bytes = 0
+        self.codec_blocks_new = 0
+        self.codec_blocks_ref = 0
         self.history: List[RemoteCheckpointStats] = []
         self.rounds_behind = 0
         self._stop = False
@@ -324,8 +374,9 @@ class RemoteHelper:
         self._known_targets: Dict[int, Dict[str, RemoteTarget]] = {}
 
     def _make_destination(self, pid: str, target: RemoteTarget) -> RemoteBuddyDestination:
-        def send_fn(chunk: Chunk, extents=None, pid: str = pid) -> Event:
-            wire = chunk.nbytes if extents is None else sum(n for _, n in extents)
+        def send_fn(chunk: Chunk, extents=None, pid: str = pid, wire=None) -> Event:
+            if wire is None:
+                wire = chunk.nbytes if extents is None else sum(n for _, n in extents)
             return self._send(pid, chunk, "rckpt", nbytes=wire)
 
         return RemoteBuddyDestination(target, send_fn=send_fn)
@@ -442,6 +493,70 @@ class RemoteHelper:
     # ------------------------------------------------------------------
     # Transfers.
     # ------------------------------------------------------------------
+
+    def _plan_payload(self, pid: str, chunk: Chunk, extents) -> Optional[Payload]:
+        """Plan what crosses the fabric for *chunk*'s pending extents;
+        ``None`` on the raw path.  Digest state lives on the *current*
+        buddy's target store, so a failover's fresh store honestly
+        forgets what the old buddy held."""
+        if self.codec is None:
+            return None
+        dest = self.destinations[pid]
+        slot, base_slot = dest.codec_slots(chunk)
+        payload = self.codec.plan(
+            chunk,
+            extents,
+            store=dest.block_store,
+            slot=slot,
+            base_slot=base_slot,
+            probe=self.entropy_probe,
+        )
+        payload.slot = slot
+        if payload.candidates is not None and BUS.active:
+            BUS.emit(
+                CodecDecisionEvent(
+                    t=self.ctx.engine.now,
+                    actor=self.owner,
+                    chunk=chunk.name,
+                    chosen=payload.codec,
+                    raw_bytes=payload.candidates.get("raw", 0),
+                    delta_bytes=payload.candidates.get("delta", 0),
+                    dedup_bytes=payload.candidates.get("dedup", 0),
+                    entropy=payload.entropy,
+                    density=payload.density,
+                )
+            )
+        return payload
+
+    def _account_payload(self, payload: Payload) -> None:
+        self.codec_logical_bytes += payload.logical_bytes
+        self.codec_wire_bytes += payload.wire_bytes
+        if payload.kind == "delta":
+            self.codec_delta_bytes += payload.changed_bytes
+        self.codec_blocks_new += payload.blocks_new
+        self.codec_blocks_ref += payload.blocks_ref
+
+    def _publish_payload(self, pid: str, chunk: Chunk, payload: Payload) -> None:
+        """Stage the payload's digests into the buddy target's store
+        (refcounted at the next remote commit).
+
+        Coverage and digests are re-derived from what the stage call
+        actually wrote (:attr:`RemoteTarget.last_staged_runs`), not from
+        the pre-transfer plan: writes that raced the fabric transfer
+        land in the staged version too, and the index must describe
+        what the buddy really holds."""
+        store = self.destinations[pid].block_store
+        if store is None or payload.block_index is None:
+            return
+        runs = self.targets[pid].last_staged_runs
+        idx = blocks_of_extents(runs, store.block, chunk.nbytes)
+        if len(idx):
+            store.stage(
+                chunk.name,
+                payload.slot,
+                idx,
+                current_digests(chunk, idx, store.block),
+            )
 
     def _charge_cpu(self, nbytes: int, streamed: bool) -> None:
         cost = nbytes * HELPER_CPU_PER_BYTE + PER_CHUNK_CPU
@@ -561,6 +676,11 @@ class RemoteHelper:
                 dest.retarget(target)
             else:
                 self.destinations[pid] = self._make_destination(pid, target)
+        if self.codec is not None:
+            # a reused target keeps its digest index (its copies are
+            # still resident); fresh hardware starts an empty one
+            for dest in self.destinations.values():
+                dest.ensure_block_store(self.config.precopy.codec_block)
         if BUS.active:
             BUS.emit(
                 FailoverEvent(
@@ -642,11 +762,13 @@ class RemoteHelper:
                 else None
             )
             if extents is None:
-                wire = chunk.nbytes
+                logical = chunk.nbytes
                 pages = pages_of(chunk.nbytes)
             else:
-                wire = sum(n for _, n in extents)
+                logical = sum(n for _, n in extents)
                 pages = sum(pages_of(n) for _, n in extents)
+            payload = self._plan_payload(pid, chunk, extents)
+            wire = logical if payload is None else payload.wire_bytes
             self._charge_cpu(wire, streamed=True)
             fire("remote.stream.before_send", chunk=chunk, pid=pid)
             try:
@@ -657,6 +779,9 @@ class RemoteHelper:
                 self._queue.setdefault((pid, chunk.chunk_id), chunk)
                 continue
             self.destinations[pid].stage(chunk, extents)
+            if payload is not None:
+                self._account_payload(payload)
+                self._publish_payload(pid, chunk, payload)
             self._record_replicated(pid, chunk)
             fire(
                 "remote.stream.after_stage",
@@ -681,7 +806,9 @@ class RemoteHelper:
                         phase="precopy",
                         destination=self.destinations[pid].name,
                         pages=pages,
-                        bytes_saved=chunk.nbytes - wire,
+                        bytes_saved=chunk.nbytes - logical,
+                        codec=payload.codec if payload is not None else "raw",
+                        logical_bytes=logical,
                     )
                 )
             # pacing: never run faster than pace_rate on average
@@ -728,11 +855,13 @@ class RemoteHelper:
                         dest.pending_extents(chunk) if self.incremental else None
                     )
                     if extents is None:
-                        wire = chunk.nbytes
+                        logical = chunk.nbytes
                         pages = pages_of(chunk.nbytes)
                     else:
-                        wire = sum(n for _, n in extents)
+                        logical = sum(n for _, n in extents)
                         pages = sum(pages_of(n) for _, n in extents)
+                    payload = self._plan_payload(alloc.pid, chunk, extents)
+                    wire = logical if payload is None else payload.wire_bytes
                     self._charge_cpu(wire, streamed=False)
                     fire("remote.round.before_send", chunk=chunk, pid=alloc.pid)
                     t0 = engine.now
@@ -745,6 +874,9 @@ class RemoteHelper:
                         aborted = True
                         break
                     dest.stage(chunk, extents)
+                    if payload is not None:
+                        self._account_payload(payload)
+                        self._publish_payload(alloc.pid, chunk, payload)
                     self._record_replicated(alloc.pid, chunk)
                     fire(
                         "remote.round.after_stage",
@@ -768,7 +900,9 @@ class RemoteHelper:
                                 phase="coordinated",
                                 destination=dest.name,
                                 pages=pages,
-                                bytes_saved=chunk.nbytes - wire,
+                                bytes_saved=chunk.nbytes - logical,
+                                codec=payload.codec if payload is not None else "raw",
+                                logical_bytes=logical,
                             )
                         )
                 if aborted:
@@ -786,6 +920,11 @@ class RemoteHelper:
     # ------------------------------------------------------------------
     # Accounting.
     # ------------------------------------------------------------------
+
+    @property
+    def codec_saved_bytes(self) -> int:
+        """Fabric bytes the payload codec kept off the wire."""
+        return max(0, self.codec_logical_bytes - self.codec_wire_bytes)
 
     @property
     def total_round_bytes(self) -> int:

@@ -34,6 +34,7 @@ from ..metrics import timeline as tl
 from ..metrics.timeline import Timeline
 from ..net.interconnect import Fabric
 from ..net.rdma import rdma_get
+from .codec import BlockStore, block_digests
 from .context import NodeContext
 from .remote import RemoteTarget
 
@@ -56,6 +57,12 @@ class RestartReport:
     #: bytes read for checksum verification of local committed
     #: versions (both eager and lazy paths pay this read)
     bytes_verified: int = 0
+    #: content blocks checked against a codec block store's digest map
+    #: (0 when no store was provided — the raw path)
+    blocks_verified: int = 0
+    #: of blocks_verified, how many did not match (each one also lands
+    #: the chunk in corrupted_chunks or aborts the fetch)
+    digest_failures: int = 0
     corrupted_chunks: List[str] = field(default_factory=list)
     allocator: Optional[NVAllocator] = None
 
@@ -88,6 +95,38 @@ class RestartManager:
         #: most this many bytes (extent-granular restart); ``None``
         #: keeps the one-transfer-per-chunk behaviour
         self.fetch_extent_bytes = fetch_extent_bytes
+
+    def _check_digests(
+        self,
+        store: Optional[BlockStore],
+        name: str,
+        slot: int,
+        data,
+        offset: int,
+        report: RestartReport,
+    ) -> bool:
+        """Decode-on-read verification: compare the blake2b block
+        digests of *data* (a byte range starting at *offset* within the
+        chunk) against the store's committed digest map for ``(name,
+        slot)``.  Blocks the map never recorded (digest 0) are skipped;
+        unaligned ranges and absent maps verify trivially."""
+        if store is None or slot < 0 or offset % store.block:
+            return True
+        expect = store.slot_digests(name, slot)
+        if expect is None:
+            return True
+        got = block_digests(data, store.block)
+        b0 = offset // store.block
+        hi = min(len(expect), b0 + len(got))
+        if hi <= b0:
+            return True
+        exp = expect[b0:hi]
+        got = got[: hi - b0]
+        known = exp != 0
+        report.blocks_verified += int(known.sum())
+        failed = int((got[known] != exp[known]).sum())
+        report.digest_failures += failed
+        return failed == 0
 
     def _fetch_segments(self, nbytes: int) -> List[tuple]:
         """Split one chunk fetch into ``(offset, nbytes)`` segments."""
@@ -136,6 +175,7 @@ class RestartManager:
         two_versions: bool = True,
         clock=None,
         lazy: bool = False,
+        block_store: Optional[BlockStore] = None,
     ):
         """Generator process: local restart of *pid*.
 
@@ -143,6 +183,13 @@ class RestartManager:
         from node NVM; the rest fall back to the buddy (requires
         ``remote_target`` + ``remote_node`` + a fabric).  Returns a
         :class:`RestartReport` with the rebuilt allocator attached.
+
+        With *block_store* (a checkpoint made through the payload codec
+        layer), the store's staged state is first discarded and its
+        refcount index rebuilt from the durable slot maps, then every
+        real chunk's committed bytes are additionally verified against
+        the committed digest map — a digest mismatch falls back to the
+        buddy exactly like a checksum mismatch.
 
         With ``lazy=True`` (the §IV shadow-buffer read path / §VIII
         recovery optimization), verified chunks are *not* copied back:
@@ -170,8 +217,21 @@ class RestartManager:
                 allocator=alloc,
                 store=self.ctx.nvmm.store,
             )
+            if block_store is not None:
+                # a crash may have left a torn index (codec.store.
+                # commit.mid): the slot maps are the durable truth
+                block_store.rebuild()
             for chunk in alloc.persistent_chunks():
                 ok = chunk.committed_version >= 0 and chunk.verify_checksum()
+                if ok and block_store is not None and not chunk.phantom:
+                    ok = self._check_digests(
+                        block_store,
+                        chunk.name,
+                        chunk.committed_version,
+                        chunk.committed_region().read(0, chunk.nbytes),
+                        0,
+                        report,
+                    )
                 if ok:
                     # the checksum verification reads the committed
                     # version once on either path; NVM reads run ~4x
@@ -246,6 +306,22 @@ class RestartManager:
                 ) from exc
             payload = remote_target.fetch(chunk.name, off, n)
             if not chunk.phantom:
+                # decode-on-read: a codec-era buddy copy carries a digest
+                # map; each fetched range must prove its identity before
+                # it is trusted as recovery state
+                if not self._check_digests(
+                    remote_target.block_store,
+                    chunk.name,
+                    remote_target.committed.get(chunk.name, -1),
+                    payload,
+                    off,
+                    report,
+                ):
+                    raise ChecksumMismatch(
+                        f"chunk {chunk.name!r} of {pid!r}: buddy fetch range "
+                        f"[{off}, {off + n}) failed block-digest verification",
+                        chunk_id=chunk.chunk_id,
+                    )
                 chunk.dram[off : off + n] = payload
         # the recovered data is not yet persisted locally: dirty it so
         # the next local checkpoint re-establishes the local copy

@@ -69,6 +69,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--copy-granularity", choices=["chunk", "page"], default="chunk",
                    help="copy granularity: 'page' moves only the stale "
                         "dirty-page extents (incremental checkpoints)")
+    p.add_argument("--codec", choices=["raw", "delta", "dedup", "auto"],
+                   default="raw",
+                   help="payload representation on the copy path: 'raw' "
+                        "ships bytes as-is (golden default); 'delta' XORs "
+                        "against the committed shadow version; 'dedup' "
+                        "references the content-addressed block store; "
+                        "'auto' picks the cheapest per chunk")
     p.add_argument("--nodes", type=int, default=4)
     p.add_argument("--ranks-per-node", type=int, default=12)
     p.add_argument("--iterations", type=int, default=6)
@@ -157,6 +164,7 @@ def run_experiment(args: argparse.Namespace) -> RunResult:
             mode=args.mode,
             granularity=args.granularity,
             copy_granularity=args.copy_granularity,
+            codec=getattr(args, "codec", "raw"),
         ),
         remote_precopy=not args.no_remote_precopy,
         autotune=autotune,

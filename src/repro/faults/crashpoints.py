@@ -43,6 +43,7 @@ __all__ = [
     "LAYER_CHUNK",
     "LAYER_STORE",
     "LAYER_MIGRATE",
+    "LAYER_CODEC",
     "BITROT_CAPABLE",
 ]
 
@@ -53,6 +54,7 @@ LAYER_RESTART = "restart"
 LAYER_CHUNK = "chunk"
 LAYER_STORE = "store"
 LAYER_MIGRATE = "migrate"
+LAYER_CODEC = "codec"
 
 
 @dataclass(frozen=True)
@@ -177,6 +179,18 @@ register("migrate.cutover.before", LAYER_MIGRATE,
          "all batches committed; buddy ownership not yet switched")
 register("migrate.cutover.done", LAYER_MIGRATE,
          "ownership switched atomically to the new buddy")
+
+# -- payload codec block store (core/codec.py) ------------------------------
+# These fire only when a non-raw codec is configured (the standalone
+# CrashConsistencyHarness runs the raw golden pipeline), so
+# faults/harness.py excludes the codec layer from matrix_points();
+# tests/test_codec.py covers them with a codec-enabled crash matrix.
+register("codec.store.commit.before", LAYER_CODEC,
+         "block-store commit entered; no digest map or refcount touched")
+register("codec.store.commit.mid", LAYER_CODEC,
+         "slot digest maps updated; refcount index not yet swapped (torn)")
+register("codec.store.commit.done", LAYER_CODEC,
+         "block-store commit point passed: maps + refcount index consistent")
 
 # -- restart/recovery (core/restart.py) -------------------------------------
 register("restart.begin", LAYER_RESTART,

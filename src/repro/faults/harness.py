@@ -49,7 +49,7 @@ from ..net.interconnect import Fabric
 from ..sim.engine import Engine, Process
 from ..sim.rng import RngStreams
 from .checker import ConsistencyChecker, ConsistencyReport, payload_digest
-from .crashpoints import LAYER_MIGRATE, FaultInjector, all_points, install, point
+from .crashpoints import LAYER_CODEC, LAYER_MIGRATE, FaultInjector, all_points, install, point
 from .plan import FaultPlan, ScriptedFault, KIND_BITROT
 
 __all__ = [
@@ -188,6 +188,7 @@ class CrashConsistencyHarness:
         with_remote: bool = False,
         local_interval: float = 10.0,
         remote_interval: float = 30.0,
+        codec: str = "raw",
     ) -> None:
         if n_chunks < 1 or n_steps < 2:
             raise ValueError("harness needs >= 1 chunk and >= 2 steps")
@@ -199,6 +200,7 @@ class CrashConsistencyHarness:
         self.with_remote = with_remote
         self.local_interval = local_interval
         self.remote_interval = remote_interval
+        self.codec = codec
 
     # ------------------------------------------------------------------
     # World construction.
@@ -211,7 +213,7 @@ class CrashConsistencyHarness:
         allocator = NVAllocator(
             self.PID, src.nvmm, src.dram, clock=lambda: engine.now
         )
-        policy = PrecopyPolicy(mode=self.precopy_mode)
+        policy = PrecopyPolicy(mode=self.precopy_mode, codec=self.codec)
         checkpointer = LocalCheckpointer(
             src, allocator, policy, with_checksums=True, tag=self.PID
         )
@@ -458,8 +460,14 @@ class CrashConsistencyHarness:
             except CheckpointError:
                 remote_target = None
         manager = RestartManager(ctx, fabric=fabric, node_id=0)
+        # a codec-enabled run restores through the survived block store
+        # (digest verification + refcount rebuild ride on restart)
+        block_store = getattr(world.checkpointer.destination, "block_store", None)
         return manager.restart_process_sync(
-            self.PID, remote_target=remote_target, remote_node=remote_node
+            self.PID,
+            remote_target=remote_target,
+            remote_node=remote_node,
+            block_store=block_store,
         )
 
 
@@ -537,5 +545,11 @@ def matrix_points() -> List[str]:
     The migrate layer is excluded: its points fire inside cluster runs
     (live migration needs membership + a buddy directory), which this
     standalone harness cannot reach — tests/test_migration.py runs the
-    cluster-level matrix for them instead."""
-    return [cp.name for cp in all_points() if cp.layer != LAYER_MIGRATE]
+    cluster-level matrix for them instead.  The codec layer is likewise
+    excluded: its points fire only under a non-raw payload codec —
+    tests/test_codec.py runs a codec-enabled crash matrix for them."""
+    return [
+        cp.name
+        for cp in all_points()
+        if cp.layer not in (LAYER_MIGRATE, LAYER_CODEC)
+    ]

@@ -45,6 +45,7 @@ __all__ = [
     "TraceEvent",
     "PolicyDecisionEvent",
     "ChunkCopiedEvent",
+    "CodecDecisionEvent",
     "CommitEvent",
     "RetryEvent",
     "FailoverEvent",
@@ -73,7 +74,12 @@ __all__ = [
 #: Version 2 added the elastic-membership kinds (``membership.change``,
 #: ``migration.*``, ``resync.aborted``); every version-1 kind is
 #: unchanged, so the 1->2 upgrader is the identity.
-TRACE_VERSION = 2
+#: Version 3 added the payload-codec layer: ``chunk.copied`` gained
+#: ``codec`` (representation that crossed the wire) and
+#: ``logical_bytes`` (pre-encoding size), plus the new
+#: ``codec.decision`` kind.  The 2->3 upgrader stamps old copies as
+#: ``codec="raw"`` with ``logical_bytes=nbytes``.
+TRACE_VERSION = 3
 
 
 # ---------------------------------------------------------------------------
@@ -124,6 +130,33 @@ class ChunkCopiedEvent(TraceEvent):
     #: chunk bytes NOT moved thanks to incremental extents (0 for
     #: whole-chunk copies)
     bytes_saved: int = 0
+    #: payload representation that crossed the wire (raw | delta | dedup;
+    #: "raw" for every copy made with the codec layer off)
+    codec: str = "raw"
+    #: pre-encoding size of the moved extents; ``nbytes`` is the wire
+    #: size, so ``logical_bytes - nbytes`` is the codec's saving
+    logical_bytes: int = 0
+
+
+@dataclass(frozen=True)
+class CodecDecisionEvent(TraceEvent):
+    """The per-chunk codec policy weighed the candidate representations
+    and picked one (emitted only by the ``auto`` codec, which is the
+    only codec that *has* alternatives to weigh)."""
+
+    chunk: str
+    #: winning representation: full | delta | dedup
+    chosen: str
+    #: candidate wire costs in bytes (what each representation would
+    #: have moved for this chunk's dirty extents)
+    raw_bytes: int
+    delta_bytes: int
+    dedup_bytes: int
+    #: compressibility probe result (zlib ratio; -1.0 when unmeasured,
+    #: e.g. phantom chunks with no readable content)
+    entropy: float = -1.0
+    #: dirty density: dirty bytes / chunk bytes
+    density: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -241,6 +274,7 @@ class ResyncAbortedEvent(TraceEvent):
 _KINDS: Dict[type, str] = {
     PolicyDecisionEvent: "policy.decision",
     ChunkCopiedEvent: "chunk.copied",
+    CodecDecisionEvent: "codec.decision",
     CommitEvent: "commit",
     RetryEvent: "retry",
     FailoverEvent: "failover",
@@ -270,10 +304,21 @@ def _upgrade_1_to_2(record: Dict[str, Any]) -> Dict[str, Any]:
     return record
 
 
+def _upgrade_2_to_3(record: Dict[str, Any]) -> Dict[str, Any]:
+    """Version-2 copies predate the codec layer: every byte that moved
+    was a raw byte, so wire size and logical size coincide."""
+    if record.get("kind") == "chunk.copied":
+        record = dict(record)
+        record.setdefault("codec", "raw")
+        record.setdefault("logical_bytes", record.get("nbytes", 0))
+    return record
+
+
 #: version -> record upgrader to the *next* version.  Old traces walk
 #: the chain until they reach :data:`TRACE_VERSION`.
 _UPGRADERS: Dict[int, Callable[[Dict[str, Any]], Dict[str, Any]]] = {
     1: _upgrade_1_to_2,
+    2: _upgrade_2_to_3,
 }
 
 

@@ -114,6 +114,8 @@ class ReplayEngine:
         nvm_gbps: Optional[float] = None,
         copy_granularity: Optional[str] = None,
         threshold_margin: Optional[float] = None,
+        codec: Optional[str] = None,
+        codec_novelty: Optional[float] = None,
     ) -> WhatIfResult:
         cfg = self.captured_config
         mode = mode or cfg.get("mode")
@@ -130,6 +132,12 @@ class ReplayEngine:
                     "record the captured bandwidth"
                 )
             scale = float(nvm_gbps) / float(captured_gbps)
+        kwargs = {}
+        wanted_codec = codec or cfg.get("codec")
+        if wanted_codec is not None:
+            kwargs["codec"] = wanted_codec
+        if codec_novelty is not None:
+            kwargs["codec_novelty"] = codec_novelty
         return run_whatif(
             self.workload,
             mode,
@@ -138,6 +146,7 @@ class ReplayEngine:
             threshold_margin=threshold_margin
             if threshold_margin is not None
             else cfg.get("threshold_margin", 1.25),
+            **kwargs,
         )
 
     def matches_captured(self, **overrides: Any) -> bool:
@@ -146,7 +155,8 @@ class ReplayEngine:
         cfg = self.captured_config
         keymap = {"nvm_gbps": "nvm_gbps", "mode": "mode",
                   "copy_granularity": "copy_granularity",
-                  "threshold_margin": "threshold_margin"}
+                  "threshold_margin": "threshold_margin",
+                  "codec": "codec"}
         for key, value in overrides.items():
             if value is None:
                 continue
@@ -167,15 +177,18 @@ class ReplayEngine:
         nvm_gbps: Optional[float] = None,
         copy_granularity: Optional[str] = None,
         threshold_margin: Optional[float] = None,
+        codec: Optional[str] = None,
+        codec_novelty: Optional[float] = None,
     ) -> Dict[str, Any]:
         """One replay cell as a flat sweep-compatible record."""
         from ..units import to_GB
 
-        faithful = self.matches_captured(
+        faithful = codec_novelty is None and self.matches_captured(
             mode=mode,
             nvm_gbps=nvm_gbps,
             copy_granularity=copy_granularity,
             threshold_margin=threshold_margin,
+            codec=codec,
         )
         if faithful:
             acc = self.faithful()
@@ -184,18 +197,22 @@ class ReplayEngine:
             saved = acc.bytes_saved
             blocking = acc.blocking_s
             coverage = 1.0
+            codec_saved = acc.codec_saved_bytes
         else:
             res = self.whatif(
                 mode,
                 nvm_gbps=nvm_gbps,
                 copy_granularity=copy_granularity,
                 threshold_margin=threshold_margin,
+                codec=codec,
+                codec_novelty=codec_novelty,
             )
             coordinated = res.bytes_copied
             precopy = res.precopy_bytes
             saved = res.bytes_saved
             blocking = res.blocking_s
             coverage = res.coverage
+            codec_saved = res.codec_saved_bytes
         cfg = self.captured_config
         return {
             "app": cfg.get("app", ""),
@@ -207,4 +224,6 @@ class ReplayEngine:
             "replay.saved_gb": round(to_GB(saved), 6),
             "replay.blocking_s": round(blocking, 6),
             "replay.coverage": round(coverage, 4),
+            "replay.codec": codec or cfg.get("codec", "raw"),
+            "replay.codec_saved_gb": round(to_GB(codec_saved), 6),
         }

@@ -70,6 +70,11 @@ class ReplayAccounting:
     remote_round_bytes: int = 0
     #: remote streaming pre-copy bytes (== remote_precopy_bytes)
     remote_stream_bytes: int = 0
+    #: bytes the payload codec kept off the wire, any stream
+    #: (``logical_bytes - nbytes`` summed over codec-planned copies;
+    #: raw copies carry ``logical_bytes == nbytes``, so a raw run
+    #: accumulates exactly 0 and the metric is always comparable)
+    codec_saved_bytes: int = 0
     commits: List[CommitRecord] = field(default_factory=list)
     #: summed coordinated-step spans (first copy start -> commit);
     #: informational — times are not part of the byte oracle
@@ -90,6 +95,12 @@ def accounting_from_events(events: List[TraceEvent]) -> ReplayAccounting:
     coord_begin: Dict[str, float] = {}
     for ev in events:
         if isinstance(ev, ChunkCopiedEvent):
+            if ev.codec != "raw":
+                # codec-planned copy: nbytes is the wire volume, the
+                # logical (pre-codec) bytes ride in logical_bytes.
+                # Auto rounds won by raw are tagged "raw" with
+                # logical == wire, so skipping them changes nothing.
+                acc.codec_saved_bytes += ev.logical_bytes - ev.nbytes
             if ev.stream == "remote":
                 if ev.phase == "precopy":
                     acc.remote_stream_bytes += ev.nbytes
@@ -223,6 +234,11 @@ def compare_to_run(
         "remote_precopy_bytes", result.remote_precopy_bytes, acc.remote_stream_bytes
     )
     check("local_checkpoints", result.local_checkpoints, len(acc.commits))
+    if getattr(result, "codec", False):
+        live_codec_saved = max(
+            0, result.codec_logical_bytes - result.codec_wire_bytes
+        )
+        check("codec_saved_bytes", live_codec_saved, acc.codec_saved_bytes)
     if cluster is None:
         cluster = getattr(result, "cluster", None)
     if cluster is not None:

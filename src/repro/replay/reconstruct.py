@@ -46,6 +46,15 @@ __all__ = [
 _PRECOPY_SUFFIX = ":precopy"
 
 
+def _logical(ev: ChunkCopiedEvent) -> int:
+    """Pre-codec bytes of a copy: the dirty-data evidence the what-if
+    model needs.  Codec-planned copies ship fewer wire bytes
+    (``nbytes``) than the dirty bytes they represent; raw copies carry
+    ``logical_bytes == nbytes`` (and 0 from hand-built events, where
+    ``nbytes`` is the only truth)."""
+    return ev.logical_bytes or ev.nbytes
+
+
 @dataclass
 class ChunkActivity:
     """One chunk's observed movement inside one interval."""
@@ -68,7 +77,8 @@ class ChunkActivity:
 
     @property
     def moved_bytes(self) -> int:
-        return sum(c.nbytes for c in self.copies)
+        """Pre-codec (logical) bytes the observed copies represent."""
+        return sum(_logical(c) for c in self.copies)
 
     def epochs(self, interval_start: float) -> List[float]:
         """Write-epoch *service* times implied by the observed copies.
@@ -176,7 +186,7 @@ def reconstruct(
             rank = _rank_of(ev.actor)
             rw = wl.rank(rank)
             act = activity(rank, ev.chunk)
-            full = ev.nbytes + ev.bytes_saved
+            full = _logical(ev) + ev.bytes_saved
             act.size = max(act.size, full)
             rw.chunk_sizes[ev.chunk] = max(rw.chunk_sizes.get(ev.chunk, 0), full)
             if ev.phase == "precopy":

@@ -19,6 +19,14 @@ from a chunk-granular capture has no extent data (per-epoch moved
 bytes fall back to the observed copies), and chunks a skipping policy
 never copied have unknown sizes — the ``coverage`` field quantifies
 how much of the catalog the trace actually sized.
+
+The **codec axis** asks "what would delta/dedup have saved" of a raw
+capture.  A raw trace carries no content, so the model uses the live
+codec layer's wire arithmetic (per-block digest/header metadata, same
+constants) driven by a *novelty* parameter — the fraction of a
+re-shipped payload whose bytes genuinely changed, exactly the knob the
+phantom content model uses live.  The first shipment of a chunk has no
+base: every block is new, delta degenerates to full.
 """
 
 from __future__ import annotations
@@ -26,11 +34,24 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from ..core.codec import (
+    DEFAULT_BLOCK,
+    DEFAULT_NOVELTY,
+    DELTA_HEADER_BYTES,
+    DIGEST_META_BYTES,
+    codec_names,
+)
 from ..core.threshold import ThresholdEstimator
 from ..errors import ConfigError
-from .reconstruct import ChunkActivity, IntervalRecord, RankWorkload, Workload
+from .reconstruct import (
+    ChunkActivity,
+    IntervalRecord,
+    RankWorkload,
+    Workload,
+    _logical,
+)
 
-__all__ = ["WhatIfResult", "run_whatif"]
+__all__ = ["CodecEstimator", "WhatIfResult", "run_whatif"]
 
 _MODES = ("none", "cpc", "dcpc", "dcpcp")
 
@@ -38,6 +59,67 @@ _MODES = ("none", "cpc", "dcpc", "dcpcp")
 #: table's default smoothing)
 _HOT_SMOOTHING = 0.5
 _HOT_CUTOFF = 0.5
+
+
+class CodecEstimator:
+    """Wire-byte model for replaying a payload codec over a raw trace.
+
+    Tracks, per chunk, whether a prior shipment established a base
+    version; charges the live codec layer's per-block metadata
+    (:data:`~repro.core.codec.DIGEST_META_BYTES` /
+    :data:`~repro.core.codec.DELTA_HEADER_BYTES`) and scales re-shipped
+    content by *novelty*.  Wire never exceeds logical — same cap the
+    live planners apply.
+    """
+
+    def __init__(
+        self,
+        codec: str,
+        *,
+        block: int = DEFAULT_BLOCK,
+        novelty: float = DEFAULT_NOVELTY,
+    ) -> None:
+        if codec not in codec_names():
+            raise ConfigError(
+                f"unknown codec {codec!r}; choose from {codec_names()}"
+            )
+        if block <= 0:
+            raise ConfigError("codec block size must be positive")
+        if not 0.0 <= novelty <= 1.0:
+            raise ConfigError("codec novelty must be in [0, 1]")
+        self.codec = codec
+        self.block = block
+        self.novelty = novelty
+        self.logical_bytes = 0
+        self.wire_bytes = 0
+        self._based: set = set()
+
+    def ship(self, name: str, moved: int) -> int:
+        """Model one payload of *moved* logical bytes for chunk *name*;
+        returns the wire bytes and folds both into the totals."""
+        if moved <= 0:
+            return 0
+        self.logical_bytes += moved
+        if self.codec == "raw":
+            self.wire_bytes += moved
+            return moved
+        blocks = -(-moved // self.block)
+        first = name not in self._based
+        new_content = moved if first else int(self.novelty * moved)
+        dedup = min(moved, new_content + blocks * DIGEST_META_BYTES)
+        delta = moved if first else min(
+            moved, new_content + blocks * DELTA_HEADER_BYTES
+        )
+        wire = {"delta": delta, "dedup": dedup}.get(
+            self.codec, min(moved, delta, dedup)
+        )
+        self._based.add(name)
+        self.wire_bytes += wire
+        return wire
+
+    @property
+    def saved_bytes(self) -> int:
+        return max(0, self.logical_bytes - self.wire_bytes)
 
 
 @dataclass
@@ -58,10 +140,20 @@ class WhatIfResult:
     coverage: float = 1.0
     #: per-rank coordinated bytes (diagnostics)
     per_rank: Dict[str, int] = field(default_factory=dict)
+    #: payload codec the model replayed (``None``: no codec axis)
+    codec: Optional[str] = None
+    #: modelled pre-codec bytes fed to the codec (== total moved)
+    codec_logical_bytes: int = 0
+    #: modelled wire bytes after the codec
+    codec_wire_bytes: int = 0
 
     @property
     def total_nvm_bytes(self) -> int:
         return self.bytes_copied + self.precopy_bytes
+
+    @property
+    def codec_saved_bytes(self) -> int:
+        return max(0, self.codec_logical_bytes - self.codec_wire_bytes)
 
 
 def _epoch_bytes(
@@ -71,8 +163,10 @@ def _epoch_bytes(
     copies = act.copies
     if granularity == "page":
         # best extent knowledge we have: what each captured copy moved
-        return [min(size, c.nbytes) if size else c.nbytes for c in copies]
-    return [size or c.nbytes for c in copies]
+        return [
+            min(size, _logical(c)) if size else _logical(c) for c in copies
+        ]
+    return [size or _logical(c) for c in copies]
 
 
 def _fits(epoch_start: float, nbytes: int, deadline: float, bw: float) -> bool:
@@ -87,6 +181,9 @@ def run_whatif(
     copy_granularity: Optional[str] = None,
     threshold_margin: float = 1.25,
     adapt_smoothing: float = 0.5,
+    codec: Optional[str] = None,
+    codec_block: int = DEFAULT_BLOCK,
+    codec_novelty: float = DEFAULT_NOVELTY,
 ) -> WhatIfResult:
     """Replay *workload* under *mode* and return modelled accounting."""
     if mode not in _MODES:
@@ -102,6 +199,10 @@ def run_whatif(
         )
     bw = (workload.local_bandwidth or 1.0) * bandwidth_scale
     res = WhatIfResult(mode=mode)
+    ce: Optional[CodecEstimator] = None
+    if codec is not None:
+        ce = CodecEstimator(codec, block=codec_block, novelty=codec_novelty)
+        res.codec = codec
     sized = 0
     enumerated_total = 0
     for rank, rw in sorted(workload.ranks.items()):
@@ -123,6 +224,8 @@ def run_whatif(
                 bw=bw,
                 est=est,
                 hot=hot,
+                ce=ce,
+                rank=rank,
             )
             rank_coord += coord_bytes
             res.bytes_copied += coord_bytes
@@ -145,9 +248,16 @@ def run_whatif(
             res.precopy_bytes += sum(
                 act.moved_bytes for act in rw.trailing.values()
             )
+            if ce is not None:
+                for name, act in rw.trailing.items():
+                    for c in act.copies:
+                        ce.ship(f"{rank}/{name}", _logical(c))
         res.per_rank[rank] = rank_coord
     if enumerated_total:
         res.coverage = sized / enumerated_total
+    if ce is not None:
+        res.codec_logical_bytes = ce.logical_bytes
+        res.codec_wire_bytes = ce.wire_bytes
     return res
 
 
@@ -160,14 +270,23 @@ def _replay_interval(
     bw: float,
     est: Optional[ThresholdEstimator],
     hot: Dict[str, float],
+    ce: Optional[CodecEstimator] = None,
+    rank: str = "",
 ):
     """Decide one interval's traffic; returns (coordinated, precopy,
-    saved) byte counts."""
+    saved) byte counts.  Every modelled shipment is also fed through
+    *ce* (when set) — the codec axis sees exactly the payloads the
+    policy decided to move."""
     coord = 0
     pre = 0
     saved = 0
     deadline = rec.coordinated_begin
     names = rec.enumerated or list(rec.chunks)
+
+    def ship(name: str, moved: int) -> None:
+        if ce is not None:
+            ce.ship(f"{rank}/{name}", moved)
+
     # DCPC: pre-copy may not start before T_p into the interval
     ready = rec.start
     if est is not None:
@@ -182,6 +301,7 @@ def _replay_interval(
             else:
                 moved = size
             coord += moved
+            ship(name, moved)
             if size and granularity == "page":
                 saved += max(0, size - moved)
             continue
@@ -194,6 +314,7 @@ def _replay_interval(
                 else (size or act.moved_bytes)
             )
             coord += moved
+            ship(name, moved)
             if size and granularity == "page":
                 saved += max(0, size - moved)
             continue
@@ -214,12 +335,14 @@ def _replay_interval(
         *early, (last_e, last_b) = live_epochs
         for _, b in early:
             pre += b
+            ship(name, b)
         if _fits(last_e, last_b, deadline, bw):
             pre += last_b
         else:
             coord += last_b
             if size and granularity == "page":
                 saved += max(0, size - last_b)
+        ship(name, last_b)
     return coord, pre, saved
 
 

@@ -64,6 +64,8 @@ REPLAY_AXES = {
     "copy-granularity": ("copy_granularity", str),
     "nvm-gbps": ("nvm_gbps", float),
     "threshold-margin": ("threshold_margin", float),
+    "codec": ("codec", str),
+    "codec-novelty": ("codec_novelty", float),
 }
 
 
@@ -113,7 +115,8 @@ def main(argv=None) -> int:
     p.add_argument("--replay", default=None, metavar="TRACE.jsonl",
                    help="replay a captured trace instead of simulating: "
                         "sweep mode/copy-granularity/nvm-gbps/"
-                        "threshold-margin over it without re-running the app")
+                        "threshold-margin/codec/codec-novelty over it "
+                        "without re-running the app")
     p.add_argument("--out", default="-", help="CSV path ('-' for stdout)")
     p.add_argument("--workers", default="1", metavar="N",
                    help="parallel worker processes ('auto' = one per CPU; "
