@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test lint faults faults-matrix bench bench-json exec-smoke replay-smoke scale-smoke elastic-smoke dedup-smoke
+.PHONY: test lint faults faults-matrix bench bench-json exec-smoke replay-smoke scale-smoke elastic-smoke dedup-smoke qos-smoke
 
 # tier-1: the full deterministic suite
 test:
@@ -61,3 +61,10 @@ elastic-smoke:
 # a real-payload checkpoint -> crash -> digest-verified restart
 dedup-smoke:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.tools.bench --dedup-smoke
+
+# smallest end-to-end proof of the tenancy layer: the pinned
+# multi-tenant scenario must keep the guaranteed tenant's interval/RPO
+# attainment at target while best-effort tenants are throttled, with
+# queueing + preemption exercised and tenant attribution end-to-end
+qos-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.tools.bench --qos-smoke

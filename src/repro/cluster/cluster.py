@@ -67,6 +67,7 @@ class Cluster:
         with_remote: bool = True,
         pfs=None,
         compression=None,
+        tenancy: Optional[Dict[str, str]] = None,
     ) -> "Cluster":
         """Distribute ranks over nodes and attach checkpoint machinery.
 
@@ -78,7 +79,13 @@ class Cluster:
         coordinated checkpoints to the traditional PFS path: every rank
         writes through the globally shared I/O resource instead of its
         node-local NVM (the baseline the paper's introduction motivates
-        against)."""
+        against).
+
+        ``tenancy`` maps rank names (``"r0"``, ``"r1"``, ...) to tenant
+        names: each rank's checkpoint traffic — local engine, pre-copy
+        and the remote helper stream — is stamped with its tenant on
+        every ``chunk.copied``/``commit`` trace event, and the runner
+        aggregates per-tenant byte/commit metering."""
         if self._built:
             raise ClusterError("cluster already built")
         self.app = app
@@ -109,6 +116,7 @@ class Cluster:
                     timeline=self.timeline,
                     phantom=phantom,
                     destination_factory=destination_factory,
+                    tenant=(tenancy or {}).get(f"r{rank_index}", ""),
                 )
                 rank_index += 1
         if with_remote:
@@ -126,6 +134,11 @@ class Cluster:
                     ckpt_config,
                     timeline=self.timeline,
                     compression=compression,
+                    tenants={
+                        s.rank: s.checkpointer.tenant
+                        for s in node.ranks
+                        if s.checkpointer.tenant
+                    },
                 )
                 # the remote stream's prediction rhythm follows each
                 # rank's local checkpoints

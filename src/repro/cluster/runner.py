@@ -170,6 +170,15 @@ class RunResult:
     #: degraded) — also surfaced as ``resync.aborted`` trace events
     resyncs_aborted: int = 0
 
+    # -- multi-tenant metering --
+    #: set when any rank carried a tenant label; gates the extra
+    #: ``tenants`` block in :meth:`to_dict` so untenanted runs
+    #: (goldens, caches, sweeps) stay byte-identical
+    tenants: bool = False
+    #: tenant -> {ranks, checkpoints, coordinated_bytes, precopy_bytes,
+    #: bytes_saved} aggregated over the tenant's ranks
+    tenant_metering: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
     # -- engine throughput --
     #: DES items (events + callbacks) the engine dispatched for this
     #: run.  Host-dependent denominator for the bench ``scale`` block;
@@ -285,6 +294,17 @@ class RunResult:
                 "throttled_batches": self.migration_throttled_batches,
                 "max_ckpt_latency_s": self.migration_max_ckpt_latency,
                 "resyncs_aborted": self.resyncs_aborted,
+            }
+        if self.tenants:
+            out["tenants"] = {
+                name: {
+                    "ranks": int(m["ranks"]),
+                    "checkpoints": int(m["checkpoints"]),
+                    "coordinated_gb": to_GB(m["coordinated_bytes"]),
+                    "precopy_gb": to_GB(m["precopy_bytes"]),
+                    "saved_gb": to_GB(m["bytes_saved"]),
+                }
+                for name, m in sorted(self.tenant_metering.items())
             }
         return out
 
@@ -754,6 +774,28 @@ class ClusterRunner:
             sum(state.checkpointer.total_checkpoint_time for state in ranks) / max(1, n_ranks)
         )
         res.fault_time_total = sum(state.binding.fault_time for state in ranks)
+        # multi-tenant metering: aggregate the per-rank counters by the
+        # tenant label stamped at build time (untenanted ranks meter
+        # under "" only if mixed with labelled ones)
+        if any(state.checkpointer.tenant for state in ranks):
+            res.tenants = True
+            for state in ranks:
+                ck = state.checkpointer
+                m = res.tenant_metering.setdefault(
+                    ck.tenant,
+                    {
+                        "ranks": 0,
+                        "checkpoints": 0,
+                        "coordinated_bytes": 0,
+                        "precopy_bytes": 0,
+                        "bytes_saved": 0,
+                    },
+                )
+                m["ranks"] += 1
+                m["checkpoints"] += len(ck.history)
+                m["coordinated_bytes"] += ck.total_coordinated_bytes
+                m["precopy_bytes"] += ck.total_precopy_bytes
+                m["bytes_saved"] += ck.total_bytes_saved
         # remote
         helpers = cluster.helpers()
         res.remote_rounds = sum(len(h.history) for h in helpers)

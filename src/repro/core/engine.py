@@ -89,6 +89,7 @@ class CheckpointEngine:
         timeline: Optional[Timeline] = None,
         with_checksums: bool = True,
         tag: Optional[str] = None,
+        tenant: str = "",
     ) -> None:
         self.ctx = ctx
         self.allocator = allocator
@@ -98,6 +99,10 @@ class CheckpointEngine:
         self.with_checksums = with_checksums
         self.rank = allocator.pid
         self.tag = tag or self.rank
+        #: owning tenant in multi-tenant runs; stamped on every
+        #: chunk.copied/commit trace event so per-tenant metering can
+        #: attribute the traffic ("" = untenanted)
+        self.tenant = tenant
         self.last_checkpoint_end = ctx.engine.now
         self.checkpoints_done = 0
         self.history: List[CheckpointStats] = []
@@ -148,6 +153,7 @@ class CheckpointEngine:
                 prediction=self.prediction,
                 decision_policy=self.decision_policy,
                 codec_hooks=self if self.codec is not None else None,
+                tenant=self.tenant,
             )
         self._precopy_proc = None
         self._background_started = False
@@ -225,6 +231,7 @@ class CheckpointEngine:
                 prediction=self.prediction,
                 decision_policy=self.decision_policy,
                 codec_hooks=self if self.codec is not None else None,
+                tenant=self.tenant,
             )
             if self._background_started:
                 self.precopy.wire_chunks()
@@ -440,6 +447,7 @@ class CheckpointEngine:
                             bytes_saved=chunk.nbytes - nbytes_moved,
                             codec=payload.codec if payload is not None else "raw",
                             logical_bytes=nbytes_moved,
+                            tenant=self.tenant,
                         )
                     )
                 if self.tracks_dirty:
@@ -491,6 +499,7 @@ class CheckpointEngine:
                         bytes_committed=stats.bytes_copied,
                         flush_cost=stats.flush_cost,
                         destination=dest.name,
+                        tenant=self.tenant,
                     )
                 )
         finally:

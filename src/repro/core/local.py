@@ -44,6 +44,7 @@ class LocalCheckpointer(CheckpointEngine):
         timeline: Optional[Timeline] = None,
         with_checksums: bool = True,
         tag: Optional[str] = None,
+        tenant: str = "",
         transfer_fn=None,
         stage_to_nvm: bool = True,
     ) -> None:
@@ -74,4 +75,5 @@ class LocalCheckpointer(CheckpointEngine):
             timeline=timeline,
             with_checksums=with_checksums,
             tag=tag,
+            tenant=tenant,
         )

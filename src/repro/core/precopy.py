@@ -74,6 +74,7 @@ class PrecopyEngine:
         prediction: Optional[PredictionTable] = None,
         decision_policy: Optional[CheckpointPolicy] = None,
         codec_hooks=None,
+        tenant: str = "",
     ) -> None:
         if stream not in ("local", "remote"):
             raise ValueError(f"unknown stream {stream!r}")
@@ -82,6 +83,7 @@ class PrecopyEngine:
         self.policy = policy
         self.stream = stream
         self.tag = tag
+        self.tenant = tenant
         self._transfer_fn = transfer_fn or self._default_transfer
         self._finalize_fn = finalize_fn or self._default_finalize
         #: page-granular incremental copy applies only to the default
@@ -396,6 +398,7 @@ class PrecopyEngine:
                     bytes_saved=chunk.nbytes - nbytes_moved,
                     codec=payload.codec if payload is not None else "raw",
                     logical_bytes=nbytes_moved,
+                    tenant=self.tenant,
                 )
             )
         if chunk.total_mods != mods_before:

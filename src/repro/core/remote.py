@@ -37,11 +37,17 @@ from typing import Dict, List, Optional, Tuple
 from ..alloc.chunk import Chunk
 from ..alloc.nvmalloc import NVAllocator
 from ..config import CheckpointConfig
-from ..errors import CheckpointError, TransferCancelled, TransferFailed
+from ..errors import CheckpointError, ConfigError, TransferCancelled, TransferFailed
 from ..faults.crashpoints import fire
 from ..metrics import timeline as tl
 from ..metrics.timeline import Timeline
-from ..metrics.trace import BUS, ChunkCopiedEvent, CodecDecisionEvent, FailoverEvent
+from ..metrics.trace import (
+    BUS,
+    ChunkCopiedEvent,
+    CodecDecisionEvent,
+    FailoverEvent,
+    PolicyDecisionEvent,
+)
 from ..net.interconnect import Fabric
 from ..net.rdma import rdma_put
 from ..sim.events import Event
@@ -302,6 +308,7 @@ class RemoteHelper:
         timeline: Optional[Timeline] = None,
         compression=None,
         resilience=None,
+        tenants: Optional[Dict[str, str]] = None,
     ) -> None:
         self.node_id = node_id
         self.ctx = ctx
@@ -318,6 +325,9 @@ class RemoteHelper:
         #: instead of one-shot RDMA (duck-typed to avoid an import
         #: cycle with repro.resilience)
         self.resilience = resilience
+        #: rank pid -> owning tenant; stamps the helper's chunk.copied
+        #: events so remote traffic is attributable in multi-tenant runs
+        self.tenants: Dict[str, str] = dict(tenants or {})
         self.owner = f"n{node_id}:helper"
         self.targets: Dict[str, RemoteTarget] = {
             a.pid: RemoteTarget(a.pid, buddy_ctx, two_versions=self.config.two_versions)
@@ -330,14 +340,35 @@ class RemoteHelper:
             pid: self._make_destination(pid, target)
             for pid, target in self.targets.items()
         }
-        #: payload codec on the fabric path (None on the raw default;
-        #: also off under compression, whose wire volume is the
-        #: compressor's business — same gate as incremental sends)
+        #: payload codec on the fabric path (None on the raw default).
+        #: A codec *and* a compression model both want to own the wire
+        #: volume — that combination used to be silently resolved in
+        #: favour of compression, hiding the dropped codec from the
+        #: operator; it is now an explicit configuration error.
+        if compression is not None and self.config.precopy.codec_enabled:
+            raise ConfigError(
+                f"codec {self.config.precopy.codec!r} cannot be combined with a "
+                "compression model on the remote stream: both define the wire "
+                "volume; set precopy.codec='raw' or drop the compression model"
+            )
         self.codec = (
             resolve_codec(self.config.precopy.codec)
-            if self.config.precopy.codec_enabled and compression is None
+            if self.config.precopy.codec_enabled
             else None
         )
+        # incremental sends are still *auto*-disabled under compression
+        # (whole-chunk wire volume is the compressor's business), but the
+        # drop is now visible to replay/what-if as a policy decision
+        if compression is not None and self.config.precopy.incremental and BUS.active:
+            BUS.emit(
+                PolicyDecisionEvent(
+                    t=ctx.engine.now,
+                    actor=self.owner,
+                    chunk="*",
+                    decision="incremental_disabled",
+                    policy="compression",
+                )
+            )
         self.entropy_probe = EntropyProbe() if self.codec is not None else None
         if self.codec is not None:
             for dest in self.destinations.values():
@@ -591,12 +622,32 @@ class RemoteHelper:
 
     def _deliver(self, pid: str, chunk: Chunk, kind: str, nbytes: Optional[int] = None):
         """Send one chunk to the buddy, through the resilient transport
-        when one is attached (plain one-shot send otherwise, and always
-        for the compression path, whose two-resource send the transport
-        does not model).  *nbytes* overrides the wire volume (extent
-        sends move only the stale byte runs)."""
-        if self.resilience is None or self.compression is not None:
+        when one is attached (plain one-shot send otherwise).  *nbytes*
+        overrides the wire volume (extent sends move only the stale byte
+        runs).  Compressed sends ride the same retry/stall-timeout
+        transport as raw ones — the wire bytes cross the fabric while
+        the full payload lands on the buddy's NVM bus — so a link flap
+        retries instead of hard-failing the round."""
+        if self.resilience is None:
             yield self._send(pid, chunk, kind, nbytes=nbytes)
+            return
+        if self.compression is not None:
+            # compress once per delivery, not per retry attempt: the
+            # sender keeps the compressed buffer across re-issues
+            wire = self.compression.wire_bytes(chunk)
+            self.ctx.cpu.charge(self.owner, self.compression.compress_cost(chunk.nbytes))
+            self.buddy_ctx.cpu.charge(
+                f"{self.owner}:rx", self.compression.decompress_cost(chunk.nbytes)
+            )
+            yield from self.resilience.put(
+                self.fabric,
+                self.node_id,
+                self.buddy_id,
+                wire,
+                tag=f"{pid}:{kind}",
+                dst_nvm_bus=self.buddy_ctx.nvm_bus,
+                dst_nvm_bytes=chunk.nbytes,
+            )
             return
         yield from self.resilience.put(
             self.fabric,
@@ -809,6 +860,7 @@ class RemoteHelper:
                         bytes_saved=chunk.nbytes - logical,
                         codec=payload.codec if payload is not None else "raw",
                         logical_bytes=logical,
+                        tenant=self.tenants.get(pid, ""),
                     )
                 )
             # pacing: never run faster than pace_rate on average
@@ -903,6 +955,7 @@ class RemoteHelper:
                                 bytes_saved=chunk.nbytes - logical,
                                 codec=payload.codec if payload is not None else "raw",
                                 logical_bytes=logical,
+                                tenant=self.tenants.get(alloc.pid, ""),
                             )
                         )
                 if aborted:

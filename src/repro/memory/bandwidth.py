@@ -52,9 +52,13 @@ class CoreContentionModel:
         self._curve_cache: Dict[tuple, List[float]] = {}
 
     def effective_capacity(self, n_flows: int) -> float:
-        """Usable aggregate bandwidth with *n_flows* concurrent writers."""
+        """Usable aggregate bandwidth with *n_flows* concurrent writers.
+
+        Raises :class:`ValueError` for ``n_flows <= 0``: tenant shares
+        can legitimately drive a partition's flow count to zero, and a
+        silent ``peak`` answer there hid double-counting bugs."""
         if n_flows <= 0:
-            return self.peak
+            raise ValueError("n_flows must be >= 1")
         cached = self._capacity_cache.get(n_flows)
         if cached is None:
             cached = self.peak / (1.0 + self.model.alpha * (n_flows - 1))
@@ -79,6 +83,8 @@ class CoreContentionModel:
     def copy_time(self, nbytes: int, n_flows: int = 1) -> float:
         """Seconds for one of *n_flows* concurrent writers to move
         *nbytes*, including the per-transfer fixed overhead."""
+        if n_flows <= 0:
+            raise ValueError("n_flows must be >= 1")
         if nbytes <= 0:
             return 0.0
         return self.model.small_block_overhead + nbytes / self.per_core_rate(n_flows)

@@ -56,6 +56,10 @@ __all__ = [
     "MigrationCutoverEvent",
     "MigrationAbortEvent",
     "ResyncAbortedEvent",
+    "TenantAdmissionEvent",
+    "TenantPreemptEvent",
+    "TenantThrottleEvent",
+    "TenantSloEvent",
     "TraceSink",
     "RingBufferSink",
     "JsonlSink",
@@ -79,7 +83,12 @@ __all__ = [
 #: ``logical_bytes`` (pre-encoding size), plus the new
 #: ``codec.decision`` kind.  The 2->3 upgrader stamps old copies as
 #: ``codec="raw"`` with ``logical_bytes=nbytes``.
-TRACE_VERSION = 3
+#: Version 4 added the multi-tenant QoS layer: ``chunk.copied`` and
+#: ``commit`` gained ``tenant`` (empty for untenanted runs), plus the
+#: new ``tenant.admission`` / ``tenant.preempt`` / ``tenant.throttle``
+#: / ``tenant.slo`` kinds.  Old records parse unchanged (the field
+#: defaults to ``""``), so the 3->4 upgrader is the identity.
+TRACE_VERSION = 4
 
 
 # ---------------------------------------------------------------------------
@@ -136,6 +145,8 @@ class ChunkCopiedEvent(TraceEvent):
     #: pre-encoding size of the moved extents; ``nbytes`` is the wire
     #: size, so ``logical_bytes - nbytes`` is the codec's saving
     logical_bytes: int = 0
+    #: owning tenant in multi-tenant runs ("" for untenanted runs)
+    tenant: str = ""
 
 
 @dataclass(frozen=True)
@@ -167,6 +178,8 @@ class CommitEvent(TraceEvent):
     bytes_committed: int
     flush_cost: float
     destination: str = ""
+    #: owning tenant in multi-tenant runs ("" for untenanted runs)
+    tenant: str = ""
 
 
 @dataclass(frozen=True)
@@ -271,6 +284,56 @@ class ResyncAbortedEvent(TraceEvent):
     chunks_sent: int = 0
 
 
+@dataclass(frozen=True)
+class TenantAdmissionEvent(TraceEvent):
+    """The admission controller ruled on one checkpoint-job request."""
+
+    tenant: str
+    #: "admit" | "queue" | "reject"
+    decision: str
+    #: partition the job was placed on ("" when queued/rejected)
+    partition: str = ""
+    #: why (capacity | slo_risk | queue_full | ...)
+    reason: str = ""
+    #: jobs waiting behind this decision
+    queue_depth: int = 0
+
+
+@dataclass(frozen=True)
+class TenantPreemptEvent(TraceEvent):
+    """A best-effort tenant's running job was preempted to protect a
+    guaranteed tenant's SLO."""
+
+    tenant: str
+    victim_job: str = ""
+    #: guaranteed tenant whose deadline forced the preemption
+    beneficiary: str = ""
+    reason: str = ""
+
+
+@dataclass(frozen=True)
+class TenantThrottleEvent(TraceEvent):
+    """A tenant ran below its demand for *duration* seconds because the
+    fair-share allocator capped it (contention, not idleness)."""
+
+    tenant: str
+    duration: float
+    #: share of device bandwidth the tenant held while throttled
+    share: float = 0.0
+
+
+@dataclass(frozen=True)
+class TenantSloEvent(TraceEvent):
+    """Per-tenant SLO summary at scenario end."""
+
+    tenant: str
+    jobs: int
+    met: int
+    attainment: float
+    #: the interval/RPO target the attainment was scored against
+    target: float = 0.0
+
+
 _KINDS: Dict[type, str] = {
     PolicyDecisionEvent: "policy.decision",
     ChunkCopiedEvent: "chunk.copied",
@@ -285,6 +348,10 @@ _KINDS: Dict[type, str] = {
     MigrationCutoverEvent: "migration.cutover",
     MigrationAbortEvent: "migration.aborted",
     ResyncAbortedEvent: "resync.aborted",
+    TenantAdmissionEvent: "tenant.admission",
+    TenantPreemptEvent: "tenant.preempt",
+    TenantThrottleEvent: "tenant.throttle",
+    TenantSloEvent: "tenant.slo",
 }
 
 #: kind -> event class (the reader's inverse of :data:`_KINDS`)
@@ -314,11 +381,18 @@ def _upgrade_2_to_3(record: Dict[str, Any]) -> Dict[str, Any]:
     return record
 
 
+def _upgrade_3_to_4(record: Dict[str, Any]) -> Dict[str, Any]:
+    """Version 4 only *added* kinds and defaulted fields (``tenant``);
+    every version-3 record is already a valid version-4 record."""
+    return record
+
+
 #: version -> record upgrader to the *next* version.  Old traces walk
 #: the chain until they reach :data:`TRACE_VERSION`.
 _UPGRADERS: Dict[int, Callable[[Dict[str, Any]], Dict[str, Any]]] = {
     1: _upgrade_1_to_2,
     2: _upgrade_2_to_3,
+    3: _upgrade_3_to_4,
 }
 
 

@@ -27,14 +27,21 @@ def rdma_put(
     nbytes: float,
     tag: str = "",
     dst_nvm_bus: Optional[BandwidthResource] = None,
+    dst_nvm_bytes: Optional[float] = None,
 ) -> Event:
     """One-sided write of *nbytes* from *src* node into *dst* node's
     NVM.  Returns an event firing when fabric **and** destination NVM
-    flows both complete."""
+    flows both complete.
+
+    *dst_nvm_bytes* decouples the NVM-side volume from the wire volume:
+    a compressed send moves the wire bytes across the fabric but lands
+    the full decompressed payload on the buddy's NVM bus."""
     net_ev = fabric.transfer(src, dst, nbytes, tag=tag)
     if dst_nvm_bus is None:
         return net_ev
-    nvm_ev = dst_nvm_bus.transfer(nbytes, tag=tag)
+    nvm_ev = dst_nvm_bus.transfer(
+        nbytes if dst_nvm_bytes is None else dst_nvm_bytes, tag=tag
+    )
     return fabric.engine.all_of([net_ev, nvm_ev])
 
 
@@ -45,6 +52,7 @@ def rdma_get(
     nbytes: float,
     tag: str = "",
     src_nvm_bus: Optional[BandwidthResource] = None,
+    src_nvm_bytes: Optional[float] = None,
 ) -> Event:
     """One-sided read: *dst* pulls *nbytes* out of *src* node's NVM
     (restart fetch path).  NVM reads are near-DRAM speed (Table I), so
@@ -52,7 +60,9 @@ def rdma_get(
     net_ev = fabric.transfer(src, dst, nbytes, tag=tag)
     if src_nvm_bus is None:
         return net_ev
-    nvm_ev = src_nvm_bus.transfer(nbytes, tag=tag)
+    nvm_ev = src_nvm_bus.transfer(
+        nbytes if src_nvm_bytes is None else src_nvm_bytes, tag=tag
+    )
     return fabric.engine.all_of([net_ev, nvm_ev])
 
 

@@ -150,9 +150,15 @@ def _resilient(
     stream: str,
     stats: Optional[TransferStats] = None,
     nvm_bus: Optional[BandwidthResource] = None,
+    nvm_bytes: Optional[float] = None,
     seq: Optional[_Counter] = None,
 ):
-    """Common body of :func:`resilient_put`/:func:`resilient_get`."""
+    """Common body of :func:`resilient_put`/:func:`resilient_get`.
+
+    *nvm_bytes* (optional) decouples the NVM-bus volume from the wire
+    volume — compressed sends move fewer bytes over the fabric than
+    they land on the buddy's NVM.  Cancellation is by tag, so stalled
+    attempts tear down both flows regardless of their byte counts."""
     engine = fabric.engine
     seq = seq or _Counter()
     stats = stats if stats is not None else TransferStats()
@@ -166,7 +172,10 @@ def _resilient(
         failed = False
         fail_reason = ""
         try:
-            ev = op(fabric, src, dst, nbytes, tag=attempt_tag, **{cancel_bus_side: nvm_bus})
+            op_kwargs = {cancel_bus_side: nvm_bus}
+            if nvm_bytes is not None:
+                op_kwargs[cancel_bus_side.replace("_bus", "_bytes")] = nvm_bytes
+            ev = op(fabric, src, dst, nbytes, tag=attempt_tag, **op_kwargs)
             if policy.timeout is not None:
                 idx, _ = yield engine.any_of([ev, engine.timeout(policy.timeout)])
                 if idx == 1:
@@ -232,6 +241,7 @@ def resilient_put(
     stream: str = "resilience.backoff",
     stats: Optional[TransferStats] = None,
     dst_nvm_bus: Optional[BandwidthResource] = None,
+    dst_nvm_bytes: Optional[float] = None,
     seq: Optional[_Counter] = None,
 ):
     """Retrying :func:`rdma_put` (generator; ``yield from`` it).
@@ -251,6 +261,7 @@ def resilient_put(
             stream=stream,
             stats=stats,
             nvm_bus=dst_nvm_bus,
+            nvm_bytes=dst_nvm_bytes,
             seq=seq,
         )
     )
@@ -313,7 +324,9 @@ class ResilientTransport:
         self.stats = TransferStats()
         self._seq = _Counter()
 
-    def put(self, fabric, src, dst, nbytes, *, tag="", dst_nvm_bus=None):
+    def put(
+        self, fabric, src, dst, nbytes, *, tag="", dst_nvm_bus=None, dst_nvm_bytes=None
+    ):
         return resilient_put(
             fabric,
             src,
@@ -325,6 +338,7 @@ class ResilientTransport:
             stream=self.stream,
             stats=self.stats,
             dst_nvm_bus=dst_nvm_bus,
+            dst_nvm_bytes=dst_nvm_bytes,
             seq=self._seq,
         )
 

@@ -1,0 +1,39 @@
+"""Multi-tenant checkpoint-as-a-service over one NVM device (QoS layer).
+
+The paper's economics — checkpoint cost re-solved from copy time on a
+shared NVM device — assume one job owns the device.  A consolidated
+node hosts many: this package virtualizes the NVM substrate the way
+the hypervisor-virtualization related work partitions guest NVM, and
+schedules checkpoint jobs against per-tenant targets the way the
+pivot-scheduling exemplar meters per-app resources.
+
+* :mod:`partition` — :class:`NvmPartition` carves per-tenant capacity
+  quotas out of the device, and :class:`WeightedFairBus` shares the
+  device's contended bandwidth (:class:`~repro.memory.bandwidth.
+  CoreContentionModel`) across tenants by weighted water-filling with
+  work-conserving borrowing of idle share;
+* :mod:`admission` — :class:`AdmissionController` admits / queues /
+  rejects checkpoint jobs against partition capacity and concurrency,
+  preempts best-effort tenants when a guaranteed tenant's interval SLO
+  is at risk, and scores per-tenant interval/RPO attainment;
+* :mod:`driver` — the synthetic multi-tenant scenario: bursty Poisson
+  arrivals with heavy-tailed job sizes, tenants sized from the
+  :mod:`repro.apps` workload models, emitting ``tenant.*`` trace
+  events and returning the deterministic QoS report the bench's
+  ``qos`` block pins.
+"""
+
+from .admission import AdmissionController, CheckpointJob, TenantSpec
+from .driver import DEFAULT_PROFILES, TenantProfile, run_scenario
+from .partition import NvmPartition, WeightedFairBus
+
+__all__ = [
+    "NvmPartition",
+    "WeightedFairBus",
+    "TenantSpec",
+    "CheckpointJob",
+    "AdmissionController",
+    "TenantProfile",
+    "DEFAULT_PROFILES",
+    "run_scenario",
+]

@@ -1,0 +1,383 @@
+"""Admission control and checkpoint-job scheduling over the QoS bus.
+
+Pivot-scheduling style: every checkpoint-job request is ruled on
+explicitly — **admit** (start now), **queue** (bounded FIFO, drained as
+running jobs finish), or **reject** (capacity quota exceeded, or queue
+full) — and every ruling is a ``tenant.admission`` trace event, so the
+scheduler's behaviour is replayable.
+
+Guaranteed tenants get two extra levers:
+
+* a free concurrency slot is *taken*, not waited for: when the device
+  is fully booked, the controller preempts running best-effort jobs
+  (``tenant.preempt`` events; the victims re-queue at the front and
+  restart — checkpoints are idempotent, a torn copy is simply redone);
+* an interval-SLO estimate gates dispatch: if the fair-share rate the
+  :class:`~repro.tenancy.partition.WeightedFairBus` would give the
+  job misses the tenant's interval target, best-effort victims are
+  preempted until the estimate clears (or no victims remain).
+
+SLO scoring, per tenant: **interval** attainment is the fraction of
+jobs whose submit-to-finish latency met the tenant's interval target;
+**RPO** attainment is the fraction of completion-to-completion gaps
+within the RPO target (the recovery-point loss bound a tenant actually
+experienced).  :meth:`AdmissionController.finalize` emits one
+``tenant.slo`` event per tenant and :meth:`report` returns the
+deterministic dict the bench ``qos`` block pins.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional
+
+from ..errors import SimulationError, TransferCancelled
+from ..metrics.trace import (
+    BUS,
+    TenantAdmissionEvent,
+    TenantPreemptEvent,
+    TenantSloEvent,
+)
+from ..sim.engine import Engine
+from .partition import NvmPartition, WeightedFairBus
+
+__all__ = ["TenantSpec", "CheckpointJob", "AdmissionController"]
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant's contract: shares, quota and SLO targets."""
+
+    name: str
+    #: bandwidth share weight on the :class:`WeightedFairBus`
+    share: float = 1.0
+    #: capacity quota (bytes) of the tenant's :class:`NvmPartition`
+    capacity_bytes: int = 0
+    #: target submit-to-finish latency per checkpoint job (seconds)
+    interval: float = 60.0
+    #: recovery-point objective: max tolerated gap between consecutive
+    #: completed checkpoints (seconds)
+    rpo: float = 180.0
+    #: guaranteed tenants may preempt best-effort tenants; best-effort
+    #: tenants absorb throttling and preemption
+    guaranteed: bool = False
+
+    def __post_init__(self) -> None:
+        if self.share <= 0:
+            raise SimulationError("tenant share must be positive")
+        if self.interval <= 0 or self.rpo <= 0:
+            raise SimulationError("tenant SLO targets must be positive")
+
+
+@dataclass
+class CheckpointJob:
+    """One checkpoint request moving through the scheduler."""
+
+    job_id: str
+    tenant: str
+    nbytes: int
+    submitted_at: float
+    decision: str = ""  # admit | queue | reject
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    #: times this job was preempted and restarted
+    preemptions: int = 0
+
+    @property
+    def latency(self) -> Optional[float]:
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.submitted_at
+
+    @property
+    def tag(self) -> str:
+        return f"{self.tenant}:{self.job_id}"
+
+
+@dataclass
+class _TenantSlo:
+    """Per-tenant SLO bookkeeping."""
+
+    jobs_completed: int = 0
+    interval_met: int = 0
+    rpo_gaps: int = 0
+    rpo_met: int = 0
+    last_completion: Optional[float] = None
+    latencies: List[float] = field(default_factory=list)
+
+
+class AdmissionController:
+    """Admit / queue / reject / preempt checkpoint jobs per tenant."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        bus: WeightedFairBus,
+        partitions: Dict[str, NvmPartition],
+        specs: Dict[str, TenantSpec],
+        *,
+        max_running: int = 8,
+        max_queue_depth: int = 16,
+    ) -> None:
+        if max_running < 1:
+            raise SimulationError("max_running must be >= 1")
+        self.engine = engine
+        self.bus = bus
+        self.partitions = partitions
+        self.specs = specs
+        self.max_running = max_running
+        self.max_queue_depth = max_queue_depth
+        self._running: Dict[str, CheckpointJob] = {}
+        self._queue: Deque[CheckpointJob] = deque()
+        self._seq = 0
+        #: tenant -> bytes of its last committed checkpoint (released
+        #: from the partition when the next one commits — the
+        #: two-version flip, collapsed to steady state)
+        self._committed: Dict[str, int] = {}
+        self._slo: Dict[str, _TenantSlo] = {t: _TenantSlo() for t in specs}
+        # -- decision counters (the qos report) --
+        self.admitted = 0
+        self.queued = 0
+        self.rejected = 0
+        self.preemptions = 0
+        self.jobs: List[CheckpointJob] = []
+
+    # ------------------------------------------------------------------
+    # Submission.
+    # ------------------------------------------------------------------
+
+    def submit(self, tenant: str, nbytes: int) -> CheckpointJob:
+        """Rule on one checkpoint-job request (called at arrival time)."""
+        if tenant not in self.specs:
+            raise SimulationError(f"unknown tenant {tenant!r}")
+        self._seq += 1
+        job = CheckpointJob(
+            job_id=f"j{self._seq}",
+            tenant=tenant,
+            nbytes=int(nbytes),
+            submitted_at=self.engine.now,
+        )
+        self.jobs.append(job)
+        spec = self.specs[tenant]
+        part = self.partitions[tenant]
+        # capacity is a hard wall: the new version must fit next to the
+        # committed one until the flip
+        if not part.reserve(job.nbytes):
+            self._decide(job, "reject", reason="capacity")
+            return job
+        if len(self._running) >= self.max_running:
+            if spec.guaranteed and self._preempt_for(job):
+                pass  # a slot was freed by preemption
+            elif len(self._queue) < self.max_queue_depth:
+                self._decide(job, "queue", reason="busy")
+                self._queue.append(job)
+                return job
+            else:
+                part.release(job.nbytes)
+                self._decide(job, "reject", reason="queue_full")
+                return job
+        if spec.guaranteed:
+            # interval-SLO gate: would the fair share miss the target?
+            self._preempt_until_estimate_clears(job)
+        self._decide(job, "admit", partition=part.tenant)
+        self._start(job)
+        return job
+
+    # ------------------------------------------------------------------
+    # Scheduling internals.
+    # ------------------------------------------------------------------
+
+    def _decide(
+        self, job: CheckpointJob, decision: str, *, partition: str = "", reason: str = ""
+    ) -> None:
+        job.decision = decision
+        if decision == "admit":
+            self.admitted += 1
+        elif decision == "queue":
+            self.queued += 1
+        else:
+            self.rejected += 1
+        if BUS.active:
+            BUS.emit(
+                TenantAdmissionEvent(
+                    t=self.engine.now,
+                    actor="admission",
+                    tenant=job.tenant,
+                    decision=decision,
+                    partition=partition,
+                    reason=reason,
+                    queue_depth=len(self._queue),
+                )
+            )
+
+    def _estimate_latency(self, job: CheckpointJob) -> float:
+        """Submit-to-finish estimate at the tenant's prospective fair
+        share (elapsed queueing time counts against the target)."""
+        rate = self.bus.estimate_rate(job.tenant, extra_flows=1)
+        if rate <= 0:
+            return float("inf")
+        waited = self.engine.now - job.submitted_at
+        return waited + job.nbytes / rate
+
+    def _best_effort_victim(self) -> Optional[CheckpointJob]:
+        """Deterministic victim pick: the best-effort running job that
+        arrived last (LIFO — the least sunk progress to throw away;
+        ties cannot happen, job ids are unique)."""
+        candidates = [
+            j
+            for j in self._running.values()
+            if not self.specs[j.tenant].guaranteed
+        ]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda j: (j.submitted_at, j.job_id))
+
+    def _preempt(self, victim: CheckpointJob, beneficiary: str, reason: str) -> None:
+        victim.preemptions += 1
+        self.preemptions += 1
+        if BUS.active:
+            BUS.emit(
+                TenantPreemptEvent(
+                    t=self.engine.now,
+                    actor="admission",
+                    tenant=victim.tenant,
+                    victim_job=victim.job_id,
+                    beneficiary=beneficiary,
+                    reason=reason,
+                )
+            )
+        # cancelling the flow fails the job process's transfer event;
+        # its except-handler re-queues the job at the front
+        self.bus.cancel_tag(victim.tag)
+
+    def _preempt_for(self, job: CheckpointJob) -> bool:
+        """Free one concurrency slot for a guaranteed *job*."""
+        victim = self._best_effort_victim()
+        if victim is None:
+            return False
+        self._preempt(victim, job.tenant, "slot")
+        return True
+
+    def _preempt_until_estimate_clears(self, job: CheckpointJob) -> None:
+        """Preempt best-effort load while the guaranteed job's interval
+        estimate misses its target and victims remain."""
+        spec = self.specs[job.tenant]
+        while self._estimate_latency(job) > spec.interval:
+            victim = self._best_effort_victim()
+            if victim is None:
+                break
+            self._preempt(victim, job.tenant, "slo_risk")
+
+    def _start(self, job: CheckpointJob) -> None:
+        job.started_at = self.engine.now
+        self._running[job.job_id] = job
+        self.engine.process(self._job_proc(job), name=f"tenancy:{job.tag}")
+
+    def _job_proc(self, job: CheckpointJob):
+        try:
+            yield self.bus.transfer(job.tenant, job.nbytes, tag=job.tag)
+        except TransferCancelled:
+            # preempted: back to the head of the queue; the partition
+            # reservation is kept (the restarted job rewrites in place)
+            self._running.pop(job.job_id, None)
+            self._queue.appendleft(job)
+            return
+        self._running.pop(job.job_id, None)
+        self._complete(job)
+        self._dispatch()
+
+    def _complete(self, job: CheckpointJob) -> None:
+        now = self.engine.now
+        job.finished_at = now
+        part = self.partitions[job.tenant]
+        # two-version flip: the previous committed copy is superseded
+        prev = self._committed.get(job.tenant, 0)
+        if prev:
+            part.release(prev)
+        self._committed[job.tenant] = job.nbytes
+        spec = self.specs[job.tenant]
+        slo = self._slo[job.tenant]
+        slo.jobs_completed += 1
+        latency = job.latency or 0.0
+        slo.latencies.append(latency)
+        if latency <= spec.interval:
+            slo.interval_met += 1
+        if slo.last_completion is not None:
+            slo.rpo_gaps += 1
+            if now - slo.last_completion <= spec.rpo:
+                slo.rpo_met += 1
+        slo.last_completion = now
+
+    def _dispatch(self) -> None:
+        """Drain the queue into freed concurrency slots (FIFO; the
+        front may hold a preemption victim re-starting)."""
+        while self._queue and len(self._running) < self.max_running:
+            job = self._queue.popleft()
+            if job.decision != "admit":
+                job.decision = "admit"
+            self._start(job)
+
+    # ------------------------------------------------------------------
+    # Scoring.
+    # ------------------------------------------------------------------
+
+    def finalize(self) -> None:
+        """Close accounting and emit one ``tenant.slo`` per tenant."""
+        self.bus.finalize()
+        if not BUS.active:
+            return
+        for tenant in sorted(self.specs):
+            spec = self.specs[tenant]
+            slo = self._slo[tenant]
+            attainment = (
+                slo.interval_met / slo.jobs_completed if slo.jobs_completed else 1.0
+            )
+            BUS.emit(
+                TenantSloEvent(
+                    t=self.engine.now,
+                    actor="admission",
+                    tenant=tenant,
+                    jobs=slo.jobs_completed,
+                    met=slo.interval_met,
+                    attainment=attainment,
+                    target=spec.interval,
+                )
+            )
+
+    def report(self) -> Dict[str, dict]:
+        """Deterministic per-tenant QoS summary (the bench block)."""
+        out: Dict[str, dict] = {}
+        for tenant in sorted(self.specs):
+            spec = self.specs[tenant]
+            slo = self._slo[tenant]
+            part = self.partitions[tenant]
+            submitted = [j for j in self.jobs if j.tenant == tenant]
+            out[tenant] = {
+                "guaranteed": spec.guaranteed,
+                "share": spec.share,
+                "jobs_submitted": len(submitted),
+                "jobs_completed": slo.jobs_completed,
+                "jobs_rejected": sum(1 for j in submitted if j.decision == "reject"),
+                "preemptions": sum(j.preemptions for j in submitted),
+                "interval_target_s": spec.interval,
+                "interval_attainment": (
+                    round(slo.interval_met / slo.jobs_completed, 6)
+                    if slo.jobs_completed
+                    else 1.0
+                ),
+                "rpo_target_s": spec.rpo,
+                "rpo_attainment": (
+                    round(slo.rpo_met / slo.rpo_gaps, 6) if slo.rpo_gaps else 1.0
+                ),
+                "mean_latency_s": (
+                    round(sum(slo.latencies) / len(slo.latencies), 6)
+                    if slo.latencies
+                    else 0.0
+                ),
+                "throttle_time_s": round(self.bus.throttle_time.get(tenant, 0.0), 6),
+                "bytes_moved": int(self.bus.bytes_by_tenant.get(tenant, 0.0)),
+                "peak_capacity_used": part.peak_used_bytes,
+                "capacity_rejections": part.reserve_failures,
+            }
+        return out

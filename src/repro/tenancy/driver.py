@@ -1,0 +1,219 @@
+"""The synthetic multi-tenant scenario driver ("millions of users").
+
+Co-locates several checkpointing tenants on one NVM device and drives
+them with the traffic shape consolidated checkpoint services actually
+see:
+
+* **bursty Poisson arrivals** — exponential inter-arrival times per
+  tenant, with a probabilistic burst multiplier (a correlated wave of
+  checkpoint requests, e.g. a job array hitting its interval together);
+* **heavy-tailed job sizes** — bounded Pareto around each tenant's
+  base checkpoint footprint, which comes from the :mod:`repro.apps`
+  workload models (GTC / LAMMPS / CM1 per-rank checkpoint bytes), so
+  tenant mixes are the paper's applications, not arbitrary constants;
+* per-tenant ``tenant.*`` trace events from the admission controller
+  and the QoS bus.
+
+Everything is seeded through :class:`~repro.sim.rng.RngStreams` named
+streams, so a scenario is a pure function of its seed — the bench
+``qos`` block runs it twice and pins equality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..apps import CM1Model, GTCModel, LammpsModel
+from ..config import PCM_CONFIG, BandwidthModelConfig
+from ..memory.bandwidth import CoreContentionModel
+from ..sim.engine import Engine
+from ..sim.rng import RngStreams
+from ..units import MB
+from .admission import AdmissionController, TenantSpec
+from .partition import NvmPartition, WeightedFairBus
+
+__all__ = ["TenantProfile", "DEFAULT_PROFILES", "run_scenario"]
+
+
+@dataclass(frozen=True)
+class TenantProfile:
+    """One tenant's contract plus its synthetic arrival process."""
+
+    spec: TenantSpec
+    #: mean seconds between checkpoint-job arrivals (Poisson)
+    mean_interarrival: float
+    #: fixed-cadence arrivals instead of Poisson — production tenants
+    #: checkpoint on their interval, they don't arrive at random
+    periodic: bool = False
+    #: probability an arrival is a burst, and the burst's job count
+    burst_prob: float = 0.0
+    burst_size: int = 1
+    #: base job size (bytes) — by convention an apps-model rank
+    #: footprint; heavy-tailed scaling applies on top
+    base_bytes: int = MB(256)
+    #: bounded-Pareto tail: sizes scale by ``u^(-1/alpha)`` capped at
+    #: ``tail_cap`` multiples of the base (smaller alpha = heavier tail)
+    tail_alpha: float = 2.5
+    tail_cap: float = 4.0
+
+
+def _default_profiles() -> Tuple[TenantProfile, ...]:
+    """The pinned three-tenant mix: one guaranteed production tenant
+    and two best-effort tenants contending hard for the same device.
+
+    Base job sizes come straight from the paper's workload models —
+    a tenant is "a GTC allocation checkpointing through the service",
+    not an abstract byte count.  Each job is a node's worth of ranks
+    checkpointing together, so the device is genuinely contended."""
+    gtc = 8 * int(GTCModel().checkpoint_bytes(0))  # 8 ranks x ~670 MB
+    lammps = 6 * int(LammpsModel().checkpoint_bytes(0))  # 6 ranks x ~410 MB
+    cm1 = 4 * int(CM1Model().checkpoint_bytes(0))  # 4 ranks x ~954 MB
+    return (
+        TenantProfile(
+            spec=TenantSpec(
+                name="gtc-prod",
+                share=4.0,
+                capacity_bytes=4 * gtc,
+                interval=30.0,
+                rpo=120.0,
+                guaranteed=True,
+            ),
+            mean_interarrival=24.0,
+            periodic=True,
+            base_bytes=gtc,
+            tail_alpha=4.0,
+            tail_cap=1.2,
+        ),
+        TenantProfile(
+            spec=TenantSpec(
+                name="lammps-batch",
+                share=1.0,
+                capacity_bytes=8 * lammps,
+                interval=45.0,
+                rpo=240.0,
+                guaranteed=False,
+            ),
+            mean_interarrival=8.0,
+            burst_prob=0.35,
+            burst_size=4,
+            base_bytes=lammps,
+            tail_alpha=2.2,
+            tail_cap=2.5,
+        ),
+        TenantProfile(
+            spec=TenantSpec(
+                name="cm1-scavenger",
+                share=0.5,
+                capacity_bytes=6 * cm1,
+                interval=60.0,
+                rpo=600.0,
+                guaranteed=False,
+            ),
+            mean_interarrival=12.0,
+            burst_prob=0.25,
+            burst_size=3,
+            base_bytes=cm1,
+            tail_alpha=1.8,
+            tail_cap=3.0,
+        ),
+    )
+
+
+DEFAULT_PROFILES: Tuple[TenantProfile, ...] = _default_profiles()
+
+
+def _job_size(rng: RngStreams, stream: str, profile: TenantProfile) -> int:
+    """Bounded-Pareto job size around the profile's base footprint."""
+    u = float(rng.stream(stream).random())
+    scale = min(profile.tail_cap, (1.0 - u) ** (-1.0 / profile.tail_alpha))
+    return max(1, int(profile.base_bytes * scale))
+
+
+def _arrivals(
+    engine: Engine,
+    rng: RngStreams,
+    controller: AdmissionController,
+    profile: TenantProfile,
+    duration: float,
+):
+    """One tenant's bursty-Poisson submission process."""
+    name = profile.spec.name
+    gap_stream = f"tenancy.arrivals.{name}"
+    burst_stream = f"tenancy.burst.{name}"
+    size_stream = f"tenancy.size.{name}"
+    while True:
+        if profile.periodic:
+            gap = profile.mean_interarrival
+        else:
+            gap = rng.exponential(gap_stream, profile.mean_interarrival)
+        yield engine.timeout(gap)
+        if engine.now >= duration:
+            return
+        n_jobs = 1
+        if profile.burst_prob > 0.0:
+            if float(rng.stream(burst_stream).random()) < profile.burst_prob:
+                n_jobs = profile.burst_size
+        for _ in range(n_jobs):
+            controller.submit(name, _job_size(rng, size_stream, profile))
+
+
+def run_scenario(
+    seed: int = 7,
+    duration: float = 600.0,
+    profiles: Optional[Sequence[TenantProfile]] = None,
+    *,
+    max_running: int = 6,
+    max_queue_depth: int = 12,
+) -> Dict[str, object]:
+    """Run the pinned multi-tenant scenario; returns the QoS report.
+
+    The report is a pure function of ``(seed, duration, profiles)`` —
+    deterministic DES, named RNG streams, sorted dict keys."""
+    profiles = tuple(profiles) if profiles is not None else DEFAULT_PROFILES
+    engine = Engine()
+    rng = RngStreams(seed)
+    contention = CoreContentionModel(PCM_CONFIG, BandwidthModelConfig())
+    partitions = {
+        p.spec.name: NvmPartition(
+            p.spec.name,
+            p.spec.capacity_bytes or 16 * p.base_bytes,
+            share=p.spec.share,
+            guaranteed=p.spec.guaranteed,
+        )
+        for p in profiles
+    }
+    bus = WeightedFairBus(engine, contention, partitions)
+    controller = AdmissionController(
+        engine,
+        bus,
+        partitions,
+        {p.spec.name: p.spec for p in profiles},
+        max_running=max_running,
+        max_queue_depth=max_queue_depth,
+    )
+    for profile in profiles:
+        engine.process(
+            _arrivals(engine, rng, controller, profile, duration),
+            name=f"tenancy:arrivals:{profile.spec.name}",
+        )
+    engine.run(until=duration)
+    # let in-flight transfers finish so SLO gaps are scored on complete
+    # jobs (the device keeps draining after arrivals stop)
+    engine.run(until=duration * 1.5)
+    controller.finalize()
+    tenants = controller.report()
+    return {
+        "seed": seed,
+        "duration_s": duration,
+        "tenants": tenants,
+        "totals": {
+            "jobs_submitted": len(controller.jobs),
+            "admitted": controller.admitted,
+            "queued": controller.queued,
+            "rejected": controller.rejected,
+            "preemptions": controller.preemptions,
+            "bytes_moved": int(bus.total_bytes),
+            "throttle_spans": bus.throttle_events,
+        },
+    }

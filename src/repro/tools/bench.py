@@ -37,6 +37,7 @@ from ..exec.executor import ParallelExecutor, resolve_workers
 from ..exec.grid import GridReport, expand_grid, run_grid
 from ..metrics.trace import BUS, CounterSink, JsonlSink
 from .elastic import run_elastic_block, run_elastic_smoke
+from .qos import run_qos_block, run_qos_smoke
 from .sweep import parse_sweeps
 
 __all__ = [
@@ -252,6 +253,11 @@ def run_benchmark(
         # live bounded-batch migration under an SLO, and incremental
         # failover bytes vs the full-resync baseline
         "elastic": run_elastic_block(),
+        # multi-tenant QoS: the pinned checkpoint-as-a-service
+        # scenario — per-tenant SLO attainment and throttle time under
+        # contention, admission/preemption decision census, and
+        # end-to-end tenant attribution through the cluster path
+        "qos": run_qos_block(),
     }
     return record
 
@@ -652,6 +658,11 @@ def main(argv=None) -> int:
                    help="run the elastic grow/shrink scenario, assert "
                         "incremental failover beats full resync and the "
                         "checkpoint-latency SLO held, and exit")
+    p.add_argument("--qos-smoke", action="store_true",
+                   help="run the pinned multi-tenant QoS scenario, "
+                        "assert the guaranteed tenant holds its "
+                        "interval/RPO SLOs while best-effort tenants "
+                        "are throttled, and exit")
     p.add_argument("--trace", default=None, metavar="OUT.JSONL",
                    help="stream the serial reference run's structured "
                         "trace (policy decisions, copies, commits) as "
@@ -670,6 +681,8 @@ def main(argv=None) -> int:
         return run_dedup_smoke()
     if args.elastic_smoke:
         return run_elastic_smoke()
+    if args.qos_smoke:
+        return run_qos_smoke()
 
     t0 = time.perf_counter()
     record = run_benchmark(workers, cache_dir=args.cache_dir, trace_path=args.trace)

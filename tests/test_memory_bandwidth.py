@@ -108,3 +108,39 @@ class TestDeviceBus:
             return eng.now
 
         assert run_proc(e1, p(dram_bus, e1)) < run_proc(e2, p(pcm_bus, e2))
+
+
+class TestZeroFlowValidation:
+    """n_flows <= 0 is a caller bug (tenant shares can drive a
+    partition's flow count to zero); a silent full-peak answer there
+    hid double-counting, so the model now refuses loudly."""
+
+    def test_effective_capacity_rejects_zero_flows(self):
+        model = CoreContentionModel(PCM_CONFIG, BandwidthModelConfig())
+        with pytest.raises(ValueError, match="n_flows"):
+            model.effective_capacity(0)
+        with pytest.raises(ValueError, match="n_flows"):
+            model.effective_capacity(-3)
+
+    def test_per_core_rate_rejects_zero_flows(self):
+        model = CoreContentionModel(PCM_CONFIG, BandwidthModelConfig())
+        with pytest.raises(ValueError, match="n_flows"):
+            model.per_core_rate(0)
+
+    def test_copy_time_rejects_zero_flows(self):
+        model = CoreContentionModel(PCM_CONFIG, BandwidthModelConfig())
+        with pytest.raises(ValueError, match="n_flows"):
+            model.copy_time(MB(1), n_flows=0)
+
+    def test_copy_time_validates_before_zero_byte_early_return(self):
+        # the n_flows check must fire even when nbytes == 0 would
+        # otherwise short-circuit to 0.0 and mask the caller bug
+        model = CoreContentionModel(PCM_CONFIG, BandwidthModelConfig())
+        with pytest.raises(ValueError, match="n_flows"):
+            model.copy_time(0, n_flows=0)
+
+    def test_aggregate_rate_zero_flows_is_zero_not_error(self):
+        # aggregate over zero writers is a well-defined 0.0 (an idle
+        # bus), unlike the per-writer quantities above
+        model = CoreContentionModel(PCM_CONFIG, BandwidthModelConfig())
+        assert model.aggregate_rate(0) == 0.0
